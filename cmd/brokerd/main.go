@@ -1,0 +1,196 @@
+// Command brokerd runs a single publish/subscribe broker over TCP.
+//
+// Brokers form an acyclic overlay: each broker listens for neighbor links
+// and dials the peers listed on its command line (list each edge on exactly
+// one side). Clients connect to the client port, introduce themselves with
+// a hello frame, and then subscribe/publish (see transport.Client).
+//
+// A three-broker line on one machine:
+//
+//	brokerd -id b0 -listen :7000 -clients :8000
+//	brokerd -id b1 -listen :7001 -clients :8001 -peers 127.0.0.1:7000
+//	brokerd -id b2 -listen :7002 -clients :8002 -peers 127.0.0.1:7001
+//
+// With -prune-every set, the broker periodically applies a batch of
+// prunings to its non-local routing entries using the selected dimension.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/core"
+	"dimprune/internal/transport"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], stop); err != nil {
+		fmt.Fprintln(os.Stderr, "brokerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("brokerd", flag.ContinueOnError)
+	var (
+		id         = fs.String("id", "broker", "broker name for logs")
+		listen     = fs.String("listen", "", "address for neighbor-broker links (empty: none)")
+		clients    = fs.String("clients", "", "address for client sessions (empty: none)")
+		peers      = fs.String("peers", "", "comma-separated neighbor addresses to dial")
+		dimension  = fs.String("dimension", "sel", "pruning dimension: sel, eff, mem")
+		pruneEvery = fs.Duration("prune-every", 0, "interval between pruning batches (0: never prune)")
+		pruneBatch = fs.Int("prune-batch", 100, "prunings per batch")
+		statsEvery = fs.Duration("stats-every", time.Minute, "interval between stats log lines (0: never)")
+		snapshot   = fs.String("snapshot", "", "routing-table snapshot file: loaded on start if present, written on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var dim core.Dimension
+	switch *dimension {
+	case "sel":
+		dim = core.DimNetwork
+	case "eff":
+		dim = core.DimThroughput
+	case "mem":
+		dim = core.DimMemory
+	default:
+		return fmt.Errorf("unknown -dimension %q (want sel, eff, mem)", *dimension)
+	}
+
+	b, err := broker.New(broker.Config{ID: *id, Dimension: dim, ObserveEvents: true})
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, *id+" ", log.LstdFlags)
+	srv := transport.NewServer(b, func(d broker.Delivery) {
+		// Deliveries for subscribers without an attached session are logged;
+		// attached clients receive theirs over their connection.
+		logger.Printf("undeliverable notification for %q (no session): event %d", d.Subscriber, d.Msg.ID)
+	})
+	defer srv.Shutdown()
+
+	// Dial static peers first: their link IDs follow flag order, which is
+	// what makes snapshot restore stable across restarts. Listeners open
+	// afterwards; accepted links get higher IDs.
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if _, err := srv.DialLink(p); err != nil {
+			return fmt.Errorf("dial peer %s: %w", p, err)
+		}
+		logger.Printf("linked to %s", p)
+	}
+	if *snapshot != "" {
+		if err := loadSnapshot(srv, *snapshot, logger); err != nil {
+			return err
+		}
+	}
+	if *listen != "" {
+		addr, err := srv.Listen(*listen)
+		if err != nil {
+			return err
+		}
+		logger.Printf("broker links on %s", addr)
+	}
+	if *clients != "" {
+		addr, err := srv.ListenClients(*clients)
+		if err != nil {
+			return err
+		}
+		logger.Printf("client sessions on %s", addr)
+	}
+
+	var pruneTick, statsTick <-chan time.Time
+	if *pruneEvery > 0 {
+		t := time.NewTicker(*pruneEvery)
+		defer t.Stop()
+		pruneTick = t.C
+	}
+	if *statsEvery > 0 {
+		t := time.NewTicker(*statsEvery)
+		defer t.Stop()
+		statsTick = t.C
+	}
+
+	logger.Printf("running (dimension %s)", dim)
+	for {
+		select {
+		case <-stop:
+			logger.Printf("shutting down")
+			if *snapshot != "" {
+				if err := saveSnapshot(srv, *snapshot, logger); err != nil {
+					return err
+				}
+			}
+			return nil
+		case <-pruneTick:
+			if n := srv.Prune(*pruneBatch); n > 0 {
+				st := srv.Stats()
+				logger.Printf("pruned %d entries (total %d, %d remaining, %d associations)",
+					n, st.PruningsDone, st.PruneRemained, st.Associations)
+			}
+		case <-statsTick:
+			st := srv.Stats()
+			logger.Printf("stats: local=%d remote=%d assoc=%d preds=%d %s",
+				st.LocalSubs, st.RemoteSubs, st.Associations, st.Predicates, st.Counters)
+		}
+	}
+}
+
+// loadSnapshot restores the routing table right after the static peers are
+// dialed: entries referencing dialed links restore exactly; entries
+// referencing accepted links (which have no stable identity across
+// restarts) make the restore fail, so snapshot-using brokers should be the
+// dialing side of their links. A missing file is a first start, not an
+// error.
+func loadSnapshot(srv *transport.Server, path string, logger *log.Logger) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := srv.ReadSnapshot(f); err != nil {
+		return fmt.Errorf("load snapshot %s: %w", path, err)
+	}
+	st := srv.Stats()
+	logger.Printf("restored snapshot %s: %d local, %d remote entries",
+		path, st.LocalSubs, st.RemoteSubs)
+	return nil
+}
+
+// saveSnapshot writes the routing table atomically (temp file + rename).
+func saveSnapshot(srv *transport.Server, path string, logger *log.Logger) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := srv.WriteSnapshot(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("write snapshot %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	logger.Printf("wrote snapshot %s", path)
+	return nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+	"dimprune/internal/transport"
+)
+
+// start runs brokerd with the given args in a goroutine and returns a stop
+// function that shuts it down and reports its error.
+func start(t *testing.T, args ...string) func() error {
+	t.Helper()
+	stop := make(chan os.Signal, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(args, stop) }()
+	return func() error {
+		stop <- os.Interrupt
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(10 * time.Second):
+			t.Fatal("brokerd did not shut down")
+			return nil
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-dimension", "sideways"}, nil); err == nil {
+		t.Error("bad dimension accepted")
+	}
+	if err := run([]string{"-listen", "300.0.0.1:bad"}, nil); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	if err := run([]string{"-peers", "127.0.0.1:1"}, nil); err == nil {
+		t.Error("unreachable peer accepted")
+	}
+}
+
+func TestStartAndShutdown(t *testing.T) {
+	stop := start(t, "-id", "t0", "-listen", "127.0.0.1:0", "-clients", "127.0.0.1:0",
+		"-prune-every", "10ms", "-prune-batch", "5", "-stats-every", "10ms")
+	time.Sleep(50 * time.Millisecond) // let tickers fire at least once
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoDaemonsLink(t *testing.T) {
+	// Daemon A listens on a fixed ephemeral port we learn via a probe run.
+	// Since run() logs rather than returns the address, use a fixed port
+	// chosen by the OS for A, then point B at it: bind a throwaway listener
+	// to discover a free port first.
+	addr := freePort(t)
+	stopA := start(t, "-id", "a", "-listen", addr)
+	time.Sleep(50 * time.Millisecond)
+	stopB := start(t, "-id", "b", "-peers", addr)
+	time.Sleep(50 * time.Millisecond)
+	if err := stopB(); err != nil {
+		t.Errorf("daemon b: %v", err)
+	}
+	if err := stopA(); err != nil {
+		t.Errorf("daemon a: %v", err)
+	}
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+func TestSnapshotAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "broker.snap")
+	clientAddr := freePort(t)
+
+	// First life: a client subscribes, then the daemon shuts down and
+	// writes the snapshot.
+	stop1 := start(t, "-id", "s0", "-clients", clientAddr, "-snapshot", snap)
+	waitDial(t, clientAddr)
+	conn, err := transport.Dial(clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := transport.NewClient("carol", conn)
+	if err := client.Subscribe(1, subscription.MustParse(`x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the frame land
+	client.Close()
+	if err := stop1(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	// Second life: the subscription is back without resubscribing.
+	clientAddr2 := freePort(t)
+	stop2 := start(t, "-id", "s0", "-clients", clientAddr2, "-snapshot", snap)
+	waitDial(t, clientAddr2)
+	conn2, err := transport.Dial(clientAddr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client2 := transport.NewClient("carol", conn2)
+	defer client2.Close()
+	if err := client2.Publish(event.Build(9).Int("x", 1).Msg()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-client2.Notifications():
+		if m.ID != 9 {
+			t.Errorf("notification = %s", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restored subscription did not deliver")
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitDial polls until addr accepts connections.
+func waitDial(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never came up", addr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

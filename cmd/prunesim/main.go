@@ -1,0 +1,130 @@
+// Command prunesim reproduces the paper's evaluation figures. It sweeps the
+// proportional number of prunings for the selected heuristics and prints
+// each figure's data as a table or CSV.
+//
+// Paper-scale reproduction (Fig 1(a)–(f)):
+//
+//	prunesim -subs 200000 -events 100000 -setting both
+//
+// Laptop-scale shape check for one figure:
+//
+//	prunesim -subs 20000 -events 10000 -setting centralized -figure 1b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dimprune/internal/auction"
+	"dimprune/internal/core"
+	"dimprune/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prunesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prunesim", flag.ContinueOnError)
+	var (
+		subs        = fs.Int("subs", 20000, "number of subscriptions (paper: 200000)")
+		events      = fs.Int("events", 10000, "number of measurement events (paper: 100000)")
+		train       = fs.Int("train", 5000, "events used to train the selectivity model")
+		checkpoints = fs.Int("checkpoints", 11, "abscissa points including 0 and 1")
+		brokers     = fs.Int("brokers", 5, "brokers in the distributed line")
+		seed        = fs.Uint64("seed", 1, "workload seed")
+		setting     = fs.String("setting", "both", "centralized, distributed, or both")
+		dims        = fs.String("dims", "sel,eff,mem", "heuristics to sweep (comma-separated: sel, eff, mem)")
+		figure      = fs.String("figure", "", "print only one figure (1a..1f)")
+		format      = fs.String("format", "table", "output format: table, csv, plot, or summary")
+		innermost   = fs.String("innermost", "default", "innermost pruning restriction: default, on, off")
+		noTieBreak  = fs.Bool("no-tiebreak", false, "disable the secondary/tertiary dimension orders")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.Subs = *subs
+	cfg.Events = *events
+	cfg.TrainEvents = *train
+	cfg.Checkpoints = *checkpoints
+	cfg.Brokers = *brokers
+	cfg.Workload = auction.DefaultConfig()
+	cfg.Workload.Seed = *seed
+	cfg.PruneOptions.DisableTieBreak = *noTieBreak
+	switch *innermost {
+	case "default":
+	case "on":
+		cfg.PruneOptions.Innermost = core.InnermostOn
+	case "off":
+		cfg.PruneOptions.Innermost = core.InnermostOff
+	default:
+		return fmt.Errorf("unknown -innermost value %q", *innermost)
+	}
+
+	cfg.Dimensions = nil
+	for _, d := range strings.Split(*dims, ",") {
+		switch strings.TrimSpace(d) {
+		case "sel":
+			cfg.Dimensions = append(cfg.Dimensions, core.DimNetwork)
+		case "eff":
+			cfg.Dimensions = append(cfg.Dimensions, core.DimThroughput)
+		case "mem":
+			cfg.Dimensions = append(cfg.Dimensions, core.DimMemory)
+		case "":
+		default:
+			return fmt.Errorf("unknown dimension %q (want sel, eff, mem)", d)
+		}
+	}
+
+	var results []*experiment.Result
+	if *setting == "centralized" || *setting == "both" {
+		res, err := experiment.RunCentralized(cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	if *setting == "distributed" || *setting == "both" {
+		res, err := experiment.RunDistributed(cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("unknown -setting %q (want centralized, distributed, both)", *setting)
+	}
+
+	for _, res := range results {
+		if *format == "summary" {
+			fmt.Fprint(out, experiment.Summary(res))
+			continue
+		}
+		for _, fig := range experiment.Figures(res) {
+			if *figure != "" && fig.ID != *figure {
+				continue
+			}
+			switch *format {
+			case "table":
+				fmt.Fprintln(out, experiment.RenderTable(fig))
+			case "csv":
+				fmt.Fprintf(out, "# figure %s — %s\n", fig.ID, fig.Title)
+				fmt.Fprint(out, experiment.RenderCSV(fig))
+				fmt.Fprintln(out)
+			case "plot":
+				fmt.Fprintln(out, experiment.RenderASCII(fig, 64, 16))
+			default:
+				return fmt.Errorf("unknown -format %q", *format)
+			}
+		}
+	}
+	return nil
+}

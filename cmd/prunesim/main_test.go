@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny flags keep the CLI tests fast while exercising the full pipeline.
+var tiny = []string{"-subs", "300", "-events", "150", "-train", "300", "-checkpoints", "3"}
+
+func runArgs(t *testing.T, extra ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(append(append([]string{}, tiny...), extra...), &sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCentralizedTable(t *testing.T) {
+	out := runArgs(t, "-setting", "centralized")
+	for _, want := range []string{"Figure 1a", "Figure 1b", "Figure 1c", "sel", "eff", "mem"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Figure 1d") {
+		t.Error("centralized run printed distributed figures")
+	}
+}
+
+func TestDistributedCSVSingleFigure(t *testing.T) {
+	out := runArgs(t, "-setting", "distributed", "-figure", "1e", "-format", "csv")
+	if !strings.Contains(out, "# figure 1e") {
+		t.Errorf("missing figure header:\n%s", out)
+	}
+	if !strings.Contains(out, "ratio,sel,eff,mem") {
+		t.Errorf("missing csv header:\n%s", out)
+	}
+	if strings.Contains(out, "1d") {
+		t.Error("figure filter leaked other figures")
+	}
+}
+
+func TestPlotFormat(t *testing.T) {
+	out := runArgs(t, "-setting", "centralized", "-figure", "1b", "-format", "plot")
+	for _, want := range []string{"Figure 1b", "prunings", "* = overlap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot output missing %q", want)
+		}
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	out := runArgs(t, "-setting", "centralized", "-format", "summary", "-dims", "sel")
+	if !strings.Contains(out, "centralized") || !strings.Contains(out, "total prunings") {
+		t.Errorf("summary = %q", out)
+	}
+}
+
+func TestDimensionSelection(t *testing.T) {
+	out := runArgs(t, "-setting", "centralized", "-dims", "mem", "-figure", "1c")
+	if !strings.Contains(out, "mem") {
+		t.Error("mem series missing")
+	}
+	if strings.Contains(out, "           sel") {
+		t.Error("sel series printed though not requested")
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	// Just exercise the option plumbing end to end.
+	runArgs(t, "-setting", "centralized", "-figure", "1b", "-innermost", "on", "-no-tiebreak")
+	runArgs(t, "-setting", "centralized", "-figure", "1b", "-innermost", "off")
+}
+
+func TestBadFlags(t *testing.T) {
+	bad := [][]string{
+		{"-setting", "sideways"},
+		{"-dims", "bogus"},
+		{"-format", "xml"},
+		{"-innermost", "sometimes"},
+		{"-figure", "1a", "-setting", "centralized", "-subs", "0"},
+	}
+	for _, args := range bad {
+		var sb strings.Builder
+		if err := run(append(append([]string{}, tiny...), args...), &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

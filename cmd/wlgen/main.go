@@ -1,0 +1,119 @@
+// Command wlgen generates the online book-auction workload to files, so
+// experiments outside this repository (or across tools) can consume the
+// exact deterministic event and subscription streams.
+//
+//	wlgen -subs 1000 -events 5000 -out ./workload
+//
+// writes workload/subscriptions.txt (id, subscriber, and expression in the
+// text syntax, tab-separated) and workload/events.txt (one rendered event
+// per line), or length-prefixed wire frames with -format wire
+// (subscriptions.bin / events.bin).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dimprune/internal/auction"
+	"dimprune/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wlgen", flag.ContinueOnError)
+	var (
+		subs   = fs.Int("subs", 1000, "subscriptions to generate")
+		events = fs.Int("events", 5000, "events to generate")
+		seed   = fs.Uint64("seed", 1, "workload seed")
+		out    = fs.String("out", ".", "output directory")
+		format = fs.String("format", "text", "output format: text or wire")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "wire" {
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+	cfg := auction.DefaultConfig()
+	cfg.Seed = *seed
+	gen, err := auction.NewGenerator(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	ext := ".txt"
+	if *format == "wire" {
+		ext = ".bin"
+	}
+	if err := writeFile(filepath.Join(*out, "subscriptions"+ext), func(w *bufio.Writer) error {
+		for i := 1; i <= *subs; i++ {
+			s, err := gen.Subscription(uint64(i), fmt.Sprintf("client-%d", i))
+			if err != nil {
+				return err
+			}
+			if *format == "text" {
+				if _, err := fmt.Fprintf(w, "%d\t%s\t%s\n", s.ID, s.Subscriber, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := wire.WriteFrame(w, wire.SubscribeFrame(s)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := writeFile(filepath.Join(*out, "events"+ext), func(w *bufio.Writer) error {
+		for i := 1; i <= *events; i++ {
+			m := gen.Event(uint64(i))
+			if *format == "text" {
+				if _, err := fmt.Fprintln(w, m); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := wire.WriteFrame(w, wire.PublishFrame(m)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote %d subscriptions and %d events to %s (%s format)\n",
+		*subs, *events, *out, *format)
+	return nil
+}
+
+func writeFile(path string, fill func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := fill(w); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

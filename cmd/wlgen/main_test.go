@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dimprune/internal/wire"
+)
+
+func TestTextOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-subs", "20", "-events", "30", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	subs, err := os.ReadFile(filepath.Join(dir, "subscriptions.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(subs)), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("%d subscription lines, want 20", len(lines))
+	}
+	fields := strings.SplitN(lines[0], "\t", 3)
+	if len(fields) != 3 || fields[0] != "1" || !strings.HasPrefix(fields[1], "client-") {
+		t.Errorf("bad line format: %q", lines[0])
+	}
+	events, err := os.ReadFile(filepath.Join(dir, "events.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(string(events)), "\n")); got != 30 {
+		t.Fatalf("%d event lines, want 30", got)
+	}
+}
+
+func TestWireOutputDecodes(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-subs", "15", "-events", "25", "-format", "wire", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	count := func(path string, wantType wire.FrameType) int {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		r := bufio.NewReader(f)
+		n := 0
+		for {
+			fr, err := wire.ReadFrame(r)
+			if errors.Is(err, io.EOF) {
+				return n
+			}
+			if err != nil {
+				t.Fatalf("%s: frame %d: %v", path, n, err)
+			}
+			if fr.Type != wantType {
+				t.Fatalf("%s: frame %d has type %v", path, n, fr.Type)
+			}
+			n++
+		}
+	}
+	if got := count(filepath.Join(dir, "subscriptions.bin"), wire.FrameSubscribe); got != 15 {
+		t.Errorf("%d subscription frames, want 15", got)
+	}
+	if got := count(filepath.Join(dir, "events.bin"), wire.FramePublish); got != 25 {
+		t.Errorf("%d event frames, want 25", got)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	args := []string{"-subs", "10", "-events", "10", "-seed", "7"}
+	if err := run(append(args, "-out", dir1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-out", dir2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"subscriptions.txt", "events.txt"} {
+		a, _ := os.ReadFile(filepath.Join(dir1, name))
+		b, _ := os.ReadFile(filepath.Join(dir2, name))
+		if string(a) != string(b) {
+			t.Errorf("%s differs between identical runs", name)
+		}
+	}
+}
+
+func TestBadFormat(t *testing.T) {
+	if err := run([]string{"-format", "json", "-out", t.TempDir()}); err == nil {
+		t.Error("bad format accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Package dimprune is a content-based publish/subscribe library with
+// dimension-based subscription pruning, reproducing Bittner & Hinze,
+// "Dimension-Based Subscription Pruning for Publish/Subscribe Systems"
+// (ICDCS Workshops 2006).
+//
+// Subscriptions are arbitrary Boolean expressions over attribute–operator–
+// value predicates. Brokers route events through acyclic overlays using
+// subscription forwarding, and optimize their routing tables by pruning:
+// generalizing non-local subscription trees to trade a bounded amount of
+// extra traffic for smaller tables and faster filtering. Pruning order is
+// driven by one of three dimensions — network load, memory usage, or
+// throughput — each with its own heuristic (the paper's contribution).
+//
+// # Quick start
+//
+//	ps, _ := dimprune.NewEmbedded(dimprune.EmbeddedConfig{})
+//	id, _ := ps.SubscribeText("alice", `category = "scifi" and price <= 25`)
+//	ps.OnNotify(func(n dimprune.Notification) {
+//	    fmt.Println(n.Subscriber, "got", n.Msg)
+//	})
+//	ps.Publish(dimprune.NewEvent(1).Str("category", "scifi").Num("price", 19.5))
+//	_ = id
+//
+// # Layers
+//
+//   - Subscriptions and events: Parse / builders (Eq, And, Or …), NewEvent.
+//   - Embedded: single-process matcher for applications (NewEmbedded).
+//   - Simulation: deterministic broker overlays (NewLineNetwork) used by the
+//     paper's experiments (RunCentralized / RunDistributed).
+//   - Networked: TCP broker servers and clients (NewServer, DialBroker).
+//
+// The experiment harness regenerating the paper's figures lives behind
+// RunCentralized/RunDistributed; see cmd/prunesim for the command-line
+// front end and EXPERIMENTS.md for measured results.
+package dimprune
+
+import (
+	"dimprune/internal/core"
+)
+
+// Dimension selects the pruning optimization target (paper §3).
+type Dimension = core.Dimension
+
+// Pruning dimensions.
+const (
+	// Network minimizes growth in matched/forwarded events (Δ≈sel).
+	Network = core.DimNetwork
+	// Memory maximizes routing-table byte reduction per step (Δ≈mem).
+	Memory = core.DimMemory
+	// Throughput keeps the counting filter's pmin gate strong (Δ≈eff).
+	Throughput = core.DimThroughput
+)
+
+// PruneOptions tunes the pruning engine (ablation switches).
+type PruneOptions = core.Options
+
+// Rating carries the three heuristic values of an applied pruning.
+type Rating = core.Rating

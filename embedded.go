@@ -1,0 +1,151 @@
+package dimprune
+
+import (
+	"fmt"
+	"sync"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/selectivity"
+)
+
+// EmbeddedConfig configures an in-process pub/sub instance.
+type EmbeddedConfig struct {
+	// Dimension selects the pruning heuristic; default Network, the paper's
+	// recommendation for general-purpose systems.
+	Dimension Dimension
+	// PruneOptions tunes the pruning engine.
+	PruneOptions PruneOptions
+	// LearnFromEvents updates the selectivity model with every published
+	// event (default true), keeping Δ≈sel ratings current.
+	DisableLearning bool
+}
+
+// Notification is one delivered event.
+type Notification struct {
+	Subscriber string
+	SubID      uint64
+	Msg        *Message
+}
+
+// Embedded is a single-process publish/subscribe engine with pruning —
+// a one-broker deployment of the library for applications that want
+// content-based dispatch with bounded routing-table growth.
+//
+// Unlike a routing broker, an Embedded instance treats every subscription
+// as prunable: matching becomes approximate once Prune is called (supersets
+// only), which is the intended trade — applications that need exact
+// matching simply never prune. It is safe for concurrent use.
+type Embedded struct {
+	mu     sync.Mutex
+	b      *broker.Broker
+	notify func(Notification)
+	nextID uint64
+}
+
+// NewEmbedded creates an embedded pub/sub instance.
+func NewEmbedded(cfg EmbeddedConfig) (*Embedded, error) {
+	b, err := broker.New(broker.Config{
+		ID:            "embedded",
+		Dimension:     cfg.Dimension,
+		PruneOptions:  cfg.PruneOptions,
+		ObserveEvents: !cfg.DisableLearning,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Embedded{b: b}
+	// A virtual neighbor link makes every subscription a non-local routing
+	// entry, i.e. eligible for pruning; deliveries are synthesized from the
+	// link's forwarding decision.
+	e.b.AddLink()
+	return e, nil
+}
+
+// OnNotify installs the delivery callback. It must be set before Publish;
+// callbacks run synchronously on the publishing goroutine.
+func (e *Embedded) OnNotify(fn func(Notification)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.notify = fn
+}
+
+// SubscribeText registers a subscription given in text syntax and returns
+// its assigned ID.
+func (e *Embedded) SubscribeText(subscriber, expr string) (uint64, error) {
+	n, err := Parse(expr)
+	if err != nil {
+		return 0, err
+	}
+	return e.Subscribe(subscriber, n)
+}
+
+// Subscribe registers a subscription tree and returns its assigned ID.
+func (e *Embedded) Subscribe(subscriber string, root *Node) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextID++
+	s, err := NewSubscription(e.nextID, subscriber, root)
+	if err != nil {
+		return 0, err
+	}
+	// Registered via the virtual link so the entry is prunable.
+	if _, err := e.b.HandleSubscribe(0, s); err != nil {
+		return 0, err
+	}
+	return s.ID, nil
+}
+
+// Unsubscribe retracts a subscription.
+func (e *Embedded) Unsubscribe(id uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err := e.b.HandleUnsubscribe(0, id)
+	return err
+}
+
+// Publish matches an event against all subscriptions, invoking the
+// notification callback per match, and returns the match count.
+func (e *Embedded) Publish(m *Message) (int, error) {
+	if m == nil {
+		return 0, fmt.Errorf("dimprune: nil message")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	matches := 0
+	e.b.MatchEntries(m, func(subID uint64, subscriber string) {
+		matches++
+		if e.notify != nil {
+			e.notify(Notification{Subscriber: subscriber, SubID: subID, Msg: m})
+		}
+	})
+	return matches, nil
+}
+
+// Prune applies up to n pruning steps and returns the number performed.
+// After pruning, Publish may over-deliver (supersets), never under-deliver.
+func (e *Embedded) Prune(n int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.b.Prune(n)
+}
+
+// Stats snapshots the engine.
+func (e *Embedded) Stats() broker.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.b.Stats()
+}
+
+// SetDimension switches the pruning heuristic at runtime.
+func (e *Embedded) SetDimension(d Dimension) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.b.SetDimension(d)
+}
+
+// Model exposes the selectivity model (e.g. to pre-train it).
+func (e *Embedded) Model() *selectivity.Model {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.b.Model()
+}

@@ -1,0 +1,74 @@
+// Quickstart: embed a publish/subscribe engine, register Boolean
+// subscriptions, publish events, and watch dimension-based pruning trade
+// exactness for routing-table size.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dimprune"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ps, err := dimprune.NewEmbedded(dimprune.EmbeddedConfig{Dimension: dimprune.Network})
+	if err != nil {
+		return err
+	}
+	ps.OnNotify(func(n dimprune.Notification) {
+		fmt.Printf("  -> %s (subscription %d) notified about event %d\n",
+			n.Subscriber, n.SubID, n.Msg.ID)
+	})
+
+	// Subscriptions are arbitrary Boolean expressions; text syntax and
+	// builders are interchangeable.
+	if _, err := ps.SubscribeText("alice",
+		`category = "scifi" and (author = "Le Guin" or author = "Herbert") and price <= 25`); err != nil {
+		return err
+	}
+	bobTree := dimprune.And(
+		dimprune.Eq("category", dimprune.Str("crime")),
+		dimprune.Ge("rating", dimprune.Int(4)),
+	)
+	if _, err := ps.Subscribe("bob", bobTree); err != nil {
+		return err
+	}
+
+	fmt.Println("publishing three listings:")
+	events := []*dimprune.Message{
+		dimprune.NewEvent(1).Str("category", "scifi").Str("author", "Le Guin").Num("price", 18).Msg(),
+		dimprune.NewEvent(2).Str("category", "scifi").Str("author", "Banks").Num("price", 18).Msg(),
+		dimprune.NewEvent(3).Str("category", "crime").Int("rating", 5).Num("price", 12).Msg(),
+	}
+	for _, m := range events {
+		if _, err := ps.Publish(m); err != nil {
+			return err
+		}
+	}
+
+	st := ps.Stats()
+	fmt.Printf("\nbefore pruning: %d subscriptions, %d predicate/subscription associations\n",
+		st.LocalSubs+st.RemoteSubs, st.Associations)
+
+	// Prune one step: the engine generalizes whichever subscription costs
+	// the least extra traffic (network dimension).
+	ps.Prune(1)
+	st = ps.Stats()
+	fmt.Printf("after 1 pruning: %d associations (pruned %d)\n\n", st.Associations, st.PruningsDone)
+
+	fmt.Println("republishing the same listings (matching may widen, never shrink):")
+	for _, m := range events {
+		if _, err := ps.Publish(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

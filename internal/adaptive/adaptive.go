@@ -1,0 +1,154 @@
+// Package adaptive implements the paper's future-work ideas (§1, §5):
+// choosing the pruning dimension dynamically from observed system
+// parameters ("if the number of subscriptions increases strongly, we use
+// memory-based pruning; bandwidth limitations suggest to apply
+// network-based pruning"), and determining how many pruning operations lead
+// to the best overall optimization.
+package adaptive
+
+import (
+	"fmt"
+	"time"
+
+	"dimprune/internal/core"
+)
+
+// Signals are the system parameters a Policy decides from. Callers derive
+// them from broker stats and link measurements at whatever cadence suits
+// their deployment.
+type Signals struct {
+	// Associations is the current routing-table size in
+	// predicate/subscription associations.
+	Associations int
+	// AssociationBudget is the configured routing-table target; above it,
+	// memory pressure applies. Zero disables the memory trigger.
+	AssociationBudget int
+	// LinkUtilization estimates outbound-link busyness in [0, 1]; above the
+	// policy threshold, bandwidth pressure applies.
+	LinkUtilization float64
+}
+
+// Policy maps signals to a dimension. Zero-value thresholds select the
+// defaults; the zero Default selects network-based pruning, the paper's
+// general-purpose recommendation.
+type Policy struct {
+	// MemoryPressure is the associations/budget ratio that triggers
+	// memory-based pruning (default 0.9).
+	MemoryPressure float64
+	// NetworkPressure is the link utilization that triggers network-based
+	// pruning (default 0.7).
+	NetworkPressure float64
+	// Default applies when no pressure triggers (default DimThroughput:
+	// with neither memory nor bandwidth scarce, optimize filter speed).
+	Default core.Dimension
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MemoryPressure == 0 {
+		p.MemoryPressure = 0.9
+	}
+	if p.NetworkPressure == 0 {
+		p.NetworkPressure = 0.7
+	}
+	if p.Default == 0 {
+		p.Default = core.DimThroughput
+	}
+	return p
+}
+
+// Decide returns the dimension for the observed signals. Memory pressure
+// dominates (an overflowing routing table threatens the broker itself),
+// then bandwidth pressure, then the default.
+func (p Policy) Decide(s Signals) core.Dimension {
+	p = p.withDefaults()
+	if s.AssociationBudget > 0 &&
+		float64(s.Associations) >= p.MemoryPressure*float64(s.AssociationBudget) {
+		return core.DimMemory
+	}
+	if s.LinkUtilization >= p.NetworkPressure {
+		return core.DimNetwork
+	}
+	return p.Default
+}
+
+// Target is the slice of a broker the controller drives.
+type Target interface {
+	Dimension() core.Dimension
+	SetDimension(core.Dimension) error
+	Prune(n int) int
+}
+
+// Controller applies a Policy to a Target. It is synchronous: the owner
+// calls Tick at its own cadence with fresh signals.
+type Controller struct {
+	target   Target
+	policy   Policy
+	switches int
+}
+
+// NewController wires a policy to a target.
+func NewController(target Target, policy Policy) (*Controller, error) {
+	if target == nil {
+		return nil, fmt.Errorf("adaptive: nil target")
+	}
+	if policy.Default != 0 && !policy.Default.Valid() {
+		return nil, fmt.Errorf("adaptive: invalid default dimension %d", int(policy.Default))
+	}
+	return &Controller{target: target, policy: policy}, nil
+}
+
+// Switches reports how many dimension changes the controller has made.
+func (c *Controller) Switches() int { return c.switches }
+
+// Tick evaluates the signals, switches the target's dimension when the
+// policy demands it, and applies up to batch prunings. It returns the
+// active dimension and the prunings performed.
+func (c *Controller) Tick(s Signals, batch int) (core.Dimension, int, error) {
+	want := c.policy.Decide(s)
+	if want != c.target.Dimension() {
+		if err := c.target.SetDimension(want); err != nil {
+			return 0, 0, err
+		}
+		c.switches++
+	}
+	done := 0
+	if batch > 0 {
+		done = c.target.Prune(batch)
+	}
+	return want, done, nil
+}
+
+// AutoPrune answers the paper's second future-work question — how many
+// prunings give the best overall optimization — by hill climbing: it
+// applies pruning batches while the measured cost keeps improving and stops
+// after patience consecutive non-improving batches (prunings cannot be
+// undone, so it stops at the first sustained degradation). It returns the
+// number of prunings applied.
+//
+// measure must return the current cost (typically filtering time per event
+// over a probe workload); lower is better.
+func AutoPrune(target Target, measure func() time.Duration, batch, patience int) (int, error) {
+	if batch <= 0 {
+		return 0, fmt.Errorf("adaptive: batch must be positive, got %d", batch)
+	}
+	if patience <= 0 {
+		return 0, fmt.Errorf("adaptive: patience must be positive, got %d", patience)
+	}
+	best := measure()
+	applied := 0
+	bad := 0
+	for bad < patience {
+		n := target.Prune(batch)
+		if n == 0 {
+			break // exhausted
+		}
+		applied += n
+		if cost := measure(); cost < best {
+			best = cost
+			bad = 0
+		} else {
+			bad++
+		}
+	}
+	return applied, nil
+}

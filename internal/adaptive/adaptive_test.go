@@ -1,0 +1,168 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"dimprune/internal/core"
+)
+
+// fakeTarget records controller interactions.
+type fakeTarget struct {
+	dim       core.Dimension
+	pruneable int
+	pruned    int
+	setErr    error
+}
+
+func (f *fakeTarget) Dimension() core.Dimension { return f.dim }
+
+func (f *fakeTarget) SetDimension(d core.Dimension) error {
+	if f.setErr != nil {
+		return f.setErr
+	}
+	f.dim = d
+	return nil
+}
+
+func (f *fakeTarget) Prune(n int) int {
+	if n > f.pruneable {
+		n = f.pruneable
+	}
+	f.pruneable -= n
+	f.pruned += n
+	return n
+}
+
+func TestPolicyDecide(t *testing.T) {
+	p := Policy{} // defaults: mem 0.9, net 0.7, default throughput
+	tests := []struct {
+		name string
+		s    Signals
+		want core.Dimension
+	}{
+		{"idle", Signals{}, core.DimThroughput},
+		{"memory pressure", Signals{Associations: 95, AssociationBudget: 100}, core.DimMemory},
+		{"below memory threshold", Signals{Associations: 80, AssociationBudget: 100}, core.DimThroughput},
+		{"no budget disables memory", Signals{Associations: 1 << 30}, core.DimThroughput},
+		{"bandwidth pressure", Signals{LinkUtilization: 0.8}, core.DimNetwork},
+		{"memory beats bandwidth", Signals{Associations: 100, AssociationBudget: 100, LinkUtilization: 0.9}, core.DimMemory},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := p.Decide(tt.s); got != tt.want {
+				t.Errorf("Decide(%+v) = %v, want %v", tt.s, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPolicyCustomThresholdsAndDefault(t *testing.T) {
+	p := Policy{MemoryPressure: 0.5, NetworkPressure: 0.3, Default: core.DimNetwork}
+	if got := p.Decide(Signals{Associations: 50, AssociationBudget: 100}); got != core.DimMemory {
+		t.Errorf("custom memory threshold ignored: %v", got)
+	}
+	if got := p.Decide(Signals{LinkUtilization: 0.35}); got != core.DimNetwork {
+		t.Errorf("custom network threshold ignored: %v", got)
+	}
+	if got := p.Decide(Signals{}); got != core.DimNetwork {
+		t.Errorf("custom default ignored: %v", got)
+	}
+}
+
+func TestControllerSwitchesAndPrunes(t *testing.T) {
+	ft := &fakeTarget{dim: core.DimNetwork, pruneable: 100}
+	c, err := NewController(ft, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle signals: switch to the default (throughput) and prune a batch.
+	dim, n, err := c.Tick(Signals{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != core.DimThroughput || ft.dim != core.DimThroughput {
+		t.Errorf("dimension = %v", dim)
+	}
+	if n != 10 || ft.pruned != 10 {
+		t.Errorf("pruned %d", n)
+	}
+	if c.Switches() != 1 {
+		t.Errorf("switches = %d", c.Switches())
+	}
+	// Same signals again: no additional switch.
+	if _, _, err := c.Tick(Signals{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Switches() != 1 {
+		t.Errorf("redundant switch recorded: %d", c.Switches())
+	}
+	// Memory pressure flips to memory-based pruning.
+	dim, _, err = c.Tick(Signals{Associations: 99, AssociationBudget: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != core.DimMemory || c.Switches() != 2 {
+		t.Errorf("dim %v switches %d", dim, c.Switches())
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(nil, Policy{}); err == nil {
+		t.Error("nil target accepted")
+	}
+	if _, err := NewController(&fakeTarget{}, Policy{Default: core.Dimension(9)}); err == nil {
+		t.Error("bad default dimension accepted")
+	}
+	ft := &fakeTarget{setErr: errSet}
+	c, _ := NewController(ft, Policy{})
+	if _, _, err := c.Tick(Signals{LinkUtilization: 1}, 0); err == nil {
+		t.Error("SetDimension error swallowed")
+	}
+}
+
+var errSet = &setErr{}
+
+type setErr struct{}
+
+func (*setErr) Error() string { return "boom" }
+
+func TestAutoPruneStopsWhenCostRises(t *testing.T) {
+	ft := &fakeTarget{pruneable: 1000}
+	// Cost improves for the first 50 prunings, then degrades.
+	measure := func() time.Duration {
+		if ft.pruned <= 50 {
+			return time.Duration(1000-ft.pruned) * time.Microsecond
+		}
+		return time.Duration(1000+ft.pruned) * time.Microsecond
+	}
+	applied, err := AutoPrune(ft, measure, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Improvement through 50, then two non-improving batches: 70 total.
+	if applied != 70 {
+		t.Errorf("applied = %d, want 70", applied)
+	}
+}
+
+func TestAutoPruneStopsAtExhaustion(t *testing.T) {
+	ft := &fakeTarget{pruneable: 25}
+	applied, err := AutoPrune(ft, func() time.Duration { return time.Millisecond }, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 25 {
+		t.Errorf("applied = %d, want 25 (exhaustion)", applied)
+	}
+}
+
+func TestAutoPruneValidation(t *testing.T) {
+	ft := &fakeTarget{}
+	if _, err := AutoPrune(ft, func() time.Duration { return 0 }, 0, 1); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := AutoPrune(ft, func() time.Duration { return 0 }, 1, 0); err == nil {
+		t.Error("zero patience accepted")
+	}
+}

@@ -1,0 +1,232 @@
+package auction
+
+import (
+	"testing"
+
+	"dimprune/internal/subscription"
+)
+
+func TestDefaultConfigGenerates(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Event(1)
+	for _, attr := range []string{"title", "author", "category", "price", "bids", "rating", "format", "condition", "hours_left", "signed"} {
+		if !m.Has(attr) {
+			t.Errorf("event missing attribute %q: %s", attr, m)
+		}
+	}
+	s, err := g.Subscription(1, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Root.Validate(); err != nil {
+		t.Errorf("generated subscription invalid: %v", err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	gen := func() (string, string) {
+		g, err := NewGenerator(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := g.Event(1).String()
+		s, _ := g.Subscription(1, "x")
+		return ev, s.String()
+	}
+	e1, s1 := gen()
+	e2, s2 := gen()
+	if e1 != e2 {
+		t.Errorf("event streams diverge:\n%s\n%s", e1, e2)
+	}
+	if s1 != s2 {
+		t.Errorf("subscription streams diverge:\n%s\n%s", s1, s2)
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	g1, _ := NewGenerator(cfg)
+	cfg.Seed = 2
+	g2, _ := NewGenerator(cfg)
+	if g1.Event(1).String() == g2.Event(1).String() {
+		t.Error("different seeds produced identical first events")
+	}
+}
+
+func TestEventValueRanges(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		m := g.Event(uint64(i))
+		if price, _ := m.Get("price"); price.AsFloat() <= 0 || price.AsFloat() > 1000 {
+			t.Fatalf("price out of range: %v", price)
+		}
+		if rating, _ := m.Get("rating"); rating.AsInt() < 0 || rating.AsInt() > 5 {
+			t.Fatalf("rating out of range: %v", rating)
+		}
+		if bids, _ := m.Get("bids"); bids.AsInt() < 0 || bids.AsInt() > 50 {
+			t.Fatalf("bids out of range: %v", bids)
+		}
+		if h, _ := m.Get("hours_left"); h.AsInt() < 0 || h.AsInt() >= 72 {
+			t.Fatalf("hours_left out of range: %v", h)
+		}
+	}
+}
+
+func TestTitlePopularitySkewed(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		title, _ := g.Event(uint64(i)).Get("title")
+		counts[title.AsString()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf s=1 over 10k books: top title ~10% of the mass.
+	if max < n/50 {
+		t.Errorf("top title seen %d times out of %d; popularity not skewed", max, n)
+	}
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct titles in %d events; tail missing", len(counts), n)
+	}
+}
+
+func TestClassShapes(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		tw, err := g.OfClass(ClassTitleWatcher, uint64(i*3+1), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasLeafOn(tw.Root, "title") || !hasLeafOn(tw.Root, "price") {
+			t.Fatalf("title watcher missing core predicates: %s", tw)
+		}
+		ch, err := g.OfClass(ClassCategoryHunter, uint64(i*3+2), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasLeafOn(ch.Root, "category") || !hasLeafOn(ch.Root, "rating") {
+			t.Fatalf("category hunter missing core predicates: %s", ch)
+		}
+		ac, err := g.OfClass(ClassAuthorCollector, uint64(i*3+3), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		authorLeaves := 0
+		ac.Root.Walk(func(n, _ *subscription.Node) bool {
+			if n.Kind == subscription.NodeLeaf && n.Pred.Attr == "author" {
+				authorLeaves++
+			}
+			return true
+		})
+		if authorLeaves < 2 {
+			t.Fatalf("author collector has %d author leaves: %s", authorLeaves, ac)
+		}
+	}
+}
+
+func TestSubscriptionsArePrunable(t *testing.T) {
+	// Every generated subscription must support at least one pruning —
+	// otherwise it cannot participate in the experiments.
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s, err := g.Subscription(uint64(i), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(subscription.Candidates(s.Root, nil)) == 0 {
+			t.Fatalf("unprunable subscription generated: %s", s)
+		}
+	}
+}
+
+func TestSubscriptionsMatchSomeEvents(t *testing.T) {
+	// The workload must be live: a reasonable share of subscriptions match
+	// at least one event in a large sample, and the overall match rate is
+	// neither zero nor saturated.
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := g.Events(1, 5000)
+	subs := make([]*subscription.Subscription, 300)
+	for i := range subs {
+		s, err := g.Subscription(uint64(i+1), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+	matchedSubs := 0
+	totalMatches := 0
+	for _, s := range subs {
+		hit := 0
+		for _, m := range events {
+			if s.Matches(m) {
+				hit++
+			}
+		}
+		if hit > 0 {
+			matchedSubs++
+		}
+		totalMatches += hit
+	}
+	if matchedSubs < len(subs)/10 {
+		t.Errorf("only %d/%d subscriptions ever match; workload too cold", matchedSubs, len(subs))
+	}
+	rate := float64(totalMatches) / float64(len(events)*len(subs))
+	if rate <= 0 || rate > 0.5 {
+		t.Errorf("average match rate %v; want sparse but nonzero", rate)
+	}
+	t.Logf("matched subs: %d/%d, avg match rate %.4f", matchedSubs, len(subs), rate)
+}
+
+func TestClassWeightValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ClassWeights = [3]float64{0, 0, 0}
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("zero class weights accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Books = 0
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("empty catalog accepted")
+	}
+}
+
+func TestOfClassUnknown(t *testing.T) {
+	g, _ := NewGenerator(DefaultConfig())
+	if _, err := g.OfClass(Class(99), 1, "c"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func hasLeafOn(n *subscription.Node, attr string) bool {
+	found := false
+	n.Walk(func(node, _ *subscription.Node) bool {
+		if node.Kind == subscription.NodeLeaf && node.Pred.Attr == attr {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,305 @@
+package auction
+
+import (
+	"fmt"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// Class identifies the three subscription classes of the workload (the
+// paper cites three classes typical for online book auctions [4]).
+type Class int
+
+// Subscription classes.
+const (
+	// ClassTitleWatcher tracks one specific book below a price limit —
+	// small conjunctions, occasionally with a condition/format disjunction.
+	ClassTitleWatcher Class = iota + 1
+	// ClassCategoryHunter browses one or two categories with a price
+	// corridor and a minimum seller rating.
+	ClassCategoryHunter
+	// ClassAuthorCollector follows several authors with price and format
+	// constraints — the most disjunctive shapes.
+	ClassAuthorCollector
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassTitleWatcher:
+		return "title-watcher"
+	case ClassCategoryHunter:
+		return "category-hunter"
+	case ClassAuthorCollector:
+		return "author-collector"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Config parameterizes the workload generator.
+type Config struct {
+	// Seed makes the whole workload deterministic.
+	Seed uint64
+	// Books, Authors, Categories size the catalog universe.
+	Books, Authors, Categories int
+	// TitleSkew, AuthorSkew, CategorySkew are the Zipf exponents of the
+	// respective popularity distributions.
+	TitleSkew, AuthorSkew, CategorySkew float64
+	// ClassWeights gives the relative frequency of the three subscription
+	// classes, in the order title-watcher, category-hunter,
+	// author-collector.
+	ClassWeights [3]float64
+}
+
+// DefaultConfig returns the workload used in the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Books:        10000,
+		Authors:      2000,
+		Categories:   30,
+		TitleSkew:    1.0,
+		AuthorSkew:   1.0,
+		CategorySkew: 0.9,
+		ClassWeights: [3]float64{0.45, 0.25, 0.30},
+	}
+}
+
+var formats = []string{"hardcover", "paperback", "ebook", "audiobook"}
+var conditions = []string{"new", "likenew", "good", "acceptable"}
+
+// Generator produces auction events and subscriptions. Events and
+// subscriptions use independent random streams, so consuming more of one
+// does not perturb the other. Not safe for concurrent use.
+type Generator struct {
+	cfg     Config
+	catalog *catalog
+	evRNG   *dist.RNG
+	subRNG  *dist.RNG
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	total := cfg.ClassWeights[0] + cfg.ClassWeights[1] + cfg.ClassWeights[2]
+	if total <= 0 {
+		return nil, fmt.Errorf("auction: class weights sum to %v", total)
+	}
+	root := dist.New(cfg.Seed)
+	catRNG := root.Split()
+	c, err := newCatalog(catRNG, cfg.Books, cfg.Authors, cfg.Categories,
+		cfg.TitleSkew, cfg.AuthorSkew, cfg.CategorySkew)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{
+		cfg:     cfg,
+		catalog: c,
+		evRNG:   root.Split(),
+		subRNG:  root.Split(),
+	}, nil
+}
+
+// Event generates the next auction event message: a listing/bid snapshot
+// for a popularity-weighted book. Listings usually price at or above the
+// book's base price (bargains are rare), which keeps the workload selective:
+// subscribers hunt below-base prices, so most events interest nobody — the
+// regime in which selective routing pays and Fig 1(e)'s relative load
+// increases are visible.
+func (g *Generator) Event(id uint64) *event.Message {
+	r := g.evRNG
+	b := g.catalog.pickBook()
+	mult := r.Range(0.85, 2.5)
+	price := b.basePrice * mult
+	bids := int64(r.Exponential(4, 50))
+	return event.Build(id).
+		Str("title", b.title).
+		Str("author", b.author).
+		Str("category", b.category).
+		Num("price", price).
+		Num("discount", round2(1-mult)). // share below the book's base price
+		Int("bids", bids).
+		Int("rating", int64(r.Normal(3.4, 1.2, 0, 5))).
+		Str("format", formats[pickWeighted(r, formatWeights)]).
+		Str("condition", conditions[pickWeighted(r, conditionWeights)]).
+		Int("hours_left", int64(r.Range(0, 72))).
+		Flag("signed", r.Bool(0.03)).
+		Msg()
+}
+
+// Events generates n events with ascending IDs starting at startID.
+func (g *Generator) Events(startID uint64, n int) []*event.Message {
+	out := make([]*event.Message, n)
+	for i := range out {
+		out[i] = g.Event(startID + uint64(i))
+	}
+	return out
+}
+
+var formatWeights = []float64{0.35, 0.40, 0.18, 0.07}
+var conditionWeights = []float64{0.25, 0.30, 0.30, 0.15}
+
+func pickWeighted(r *dist.RNG, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := r.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Subscription generates the next subscription with the given ID and
+// subscriber, drawing its class from the configured weights.
+func (g *Generator) Subscription(id uint64, subscriber string) (*subscription.Subscription, error) {
+	w := g.cfg.ClassWeights
+	u := g.subRNG.Float64() * (w[0] + w[1] + w[2])
+	switch {
+	case u < w[0]:
+		return g.OfClass(ClassTitleWatcher, id, subscriber)
+	case u < w[0]+w[1]:
+		return g.OfClass(ClassCategoryHunter, id, subscriber)
+	default:
+		return g.OfClass(ClassAuthorCollector, id, subscriber)
+	}
+}
+
+// OfClass generates a subscription of a specific class.
+func (g *Generator) OfClass(c Class, id uint64, subscriber string) (*subscription.Subscription, error) {
+	var root *subscription.Node
+	switch c {
+	case ClassTitleWatcher:
+		root = g.titleWatcher()
+	case ClassCategoryHunter:
+		root = g.categoryHunter()
+	case ClassAuthorCollector:
+		root = g.authorCollector()
+	default:
+		return nil, fmt.Errorf("auction: unknown class %d", int(c))
+	}
+	return subscription.New(id, subscriber, root)
+}
+
+// titleWatcher: title = T ∧ price <= P [∧ (condition = "new" ∨ condition =
+// "likenew")] [∧ format = F]. Watchers wait for bargains: the limit sits at
+// or below the book's base price.
+func (g *Generator) titleWatcher() *subscription.Node {
+	r := g.subRNG
+	b := g.catalog.bookAt(g.catalog.pickRank())
+	limit := b.basePrice * r.Range(0.5, 1.1)
+	children := []*subscription.Node{
+		subscription.Eq("title", event.String(b.title)),
+		subscription.Le("price", event.Float(round2(limit))),
+	}
+	if r.Bool(0.35) {
+		children = append(children, subscription.Or(
+			subscription.Eq("condition", event.String("new")),
+			subscription.Eq("condition", event.String("likenew")),
+		))
+	}
+	if r.Bool(0.25) {
+		children = append(children, subscription.Eq("format",
+			event.String(formats[pickWeighted(r, formatWeights)])))
+	}
+	return subscription.And(children...)
+}
+
+// categoryHunter: (category = C₁ [∨ category = C₂]) ∧ price <= P ∧ rating >=
+// R [∧ bids <= B].
+func (g *Generator) categoryHunter() *subscription.Node {
+	r := g.subRNG
+	first := g.catalog.bookAt(g.catalog.pickRank()).category
+	var catNode *subscription.Node
+	if r.Bool(0.4) {
+		second := g.catalog.bookAt(g.catalog.pickRank()).category
+		for second == first {
+			second = g.catalog.categories[r.Intn(len(g.catalog.categories))]
+		}
+		catNode = subscription.Or(
+			subscription.Eq("category", event.String(first)),
+			subscription.Eq("category", event.String(second)),
+		)
+	} else {
+		catNode = subscription.Eq("category", event.String(first))
+	}
+	// Hunters look for discounted, well-rated, lightly contested listings.
+	rating := int64(4)
+	switch u := r.Float64(); {
+	case u < 0.1:
+		rating = 2
+	case u < 0.4:
+		rating = 3
+	}
+	children := []*subscription.Node{
+		catNode,
+		subscription.Ge("discount", event.Float(round2(r.Range(0.02, 0.14)))),
+		subscription.Ge("rating", event.Int(rating)),
+	}
+	if r.Bool(0.4) {
+		children = append(children, subscription.Le("price", event.Float(round2(r.Exponential(15, 120)+5))))
+	}
+	if r.Bool(0.6) {
+		children = append(children, subscription.Le("bids", event.Int(int64(r.IntRange(1, 5)))))
+	}
+	return subscription.And(children...)
+}
+
+// authorCollector: (author = A₁ ∨ … ∨ author = Aₖ) ∧ price <= P [∧ (format =
+// F₁ ∨ format = F₂)] [∧ signed = true]. With some probability an author
+// term becomes a nested conjunction (author = Aᵢ ∧ format = Fᵢ): the
+// collector wants a specific format for that author. The nesting gives the
+// workload genuinely arbitrary Boolean shapes — AND below OR — which is
+// where the §3.2 innermost restriction actually bites.
+func (g *Generator) authorCollector() *subscription.Node {
+	r := g.subRNG
+	k := r.IntRange(2, 4)
+	seen := make(map[string]bool, k)
+	authors := make([]*subscription.Node, 0, k)
+	for len(authors) < k {
+		// Collectors have niche tastes: authors drawn uniformly, so the
+		// collecting interest does not pile onto the few bestselling
+		// authors the event stream is dominated by.
+		a := g.catalog.authors[r.Intn(len(g.catalog.authors))]
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		term := subscription.Eq("author", event.String(a))
+		if r.Bool(0.3) {
+			term = subscription.And(term, subscription.Eq("format",
+				event.String(formats[pickWeighted(r, formatWeights)])))
+		}
+		authors = append(authors, term)
+	}
+	children := []*subscription.Node{
+		subscription.Or(authors...),
+		subscription.Le("price", event.Float(round2(r.Exponential(7, 60)+2))),
+	}
+	if r.Bool(0.5) {
+		children = append(children, subscription.Ge("discount", event.Float(round2(r.Range(0, 0.1)))))
+	}
+	if r.Bool(0.7) {
+		f1 := pickWeighted(r, formatWeights)
+		f2 := (f1 + 1 + r.Intn(len(formats)-1)) % len(formats)
+		children = append(children, subscription.Or(
+			subscription.Eq("format", event.String(formats[f1])),
+			subscription.Eq("format", event.String(formats[f2])),
+		))
+	}
+	if r.Bool(0.1) {
+		children = append(children, subscription.Eq("signed", event.Bool(true)))
+	}
+	return subscription.And(children...)
+}
+
+// round2 keeps prices to cents so rendered subscriptions stay readable.
+func round2(f float64) float64 {
+	return float64(int(f*100+0.5)) / 100
+}

@@ -1,0 +1,441 @@
+// Package broker implements a content-based publish/subscribe broker with
+// subscription forwarding (§2.1) and pruning-aware routing tables.
+//
+// The Broker is a sans-IO state machine: handlers take a frame (or a local
+// client action) and return the frames to emit on neighbor links plus the
+// notifications for local subscribers. Transports — the deterministic
+// simulation in internal/simnet and the TCP server in internal/transport —
+// own all goroutines and sockets.
+//
+// Routing and pruning rules, following §2.2:
+//
+//   - A subscription registered by a local client is filtered with its exact
+//     tree and is never pruned (correctness anchor: the last broker on the
+//     path post-filters precisely).
+//   - A subscription learned from a neighbor (non-local) is a routing entry;
+//     the pruning engine may generalize it. Generalization only ever adds
+//     forwarded events, which downstream brokers filter again.
+//   - Events are forwarded once per link that has at least one matching
+//     routing entry whose origin is that link, never back to the link the
+//     event arrived on.
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"dimprune/internal/core"
+	"dimprune/internal/event"
+	"dimprune/internal/filter"
+	"dimprune/internal/metrics"
+	"dimprune/internal/selectivity"
+	"dimprune/internal/subscription"
+	"dimprune/internal/wire"
+)
+
+// LinkID identifies one neighbor connection of a broker. Links are dense
+// indexes assigned by AddLink in order.
+type LinkID int
+
+// LocalLink marks entries owned by this broker's own clients.
+const LocalLink LinkID = -1
+
+// Delivery is one notification for a local subscriber.
+type Delivery struct {
+	Subscriber string
+	SubID      uint64
+	Msg        *event.Message
+}
+
+// Outgoing is one frame to transmit on a neighbor link.
+type Outgoing struct {
+	Link  LinkID
+	Frame wire.Frame
+}
+
+// Config configures a broker.
+type Config struct {
+	// ID names the broker in diagnostics.
+	ID string
+	// Dimension selects the pruning heuristic (default DimNetwork, the
+	// paper's recommendation for general-purpose systems).
+	Dimension core.Dimension
+	// PruneOptions tunes the pruning engine (ablations).
+	PruneOptions core.Options
+	// Model optionally supplies a pre-trained selectivity model; a fresh
+	// empty model is created when nil.
+	Model *selectivity.Model
+	// ObserveEvents updates the selectivity model with every event the
+	// broker filters, so Δ≈sel ratings track the live workload.
+	ObserveEvents bool
+}
+
+// routeEntry is one routing-table row.
+type routeEntry struct {
+	origin   LinkID
+	original *subscription.Subscription // as registered/received; never pruned
+}
+
+// Broker routes events among local clients and neighbor brokers.
+// It is not safe for concurrent use; transports serialize access.
+type Broker struct {
+	id    string
+	links int
+
+	table   *filter.Engine
+	model   *selectivity.Model
+	pruner  *core.Engine
+	entries map[uint64]*routeEntry
+	observe bool
+
+	counters metrics.Counters
+
+	// scratch buffers reused across events.
+	matchLinks []bool
+	deliveries []Delivery
+}
+
+// New creates a broker.
+func New(cfg Config) (*Broker, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("broker: empty ID")
+	}
+	dim := cfg.Dimension
+	if dim == 0 {
+		dim = core.DimNetwork
+	}
+	model := cfg.Model
+	if model == nil {
+		model = selectivity.NewModel()
+	}
+	pruner, err := core.NewEngine(dim, model, cfg.PruneOptions)
+	if err != nil {
+		return nil, fmt.Errorf("broker %s: %w", cfg.ID, err)
+	}
+	return &Broker{
+		id:      cfg.ID,
+		table:   filter.New(),
+		model:   model,
+		pruner:  pruner,
+		entries: make(map[uint64]*routeEntry),
+		observe: cfg.ObserveEvents,
+	}, nil
+}
+
+// ID returns the broker's name.
+func (b *Broker) ID() string { return b.id }
+
+// Model returns the broker's selectivity model (shared with the pruner).
+func (b *Broker) Model() *selectivity.Model { return b.model }
+
+// AddLink registers a neighbor connection and returns its LinkID. Topology
+// is fixed before traffic starts (acyclic overlays per §2.1).
+func (b *Broker) AddLink() LinkID {
+	id := LinkID(b.links)
+	b.links++
+	b.matchLinks = append(b.matchLinks, false)
+	return id
+}
+
+// NumLinks returns the number of neighbor links.
+func (b *Broker) NumLinks() int { return b.links }
+
+// SubscribeLocal registers a subscription from a local client and returns
+// the subscribe frames to forward to every neighbor.
+func (b *Broker) SubscribeLocal(s *subscription.Subscription) ([]Outgoing, error) {
+	return b.addSubscription(s, LocalLink)
+}
+
+// HandleSubscribe processes a subscription forwarded by a neighbor: it
+// becomes a prunable routing entry and is forwarded to all other neighbors.
+func (b *Broker) HandleSubscribe(from LinkID, s *subscription.Subscription) ([]Outgoing, error) {
+	if err := b.checkLink(from); err != nil {
+		return nil, err
+	}
+	return b.addSubscription(s, from)
+}
+
+func (b *Broker) addSubscription(s *subscription.Subscription, origin LinkID) ([]Outgoing, error) {
+	if _, dup := b.entries[s.ID]; dup {
+		return nil, fmt.Errorf("broker %s: subscription %d already present", b.id, s.ID)
+	}
+	if err := b.table.Register(s); err != nil {
+		return nil, fmt.Errorf("broker %s: %w", b.id, err)
+	}
+	b.entries[s.ID] = &routeEntry{origin: origin, original: s}
+	if origin != LocalLink {
+		if err := b.pruner.Register(s); err != nil {
+			return nil, fmt.Errorf("broker %s: pruner: %w", b.id, err)
+		}
+	}
+	return b.forwardControl(wire.SubscribeFrame(s), origin), nil
+}
+
+// UnsubscribeLocal retracts a local client's subscription.
+func (b *Broker) UnsubscribeLocal(id uint64) ([]Outgoing, error) {
+	return b.removeSubscription(id, LocalLink)
+}
+
+// HandleUnsubscribe processes a retraction forwarded by a neighbor.
+func (b *Broker) HandleUnsubscribe(from LinkID, id uint64) ([]Outgoing, error) {
+	if err := b.checkLink(from); err != nil {
+		return nil, err
+	}
+	return b.removeSubscription(id, from)
+}
+
+func (b *Broker) removeSubscription(id uint64, origin LinkID) ([]Outgoing, error) {
+	ent, ok := b.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("broker %s: unknown subscription %d", b.id, id)
+	}
+	if ent.origin != origin {
+		return nil, fmt.Errorf("broker %s: unsubscribe for %d from link %d, registered via %d",
+			b.id, id, origin, ent.origin)
+	}
+	b.table.Unregister(id)
+	if ent.origin != LocalLink {
+		b.pruner.Unregister(id)
+	}
+	delete(b.entries, id)
+	return b.forwardControl(wire.UnsubscribeFrame(id), origin), nil
+}
+
+// forwardControl emits a control frame on every link except the origin.
+func (b *Broker) forwardControl(f wire.Frame, except LinkID) []Outgoing {
+	if b.links == 0 {
+		return nil
+	}
+	out := make([]Outgoing, 0, b.links)
+	for l := LinkID(0); l < LinkID(b.links); l++ {
+		if l == except {
+			continue
+		}
+		out = append(out, Outgoing{Link: l, Frame: f})
+		b.counters.ControlSent++
+		b.counters.BytesSent += uint64(wire.FrameSize(f))
+	}
+	return out
+}
+
+// PublishLocal routes an event injected by a local client.
+func (b *Broker) PublishLocal(m *event.Message) ([]Outgoing, []Delivery) {
+	b.counters.EventsPublished++
+	return b.route(m, LocalLink)
+}
+
+// HandlePublish routes an event forwarded by a neighbor (post-filtering:
+// the event is matched again against this broker's routing table).
+func (b *Broker) HandlePublish(from LinkID, m *event.Message) ([]Outgoing, []Delivery, error) {
+	if err := b.checkLink(from); err != nil {
+		return nil, nil, err
+	}
+	out, del := b.route(m, from)
+	return out, del, nil
+}
+
+// route matches the event against the routing table; matching local entries
+// produce deliveries, matching remote entries mark their origin link for one
+// forwarded copy. The link the event arrived on never gets a copy back.
+func (b *Broker) route(m *event.Message, arrived LinkID) ([]Outgoing, []Delivery) {
+	if b.observe {
+		b.model.Observe(m)
+	}
+	for i := range b.matchLinks {
+		b.matchLinks[i] = false
+	}
+	b.deliveries = b.deliveries[:0]
+
+	start := time.Now()
+	matched := 0
+	b.table.MatchVisit(m, func(s *subscription.Subscription) {
+		matched++
+		ent := b.entries[s.ID]
+		if ent == nil {
+			return // unreachable: table and entries change together
+		}
+		if ent.origin == LocalLink {
+			// Deliver exactly: local entries are never pruned, so a table
+			// match is a true match.
+			b.deliveries = append(b.deliveries, Delivery{
+				Subscriber: s.Subscriber,
+				SubID:      s.ID,
+				Msg:        m,
+			})
+			return
+		}
+		if ent.origin != arrived {
+			b.matchLinks[ent.origin] = true
+		}
+	})
+	b.counters.FilterTime += time.Since(start)
+	b.counters.EventsFiltered++
+	b.counters.MatchedEntries += uint64(matched)
+	b.counters.Deliveries += uint64(len(b.deliveries))
+
+	var out []Outgoing
+	if b.links > 0 {
+		f := wire.PublishFrame(m)
+		size := uint64(wire.FrameSize(f))
+		for l := LinkID(0); l < LinkID(b.links); l++ {
+			if b.matchLinks[l] {
+				out = append(out, Outgoing{Link: l, Frame: f})
+				b.counters.EventsForwarded++
+				b.counters.BytesSent += size
+			}
+		}
+	}
+	dels := make([]Delivery, len(b.deliveries))
+	copy(dels, b.deliveries)
+	return out, dels
+}
+
+// MatchEntries matches m against every routing-table entry — local and
+// non-local, pruned or not — invoking fn per match with the entry's ID and
+// subscriber. It updates the filtering counters and (when configured) the
+// selectivity model, but makes no routing decision; single-broker
+// deployments use it as their dispatch primitive.
+func (b *Broker) MatchEntries(m *event.Message, fn func(subID uint64, subscriber string)) {
+	if b.observe {
+		b.model.Observe(m)
+	}
+	start := time.Now()
+	matched := 0
+	b.table.MatchVisit(m, func(s *subscription.Subscription) {
+		matched++
+		fn(s.ID, s.Subscriber)
+	})
+	b.counters.FilterTime += time.Since(start)
+	b.counters.EventsFiltered++
+	b.counters.MatchedEntries += uint64(matched)
+}
+
+// HandleFrame dispatches any protocol frame from a neighbor.
+func (b *Broker) HandleFrame(from LinkID, f wire.Frame) ([]Outgoing, []Delivery, error) {
+	switch f.Type {
+	case wire.FrameSubscribe:
+		out, err := b.HandleSubscribe(from, f.Sub)
+		return out, nil, err
+	case wire.FrameUnsubscribe:
+		out, err := b.HandleUnsubscribe(from, f.SubID)
+		return out, nil, err
+	case wire.FramePublish:
+		return b.HandlePublish(from, f.Msg)
+	default:
+		return nil, nil, fmt.Errorf("broker %s: unknown frame type %d", b.id, f.Type)
+	}
+}
+
+func (b *Broker) checkLink(l LinkID) error {
+	if l < 0 || int(l) >= b.links {
+		return fmt.Errorf("broker %s: invalid link %d (have %d)", b.id, l, b.links)
+	}
+	return nil
+}
+
+// Prune applies up to n pruning steps to the non-local routing entries,
+// updating the filtering table in place, and returns the number performed.
+func (b *Broker) Prune(n int) int {
+	done := 0
+	for done < n {
+		op, ok := b.pruner.Step()
+		if !ok {
+			break
+		}
+		// The entry may have been unsubscribed between rating and stepping;
+		// pruner.Unregister prevents that, so Update must succeed.
+		if err := b.table.Update(op.Subscription); err != nil {
+			panic(fmt.Sprintf("broker %s: pruned unknown subscription: %v", b.id, err))
+		}
+		done++
+	}
+	return done
+}
+
+// PruneRemaining reports how many subscriptions still support a pruning.
+func (b *Broker) PruneRemaining() int { return b.pruner.Remaining() }
+
+// ExhaustPrunings applies prunings until none remain and returns the count.
+func (b *Broker) ExhaustPrunings() int {
+	n := 0
+	for {
+		done := b.Prune(1 << 20)
+		n += done
+		if done == 0 {
+			return n
+		}
+	}
+}
+
+// SetDimension switches the pruning dimension at runtime (adaptive control).
+func (b *Broker) SetDimension(dim core.Dimension) error {
+	return b.pruner.SetDimension(dim)
+}
+
+// Dimension returns the active pruning dimension.
+func (b *Broker) Dimension() core.Dimension { return b.pruner.Dimension() }
+
+// Stats summarizes the broker's state and counters.
+type Stats struct {
+	ID            string
+	LocalSubs     int
+	RemoteSubs    int
+	Associations  int
+	Predicates    int
+	PruningsDone  int
+	PruneRemained int
+	Counters      metrics.Counters
+}
+
+// Stats returns a snapshot of state and counters.
+func (b *Broker) Stats() Stats {
+	local := 0
+	for _, ent := range b.entries {
+		if ent.origin == LocalLink {
+			local++
+		}
+	}
+	return Stats{
+		ID:            b.id,
+		LocalSubs:     local,
+		RemoteSubs:    len(b.entries) - local,
+		Associations:  b.table.Associations(),
+		Predicates:    b.table.NumPredicates(),
+		PruningsDone:  b.pruner.Steps(),
+		PruneRemained: b.pruner.Remaining(),
+		Counters:      b.counters,
+	}
+}
+
+// ResetCounters zeroes the measurement counters (state is untouched); the
+// experiment harness calls this between the warm-up and measured phases.
+func (b *Broker) ResetCounters() { b.counters = metrics.Counters{} }
+
+// CurrentEntry returns the current (possibly pruned) routing entry and its
+// original subscription.
+func (b *Broker) CurrentEntry(id uint64) (current, original *subscription.Subscription, ok bool) {
+	ent, found := b.entries[id]
+	if !found {
+		return nil, nil, false
+	}
+	cur, found := b.table.Subscription(id)
+	if !found {
+		return nil, nil, false
+	}
+	return cur, ent.original, true
+}
+
+// NonLocalAssociations counts predicate/subscription associations of
+// non-local entries only — the ordinate of Fig 1(f).
+func (b *Broker) NonLocalAssociations() int {
+	n := 0
+	for id, ent := range b.entries {
+		if ent.origin == LocalLink {
+			continue
+		}
+		if cur, ok := b.table.Subscription(id); ok {
+			n += cur.NumLeaves()
+		}
+	}
+	return n
+}

@@ -1,0 +1,129 @@
+package broker
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"dimprune/internal/wire"
+)
+
+// Routing-table snapshots let a broker restart without replaying the
+// subscription history: every entry is persisted with its origin link, its
+// original tree, and its current (possibly pruned) tree, so heuristic
+// anchors and applied prunings both survive.
+//
+// Format: magic, version, entry count, then per entry
+// [origin+1 uvarint][original subscription][current subscription]. Counters
+// and the learned selectivity model are deliberately not persisted: both
+// are measurements, not state needed for correct routing.
+
+var snapshotMagic = [4]byte{'d', 'p', 's', '1'}
+
+// ErrBadSnapshot reports a malformed or incompatible snapshot stream.
+var ErrBadSnapshot = errors.New("broker: bad snapshot")
+
+// WriteSnapshot serializes the routing table to w. Entries are written in
+// ascending subscription-ID order so snapshots of equal state are
+// byte-identical.
+func (b *Broker) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	buf := binary.AppendUvarint(nil, uint64(len(b.entries)))
+
+	ids := make([]uint64, 0, len(b.entries))
+	for id := range b.entries {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	for _, id := range ids {
+		ent := b.entries[id]
+		cur, ok := b.table.Subscription(id)
+		if !ok {
+			return fmt.Errorf("broker %s: entry %d missing from table", b.id, id)
+		}
+		buf = binary.AppendUvarint(buf, uint64(ent.origin+1)) // LocalLink (-1) -> 0
+		buf = wire.AppendSubscription(buf, ent.original)
+		buf = wire.AppendSubscription(buf, cur)
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot loads a snapshot into a freshly constructed broker. The
+// broker must have no subscriptions yet; links must already be added (the
+// snapshot references link IDs). Pruning state (anchors and applied
+// prunings) is reconstructed exactly.
+func (b *Broker) ReadSnapshot(r io.Reader) error {
+	if len(b.entries) != 0 {
+		return fmt.Errorf("broker %s: snapshot restore into non-empty broker", b.id)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if len(data) < len(snapshotMagic) || string(data[:4]) != string(snapshotMagic[:]) {
+		return fmt.Errorf("%w: missing magic", ErrBadSnapshot)
+	}
+	data = data[4:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("%w: truncated count", ErrBadSnapshot)
+	}
+	data = data[n:]
+	if count > uint64(len(data)) {
+		return fmt.Errorf("%w: implausible entry count %d", ErrBadSnapshot, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		rawOrigin, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("%w: truncated origin in entry %d", ErrBadSnapshot, i)
+		}
+		data = data[n:]
+		origin := LinkID(rawOrigin) - 1
+		original, n, err := wire.DecodeSubscription(data)
+		if err != nil {
+			return fmt.Errorf("%w: entry %d original: %v", ErrBadSnapshot, i, err)
+		}
+		data = data[n:]
+		current, n, err := wire.DecodeSubscription(data)
+		if err != nil {
+			return fmt.Errorf("%w: entry %d current: %v", ErrBadSnapshot, i, err)
+		}
+		data = data[n:]
+
+		if origin != LocalLink {
+			if err := b.checkLink(origin); err != nil {
+				return fmt.Errorf("%w: entry %d: %v", ErrBadSnapshot, i, err)
+			}
+		}
+		if original.ID != current.ID {
+			return fmt.Errorf("%w: entry %d: ID mismatch %d vs %d",
+				ErrBadSnapshot, i, original.ID, current.ID)
+		}
+		if err := b.table.Register(current); err != nil {
+			return fmt.Errorf("broker %s: restore: %w", b.id, err)
+		}
+		b.entries[current.ID] = &routeEntry{origin: origin, original: original}
+		if origin != LocalLink {
+			if err := b.pruner.RegisterAt(original, current); err != nil {
+				return fmt.Errorf("broker %s: restore pruner: %w", b.id, err)
+			}
+		}
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(data))
+	}
+	return nil
+}
+
+func sortIDs(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,183 @@
+package broker
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dimprune/internal/event"
+)
+
+// buildSnapshotSource makes a broker with local and remote entries, a
+// trained model, and some applied prunings.
+func buildSnapshotSource(t *testing.T) *Broker {
+	t.Helper()
+	b := newBroker(t, "src")
+	b.AddLink()
+	b.AddLink()
+	for i := 0; i < 800; i++ {
+		b.Model().Observe(event.Build(uint64(i)).
+			Int("price", int64(i%100)).
+			Str("category", string(rune('a'+i%3))).
+			Msg())
+	}
+	if _, err := b.SubscribeLocal(mustSub(t, 1, "alice", `price <= 10 and category = "a"`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(0, mustSub(t, 2, "r0", `price <= 95 and category = "a"`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(1, mustSub(t, 3, "r1", `price <= 50 and category = "b" and price >= 10`)); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Prune(1); n != 1 {
+		t.Fatalf("Prune = %d", n)
+	}
+	return b
+}
+
+// restore round-trips the snapshot into a fresh broker with equal links and
+// a matching model.
+func restore(t *testing.T, src *Broker) *Broker {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(Config{ID: "dst", Model: src.Model()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.AddLink()
+	dst.AddLink()
+	if err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func TestSnapshotRoundTripState(t *testing.T) {
+	src := buildSnapshotSource(t)
+	dst := restore(t, src)
+
+	srcStats, dstStats := src.Stats(), dst.Stats()
+	if dstStats.LocalSubs != srcStats.LocalSubs || dstStats.RemoteSubs != srcStats.RemoteSubs {
+		t.Errorf("subs: src %d/%d dst %d/%d",
+			srcStats.LocalSubs, srcStats.RemoteSubs, dstStats.LocalSubs, dstStats.RemoteSubs)
+	}
+	if dstStats.Associations != srcStats.Associations {
+		t.Errorf("associations: src %d dst %d", srcStats.Associations, dstStats.Associations)
+	}
+	// Pruned trees and originals survive.
+	for id := uint64(1); id <= 3; id++ {
+		sc, so, ok1 := src.CurrentEntry(id)
+		dc, do, ok2 := dst.CurrentEntry(id)
+		if !ok1 || !ok2 {
+			t.Fatalf("entry %d lost", id)
+		}
+		if !sc.Root.Equal(dc.Root) || !so.Root.Equal(do.Root) {
+			t.Errorf("entry %d trees differ after restore", id)
+		}
+	}
+}
+
+func TestSnapshotRoutingEquivalence(t *testing.T) {
+	src := buildSnapshotSource(t)
+	dst := restore(t, src)
+	for i := 0; i < 200; i++ {
+		m := event.Build(uint64(5000+i)).
+			Int("price", int64(i%120)).
+			Str("category", string(rune('a'+i%4))).
+			Msg()
+		so, sd := src.PublishLocal(m)
+		do, dd := dst.PublishLocal(m)
+		if len(so) != len(do) || len(sd) != len(dd) {
+			t.Fatalf("event %s: src routed %d/%d, dst %d/%d", m, len(so), len(sd), len(do), len(dd))
+		}
+	}
+}
+
+func TestSnapshotPruningContinues(t *testing.T) {
+	src := buildSnapshotSource(t)
+	dst := restore(t, src)
+	// Both brokers must agree on the remaining pruning sequence.
+	for {
+		n1, n2 := src.Prune(1), dst.Prune(1)
+		if n1 != n2 {
+			t.Fatalf("pruning diverged: src %d dst %d", n1, n2)
+		}
+		if n1 == 0 {
+			break
+		}
+		for id := uint64(2); id <= 3; id++ {
+			sc, _, _ := src.CurrentEntry(id)
+			dc, _, _ := dst.CurrentEntry(id)
+			if !sc.Root.Equal(dc.Root) {
+				t.Fatalf("entry %d diverged after restored pruning", id)
+			}
+		}
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	src := buildSnapshotSource(t)
+	var a, b bytes.Buffer
+	if err := src.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("snapshots of identical state differ")
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	src := buildSnapshotSource(t)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	fresh := func(links int) *Broker {
+		b := newBroker(t, "x")
+		for i := 0; i < links; i++ {
+			b.AddLink()
+		}
+		return b
+	}
+
+	// Restore into non-empty broker.
+	nonEmpty := fresh(2)
+	nonEmpty.SubscribeLocal(mustSub(t, 9, "z", `a = 1`))
+	if err := nonEmpty.ReadSnapshot(bytes.NewReader(snap)); err == nil {
+		t.Error("restore into non-empty broker accepted")
+	}
+
+	// Too few links for the snapshot's origins.
+	if err := fresh(1).ReadSnapshot(bytes.NewReader(snap)); err == nil {
+		t.Error("snapshot with out-of-range link accepted")
+	}
+
+	// Corrupt magic.
+	bad := append([]byte{}, snap...)
+	bad[0] ^= 0xff
+	if err := fresh(2).ReadSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("corrupt magic error = %v", err)
+	}
+
+	// Truncations at every boundary must error, never panic.
+	for cut := 4; cut < len(snap); cut += 7 {
+		if err := fresh(2).ReadSnapshot(bytes.NewReader(snap[:cut])); err == nil {
+			t.Errorf("truncated snapshot (%d bytes) accepted", cut)
+		}
+	}
+
+	// Trailing garbage.
+	withTrailer := append(append([]byte{}, snap...), 0xde, 0xad)
+	if err := fresh(2).ReadSnapshot(bytes.NewReader(withTrailer)); err == nil {
+		t.Error("snapshot with trailing bytes accepted")
+	}
+}

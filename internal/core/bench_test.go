@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dimprune/internal/auction"
+	"dimprune/internal/selectivity"
+)
+
+// benchModel trains a selectivity model on the auction event stream.
+func benchModel(b *testing.B) *selectivity.Model {
+	b.Helper()
+	gen, err := auction.NewGenerator(auction.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := selectivity.NewModel()
+	for _, ev := range gen.Events(1, 4000) {
+		m.Observe(ev)
+	}
+	return m
+}
+
+func BenchmarkRegisterRate(b *testing.B) {
+	model := benchModel(b)
+	gen, _ := auction.NewGenerator(auction.DefaultConfig())
+	eng, err := NewEngine(DimNetwork, model, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := gen.Subscription(uint64(i+1), "c")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Register(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStepRate(b *testing.B) {
+	for _, dim := range []Dimension{DimNetwork, DimThroughput, DimMemory} {
+		b.Run(dim.String(), func(b *testing.B) {
+			model := benchModel(b)
+			gen, _ := auction.NewGenerator(auction.DefaultConfig())
+			eng, err := NewEngine(dim, model, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Enough subscriptions that b.N steps never exhaust.
+			n := b.N/2 + 1000
+			for i := 0; i < n; i++ {
+				s, err := gen.Subscription(uint64(i+1), fmt.Sprintf("c%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Register(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := eng.Step(); !ok {
+					b.Fatal("engine exhausted during benchmark")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"testing"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+	"dimprune/internal/selectivity"
+	"dimprune/internal/subscription"
+)
+
+// trainedModel returns a model over events with price uniform on [0,100),
+// category ∈ {a:50%, b:30%, c:20%}, rating uniform on [0,5).
+func trainedModel(t testing.TB) *selectivity.Model {
+	t.Helper()
+	m := selectivity.NewModel()
+	r := dist.New(1)
+	for i := 0; i < 10000; i++ {
+		b := event.Build(uint64(i)).
+			Int("price", int64(r.Intn(100))).
+			Int("rating", int64(r.Intn(5)))
+		u := r.Float64()
+		switch {
+		case u < 0.5:
+			b.Str("category", "a")
+		case u < 0.8:
+			b.Str("category", "b")
+		default:
+			b.Str("category", "c")
+		}
+		m.Observe(b.Msg())
+	}
+	return m
+}
+
+func mustSub(t testing.TB, id uint64, expr string) *subscription.Subscription {
+	t.Helper()
+	s, err := subscription.New(id, "client", subscription.MustParse(expr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newEngine(t testing.TB, dim Dimension, opts Options) *Engine {
+	t.Helper()
+	e, err := NewEngine(dim, trainedModel(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Dimension(0), selectivity.NewModel(), Options{}); err == nil {
+		t.Error("invalid dimension accepted")
+	}
+	if _, err := NewEngine(DimNetwork, nil, Options{}); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestDimensionString(t *testing.T) {
+	if DimNetwork.String() != "sel" || DimMemory.String() != "mem" || DimThroughput.String() != "eff" {
+		t.Error("dimension labels changed")
+	}
+	if Dimension(9).Valid() {
+		t.Error("unknown dimension reported valid")
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	e := newEngine(t, DimNetwork, Options{})
+	if err := e.Register(mustSub(t, 1, `price <= 20 and category = "a"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(mustSub(t, 1, `price <= 30`)); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+func TestStepOnExhaustedEngine(t *testing.T) {
+	e := newEngine(t, DimNetwork, Options{})
+	if _, ok := e.Step(); ok {
+		t.Error("empty engine stepped")
+	}
+	// A single-predicate subscription supports no pruning.
+	e.Register(mustSub(t, 1, `price <= 20`))
+	if e.Remaining() != 0 {
+		t.Error("unprunable subscription queued")
+	}
+	if _, ok := e.Step(); ok {
+		t.Error("engine with only unprunable subscriptions stepped")
+	}
+}
+
+func TestStepAppliesMostEffectiveNetworkPruning(t *testing.T) {
+	e := newEngine(t, DimNetwork, Options{})
+	// price <= 95 matches ~95% of events: pruning it degrades selectivity
+	// only ~5%. category = "c" matches 20%: pruning it degrades a lot.
+	e.Register(mustSub(t, 1, `price <= 95 and category = "c"`))
+	op, ok := e.Step()
+	if !ok {
+		t.Fatal("no pruning available")
+	}
+	// The cheap pruning removes the price predicate, keeping the category.
+	want := `category = "c"`
+	if got := op.Subscription.String(); got != want {
+		t.Errorf("pruned to %q, want %q", got, want)
+	}
+	if op.Rating.Sel > 0.1 {
+		t.Errorf("selected pruning has degradation %v, want the small one", op.Rating.Sel)
+	}
+	if !op.Exhausted {
+		t.Error("single remaining predicate should be exhausted")
+	}
+	if op.RemovedLeaves != 1 {
+		t.Errorf("RemovedLeaves = %d, want 1", op.RemovedLeaves)
+	}
+}
+
+func TestNetworkOrderAcrossSubscriptions(t *testing.T) {
+	e := newEngine(t, DimNetwork, Options{})
+	// Sub 1's cheapest pruning costs ~5% degradation, sub 2's ~1%.
+	e.Register(mustSub(t, 1, `price <= 95 and category = "c"`))
+	e.Register(mustSub(t, 2, `price <= 99 and category = "c"`))
+	op, _ := e.Step()
+	if op.Subscription.ID != 2 {
+		t.Errorf("first pruning hit subscription %d, want 2 (cheaper degradation)", op.Subscription.ID)
+	}
+}
+
+func TestMemoryDimensionPrefersLargestReduction(t *testing.T) {
+	e := newEngine(t, DimMemory, Options{})
+	// Sub 1 has a small predicate to cut; sub 2 carries a fat string
+	// predicate (longer attribute+value) — memory-based pruning goes there.
+	e.Register(mustSub(t, 1, `price <= 20 and rating >= 4`))
+	e.Register(mustSub(t, 2, `price <= 20 and very_long_attribute_name = "a very long string value indeed"`))
+	op, _ := e.Step()
+	if op.Subscription.ID != 2 {
+		t.Errorf("memory pruning hit subscription %d, want 2", op.Subscription.ID)
+	}
+	if op.Rating.Mem <= 0 {
+		t.Errorf("memory improvement %d, want > 0", op.Rating.Mem)
+	}
+}
+
+func TestMemoryInnermostRestrictionDefault(t *testing.T) {
+	// Under DimMemory the innermost restriction applies by default: the OR
+	// subtree (largest) must not be pruned while prunings exist inside it.
+	e := newEngine(t, DimMemory, Options{})
+	e.Register(mustSub(t, 1, `price <= 20 and ((category = "a" and rating >= 1) or (category = "b" and rating >= 2))`))
+	op, _ := e.Step()
+	// The whole OR has the biggest MemSize; innermost forbids it. The first
+	// pruning must be a leaf inside the OR or the price leaf.
+	if op.RemovedLeaves != 1 {
+		t.Errorf("innermost-restricted step removed %d leaves, want 1", op.RemovedLeaves)
+	}
+}
+
+func TestMemoryWithoutInnermostCutsSubtrees(t *testing.T) {
+	e := newEngine(t, DimMemory, Options{Innermost: InnermostOff})
+	e.Register(mustSub(t, 1, `price <= 20 and ((category = "a" and rating >= 1) or (category = "b" and rating >= 2))`))
+	op, _ := e.Step()
+	if op.RemovedLeaves != 4 {
+		t.Errorf("unrestricted memory pruning removed %d leaves, want the whole OR (4)", op.RemovedLeaves)
+	}
+}
+
+func TestThroughputDimensionPreservesPMin(t *testing.T) {
+	e := newEngine(t, DimThroughput, Options{})
+	// Pruning a leaf out of the OR keeps pmin at 2 (Δeff = 0 — the OR min
+	// branch...) while pruning a top-level AND leaf drops pmin to 1.
+	e.Register(mustSub(t, 1, `price <= 50 and (category = "a" or (category = "b" and rating >= 3))`))
+	orig := mustSub(t, 1, `price <= 50 and (category = "a" or (category = "b" and rating >= 3))`)
+	op, _ := e.Step()
+	if op.Subscription.PMin() < orig.PMin() {
+		t.Errorf("throughput pruning dropped pmin from %d to %d with a pmin-neutral option available",
+			orig.PMin(), op.Subscription.PMin())
+	}
+	if op.Rating.Eff != 0 {
+		t.Errorf("Eff = %d, want 0", op.Rating.Eff)
+	}
+}
+
+func TestEffAnchoredAtOriginal(t *testing.T) {
+	// After several prunings, Δ≈eff still measures pmin distance to the
+	// original subscription, not the previous tree.
+	e := newEngine(t, DimThroughput, Options{})
+	e.Register(mustSub(t, 1, `a = 1 and b = 2 and c = 3 and price <= 50`))
+	origPMin := 4
+	for {
+		op, ok := e.Step()
+		if !ok {
+			break
+		}
+		if want := op.Subscription.PMin() - origPMin; op.Rating.Eff != want {
+			t.Errorf("Eff = %d, want %d (anchored at original pmin %d)", op.Rating.Eff, want, origPMin)
+		}
+	}
+}
+
+func TestSelAnchoredAtOriginal(t *testing.T) {
+	e := newEngine(t, DimNetwork, Options{})
+	model := trainedModel(t)
+	s := mustSub(t, 1, `price <= 50 and category = "a" and rating >= 2`)
+	origEst := model.Estimate(s.Root)
+	e.Register(s)
+	var lastSel float64
+	for {
+		op, ok := e.Step()
+		if !ok {
+			break
+		}
+		want := selectivity.Degradation(origEst, model.Estimate(op.Subscription.Root))
+		if diff := op.Rating.Sel - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("Sel = %v, want %v (anchored at original)", op.Rating.Sel, want)
+		}
+		if op.Rating.Sel < lastSel-1e-9 {
+			t.Errorf("anchored degradation decreased: %v after %v", op.Rating.Sel, lastSel)
+		}
+		lastSel = op.Rating.Sel
+	}
+}
+
+func TestUnregisterRemovesFromQueue(t *testing.T) {
+	e := newEngine(t, DimNetwork, Options{})
+	e.Register(mustSub(t, 1, `price <= 95 and category = "c"`))
+	e.Register(mustSub(t, 2, `price <= 99 and category = "c"`))
+	if !e.Unregister(2) {
+		t.Fatal("unregister failed")
+	}
+	if e.Unregister(2) {
+		t.Error("double unregister succeeded")
+	}
+	op, ok := e.Step()
+	if !ok || op.Subscription.ID != 1 {
+		t.Errorf("step after unregister = %+v, %v; want subscription 1", op, ok)
+	}
+	if e.Len() != 1 {
+		t.Errorf("Len = %d, want 1", e.Len())
+	}
+}
+
+func TestExhaustTerminatesAndCounts(t *testing.T) {
+	e := newEngine(t, DimNetwork, Options{})
+	r := dist.New(7)
+	total := 0
+	for id := uint64(1); id <= 100; id++ {
+		root := randomTree(r, 3).Simplify()
+		s, err := subscription.New(id, "c", root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Register(s)
+	}
+	n := e.Exhaust()
+	if n <= 0 {
+		t.Fatal("exhaust performed no prunings")
+	}
+	total += n
+	// Invariant 7: all current trees are AND-free.
+	for id := uint64(1); id <= 100; id++ {
+		cur, ok := e.Current(id)
+		if !ok {
+			t.Fatalf("subscription %d lost", id)
+		}
+		if subscription.ContainsAnd(cur.Root) {
+			t.Errorf("subscription %d not exhausted: %s", id, cur)
+		}
+	}
+	if _, ok := e.Step(); ok {
+		t.Error("Step succeeded after Exhaust")
+	}
+	if e.Steps() != total {
+		t.Errorf("Steps = %d, want %d", e.Steps(), total)
+	}
+}
+
+func TestEveryStepGeneralizes(t *testing.T) {
+	// End-to-end generalization: each Step's output matches a superset of
+	// the events its predecessor matched.
+	for _, dim := range []Dimension{DimNetwork, DimMemory, DimThroughput} {
+		t.Run(dim.String(), func(t *testing.T) {
+			e := newEngine(t, dim, Options{})
+			r := dist.New(11)
+			prev := map[uint64]*subscription.Subscription{}
+			for id := uint64(1); id <= 60; id++ {
+				s, err := subscription.New(id, "c", randomTree(r, 3).Simplify())
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.Register(s)
+				prev[id] = s
+			}
+			for {
+				op, ok := e.Step()
+				if !ok {
+					break
+				}
+				before := prev[op.Subscription.ID]
+				for i := 0; i < 25; i++ {
+					m := randomMessage(r, uint64(i))
+					if before.Matches(m) && !op.Subscription.Matches(m) {
+						t.Fatalf("step specialized %d: %s -> %s on %s",
+							op.Subscription.ID, before, op.Subscription, m)
+					}
+				}
+				prev[op.Subscription.ID] = op.Subscription
+			}
+		})
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	run := func() []uint64 {
+		e := newEngine(t, DimNetwork, Options{})
+		r := dist.New(13)
+		for id := uint64(1); id <= 50; id++ {
+			s, _ := subscription.New(id, "c", randomTree(r, 3).Simplify())
+			e.Register(s)
+		}
+		var order []uint64
+		for {
+			op, ok := e.Step()
+			if !ok {
+				return order
+			}
+			order = append(order, op.Subscription.ID)
+		}
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pruning order diverged at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSetDimensionRebuilds(t *testing.T) {
+	e := newEngine(t, DimNetwork, Options{})
+	e.Register(mustSub(t, 1, `price <= 20 and very_long_attribute_name = "a very long string value indeed"`))
+	e.Register(mustSub(t, 2, `price <= 99 and category = "c"`))
+	if err := e.SetDimension(Dimension(42)); err == nil {
+		t.Error("invalid dimension accepted")
+	}
+	if err := e.SetDimension(DimMemory); err != nil {
+		t.Fatal(err)
+	}
+	op, _ := e.Step()
+	if op.Subscription.ID != 1 {
+		t.Errorf("after switching to memory, first pruning hit %d, want 1", op.Subscription.ID)
+	}
+	// Switching to the same dimension is a no-op.
+	if err := e.SetDimension(DimMemory); err != nil {
+		t.Fatal(err)
+	}
+	if e.Remaining() == 0 {
+		t.Error("queue lost on no-op dimension switch")
+	}
+}
+
+func TestCompareTieBreakOrders(t *testing.T) {
+	a := Rating{Sel: 0.1, Mem: 10, Eff: -1}
+	b := Rating{Sel: 0.1, Mem: 20, Eff: -1}
+	// Network order (sel, eff, mem): tie on sel and eff, mem decides.
+	if Compare(a, b, DimNetwork, true) <= 0 {
+		t.Error("network tie-break should prefer larger mem")
+	}
+	// With tie-break disabled the ratings are incomparable.
+	if Compare(a, b, DimNetwork, false) != 0 {
+		t.Error("tie-break disabled but components beyond primary consulted")
+	}
+	// Throughput order (eff, sel, mem).
+	c := Rating{Sel: 0.2, Mem: 5, Eff: 0}
+	d := Rating{Sel: 0.1, Mem: 5, Eff: -2}
+	if Compare(c, d, DimThroughput, true) >= 0 {
+		t.Error("throughput order must rank higher eff first")
+	}
+	// Memory order (mem, sel, eff).
+	if Compare(a, b, DimMemory, true) <= 0 {
+		t.Error("memory order must rank larger mem first")
+	}
+}
+
+func TestStepsAgainstFilterEngineConsistency(t *testing.T) {
+	// Applying engine output to a filter engine keeps matching a superset of
+	// the original subscription's matches (routing correctness upper layer).
+	model := trainedModel(t)
+	eng, err := NewEngine(DimNetwork, model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dist.New(17)
+	originals := map[uint64]*subscription.Subscription{}
+	for id := uint64(1); id <= 40; id++ {
+		s, _ := subscription.New(id, "c", randomTree(r, 2).Simplify())
+		eng.Register(s)
+		originals[id] = s
+	}
+	current := map[uint64]*subscription.Subscription{}
+	for id, s := range originals {
+		current[id] = s
+	}
+	for {
+		op, ok := eng.Step()
+		if !ok {
+			break
+		}
+		current[op.Subscription.ID] = op.Subscription
+	}
+	for i := 0; i < 300; i++ {
+		m := randomMessage(r, uint64(i))
+		for id, orig := range originals {
+			if orig.Matches(m) && !current[id].Matches(m) {
+				t.Fatalf("fully pruned subscription %d lost a match", id)
+			}
+		}
+	}
+}

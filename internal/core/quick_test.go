@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/subscription"
+)
+
+// TestQuickQueueAlwaysPopsBest: for random subscription populations and any
+// dimension, every Step must apply a pruning at least as effective (under
+// the dimension order) as every other subscription's best candidate at that
+// moment — the §3.4 queue contract.
+func TestQuickQueueAlwaysPopsBest(t *testing.T) {
+	model := trainedModel(t)
+	prop := func(seed uint64, dimSel uint8) bool {
+		dims := []Dimension{DimNetwork, DimMemory, DimThroughput}
+		dim := dims[int(dimSel)%len(dims)]
+		eng, err := NewEngine(dim, model, Options{})
+		if err != nil {
+			return false
+		}
+		r := dist.New(seed)
+		for id := uint64(1); id <= 25; id++ {
+			s, err := subscription.New(id, "c", randomTree(r, 2).Simplify())
+			if err != nil {
+				return false
+			}
+			if err := eng.Register(s); err != nil {
+				return false
+			}
+		}
+		for steps := 0; steps < 10; steps++ {
+			// Compute every entry's best rating before stepping.
+			best := make(map[uint64]Rating)
+			for id := uint64(1); id <= 25; id++ {
+				cur, ok := eng.Current(id)
+				if !ok {
+					return false
+				}
+				if r, ok := bestRating(eng, cur); ok {
+					best[id] = r
+				}
+			}
+			op, ok := eng.Step()
+			if !ok {
+				return len(best) == 0
+			}
+			applied := op.Rating
+			for _, other := range best {
+				if Compare(other, applied, dim, true) < 0 {
+					return false // a strictly better pruning was skipped
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bestRating recomputes a subscription's best candidate rating the same way
+// the engine does, as an independent oracle.
+func bestRating(e *Engine, s *subscription.Subscription) (Rating, bool) {
+	ent, ok := e.entries[s.ID]
+	if !ok || ent.best == nil {
+		return Rating{}, false
+	}
+	return ent.best.rating, true
+}
+
+// TestQuickExhaustionCountsStable: exhausting the same population twice
+// yields identical totals and identical final trees (full determinism).
+func TestQuickExhaustionDeterministic(t *testing.T) {
+	model := trainedModel(t)
+	prop := func(seed uint64) bool {
+		run := func() (int, string) {
+			eng, err := NewEngine(DimNetwork, model, Options{})
+			if err != nil {
+				return -1, ""
+			}
+			r := dist.New(seed)
+			for id := uint64(1); id <= 20; id++ {
+				s, err := subscription.New(id, "c", randomTree(r, 3).Simplify())
+				if err != nil {
+					return -1, ""
+				}
+				eng.Register(s)
+			}
+			n := eng.Exhaust()
+			state := ""
+			for id := uint64(1); id <= 20; id++ {
+				cur, _ := eng.Current(id)
+				state += cur.String() + ";"
+			}
+			return n, state
+		}
+		n1, s1 := run()
+		n2, s2 := run()
+		return n1 == n2 && s1 == s2 && n1 >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRegisterAtMatchesNaturalFlow: registering (original, current)
+// reached by k natural steps behaves identically to having stepped there.
+func TestQuickRegisterAtMatchesNaturalFlow(t *testing.T) {
+	model := trainedModel(t)
+	prop := func(seed uint64, kRaw uint8) bool {
+		r := dist.New(seed)
+		root := randomTree(r, 3).Simplify()
+		orig, err := subscription.New(1, "c", root)
+		if err != nil {
+			return false
+		}
+		natural, err := NewEngine(DimNetwork, model, Options{})
+		if err != nil {
+			return false
+		}
+		natural.Register(orig)
+		k := int(kRaw % 3)
+		for i := 0; i < k; i++ {
+			natural.Step()
+		}
+		cur, _ := natural.Current(1)
+
+		restored, err := NewEngine(DimNetwork, model, Options{})
+		if err != nil {
+			return false
+		}
+		if err := restored.RegisterAt(orig, cur); err != nil {
+			return false
+		}
+		// Both engines must agree on every subsequent step.
+		for {
+			op1, ok1 := natural.Step()
+			op2, ok2 := restored.Step()
+			if ok1 != ok2 {
+				return false
+			}
+			if !ok1 {
+				return true
+			}
+			if !op1.Subscription.Root.Equal(op2.Subscription.Root) {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+	}{
+		{"int", Int(42), KindInt},
+		{"float", Float(3.5), KindFloat},
+		{"string", String("x"), KindString},
+		{"bool", Bool(true), KindBool},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.v.Kind() != tt.kind {
+				t.Errorf("Kind() = %v, want %v", tt.v.Kind(), tt.kind)
+			}
+			if !tt.v.IsValid() {
+				t.Error("IsValid() = false for a constructed value")
+			}
+		})
+	}
+	if Int(42).AsInt() != 42 {
+		t.Error("AsInt round-trip failed")
+	}
+	if Float(3.5).AsFloat() != 3.5 {
+		t.Error("AsFloat round-trip failed")
+	}
+	if String("abc").AsString() != "abc" {
+		t.Error("AsString round-trip failed")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("AsBool round-trip failed")
+	}
+	if (Value{}).IsValid() {
+		t.Error("zero Value reports valid")
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !Int(20).Equal(Float(20.0)) {
+		t.Error("Int(20) != Float(20.0)")
+	}
+	if Int(20).Equal(Float(20.5)) {
+		t.Error("Int(20) == Float(20.5)")
+	}
+	if Int(1).Equal(Bool(true)) {
+		t.Error("Int(1) == Bool(true); bool must not compare numerically")
+	}
+	if String("1").Equal(Int(1)) {
+		t.Error(`String("1") == Int(1)`)
+	}
+	if !String("a").Equal(String("a")) {
+		t.Error("identical strings unequal")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b    Value
+		cmp     int
+		ordered bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Int(1), Float(1.5), -1, true},
+		{Float(2.5), Int(2), 1, true},
+		{String("a"), String("b"), -1, true},
+		{String("b"), String("b"), 0, true},
+		{String("a"), Int(1), 0, false},
+		{Bool(true), Bool(false), 0, false},
+		{Int(1), Bool(true), 0, false},
+	}
+	for _, tt := range tests {
+		cmp, ok := tt.a.Compare(tt.b)
+		if ok != tt.ordered || (ok && cmp != tt.cmp) {
+			t.Errorf("Compare(%v, %v) = (%d, %v), want (%d, %v)", tt.a, tt.b, cmp, ok, tt.cmp, tt.ordered)
+		}
+	}
+}
+
+func TestValueStringAndParseLiteralRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int(0), Int(-17), Int(1 << 40),
+		Float(2.5), Float(-0.125),
+		String(""), String("Dune"), String(`with "quotes"`),
+		Bool(true), Bool(false),
+	}
+	for _, v := range vals {
+		got, err := ParseLiteral(v.String())
+		if err != nil {
+			t.Errorf("ParseLiteral(%s): %v", v.String(), err)
+			continue
+		}
+		if !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Errorf("round trip %s -> %s", v, got)
+		}
+	}
+}
+
+func TestParseLiteralSingleQuotes(t *testing.T) {
+	v, err := ParseLiteral("'hello'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsString() != "hello" {
+		t.Errorf("got %q", v.AsString())
+	}
+}
+
+func TestParseLiteralErrors(t *testing.T) {
+	for _, tok := range []string{"", `"unterminated`, "12abc", "'"} {
+		if _, err := ParseLiteral(tok); err == nil {
+			t.Errorf("ParseLiteral(%q) succeeded, want error", tok)
+		}
+	}
+}
+
+func TestValueSize(t *testing.T) {
+	if Int(1).Size() != 9 {
+		t.Errorf("Int size = %d, want 9", Int(1).Size())
+	}
+	if String("abcd").Size() != 13 {
+		t.Errorf("String size = %d, want 13", String("abcd").Size())
+	}
+}
+
+func TestNewMessageSortsAndLooksUp(t *testing.T) {
+	m, err := NewMessage(7,
+		Attr{Name: "price", Value: Float(12.5)},
+		Attr{Name: "author", Value: String("Herbert")},
+		Attr{Name: "bids", Value: Int(3)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := 1; i < len(m.Attrs); i++ {
+		if m.Attrs[i-1].Name >= m.Attrs[i].Name {
+			t.Fatalf("attributes not sorted: %v", m.Attrs)
+		}
+	}
+	if v, ok := m.Get("author"); !ok || v.AsString() != "Herbert" {
+		t.Errorf("Get(author) = %v, %v", v, ok)
+	}
+	if _, ok := m.Get("missing"); ok {
+		t.Error("Get(missing) reported present")
+	}
+	if !m.Has("bids") || m.Has("nope") {
+		t.Error("Has misbehaves")
+	}
+}
+
+func TestNewMessageRejectsDuplicates(t *testing.T) {
+	_, err := NewMessage(1,
+		Attr{Name: "a", Value: Int(1)},
+		Attr{Name: "a", Value: Int(2)},
+	)
+	if err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+}
+
+func TestNewMessageRejectsInvalid(t *testing.T) {
+	if _, err := NewMessage(1, Attr{Name: "", Value: Int(1)}); err == nil {
+		t.Error("empty attribute name accepted")
+	}
+	if _, err := NewMessage(1, Attr{Name: "a"}); err == nil {
+		t.Error("unset value accepted")
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	m := Build(9).
+		Str("title", "Dune").
+		Num("price", 10.5).
+		Int("bids", 4).
+		Flag("signed", true).
+		Msg()
+	if m.ID != 9 || m.Len() != 4 {
+		t.Fatalf("unexpected message %v", m)
+	}
+	if v, _ := m.Get("signed"); !v.AsBool() {
+		t.Error("flag lost")
+	}
+	// Last set wins.
+	m2 := Build(1).Int("x", 1).Int("x", 2).Msg()
+	if v, _ := m2.Get("x"); v.AsInt() != 2 {
+		t.Errorf("duplicate set kept first value: %v", v)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Build(1).Int("a", 1).Msg()
+	c := m.Clone()
+	c.Attrs[0].Value = Int(99)
+	if v, _ := m.Get("a"); v.AsInt() != 1 {
+		t.Error("Clone shares attribute storage")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := Build(3).Str("t", "x").Int("n", 2).Msg()
+	if got := m.String(); got != `{id=3 n=2 t="x"}` {
+		t.Errorf("String() = %s", got)
+	}
+}
+
+func TestGetQuickNeverPanics(t *testing.T) {
+	m := Build(1).Int("alpha", 1).Int("beta", 2).Int("gamma", 3).Msg()
+	f := func(name string) bool {
+		v, ok := m.Get(name)
+		if ok {
+			return v.IsValid()
+		}
+		return !v.IsValid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

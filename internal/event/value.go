@@ -1,0 +1,230 @@
+// Package event defines the attribute–value pair event model assumed by the
+// paper (§2.1): an event message is a set of attribute–value pairs, and
+// subscriptions place predicates on those attributes.
+package event
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types supported by the model. Numeric kinds
+// compare with each other; strings and booleans only compare for (in)equality
+// and the string-specific operators.
+type Kind uint8
+
+// Value kinds. KindInvalid is deliberately the zero value so an unset Value
+// is detectable.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lower-case kind name used in the text subscription
+// syntax and diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a typed attribute value. The struct is plain data: it is copied
+// freely, compared with ==, and usable as a map key, which the filtering
+// engine relies on for predicate deduplication.
+type Value struct {
+	kind Kind
+	num  int64   // KindInt payload, also 0/1 for KindBool
+	flt  float64 // KindFloat payload
+	str  string  // KindString payload
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, num: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, flt: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, str: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var n int64
+	if v {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Kind reports the value's type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value has been set.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the integer payload. It is only meaningful for KindInt.
+func (v Value) AsInt() int64 { return v.num }
+
+// AsFloat returns the floating-point payload. It is only meaningful for
+// KindFloat.
+func (v Value) AsFloat() float64 { return v.flt }
+
+// AsString returns the string payload. It is only meaningful for KindString.
+func (v Value) AsString() string { return v.str }
+
+// AsBool returns the boolean payload. It is only meaningful for KindBool.
+func (v Value) AsBool() bool { return v.num != 0 }
+
+// Numeric reports whether the value participates in ordered comparisons, and
+// if so returns its value as a float64. Integers up to 2^53 convert exactly,
+// which covers every workload in this repository; the wire codec preserves
+// full int64 precision regardless.
+func (v Value) Numeric() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.num), true
+	case KindFloat:
+		return v.flt, true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports semantic equality: values of different kinds are unequal
+// except int/float pairs, which compare numerically (price = 20 must match an
+// event carrying 20.0).
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		return v == o
+	}
+	a, aok := v.Numeric()
+	b, bok := o.Numeric()
+	return aok && bok && a == b
+}
+
+// Compare orders two values. It returns -1, 0, or +1 and ok=true when the
+// values are comparable (both numeric, both strings), and ok=false otherwise.
+// Booleans are deliberately unordered.
+func (v Value) Compare(o Value) (cmp int, ok bool) {
+	if a, aok := v.Numeric(); aok {
+		b, bok := o.Numeric()
+		if !bok {
+			return 0, false
+		}
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.kind == KindString && o.kind == KindString {
+		switch {
+		case v.str < o.str:
+			return -1, true
+		case v.str > o.str:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// String formats the value for diagnostics and the subscription text syntax.
+// Strings are quoted, and integral floats keep a decimal point, so every
+// finite value round-trips through ParseLiteral with its kind intact.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		s := strconv.FormatFloat(v.flt, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eENI") { // decimal, exponent, NaN, Inf
+			s += ".0"
+		}
+		return s
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindBool:
+		return strconv.FormatBool(v.num != 0)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Size returns the approximate in-memory footprint of the value in bytes,
+// used by the memory heuristic's mem≈ estimate.
+func (v Value) Size() int {
+	// kind byte + 8-byte payload; strings add their contents.
+	s := 9
+	if v.kind == KindString {
+		s += len(v.str)
+	}
+	return s
+}
+
+// ParseLiteral converts a text token into a Value: quoted text is a string,
+// true/false are booleans, integers and floats are numeric. It is the
+// inverse of String for all valid values.
+func ParseLiteral(tok string) (Value, error) {
+	if tok == "" {
+		return Value{}, fmt.Errorf("event: empty literal")
+	}
+	if tok[0] == '"' || tok[0] == '\'' {
+		s, err := unquote(tok)
+		if err != nil {
+			return Value{}, err
+		}
+		return String(s), nil
+	}
+	switch tok {
+	case "true":
+		return Bool(true), nil
+	case "false":
+		return Bool(false), nil
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			// Non-finite values have degenerate comparison semantics; the
+			// text format only admits finite numbers.
+			return Value{}, fmt.Errorf("event: non-finite literal %q", tok)
+		}
+		return Float(f), nil
+	}
+	return Value{}, fmt.Errorf("event: cannot parse literal %q", tok)
+}
+
+func unquote(tok string) (string, error) {
+	if len(tok) < 2 || tok[0] != tok[len(tok)-1] {
+		return "", fmt.Errorf("event: unterminated string literal %q", tok)
+	}
+	if tok[0] == '\'' {
+		// strconv.Unquote treats single quotes as rune literals; normalize.
+		tok = "\"" + tok[1:len(tok)-1] + "\""
+	}
+	s, err := strconv.Unquote(tok)
+	if err != nil {
+		return "", fmt.Errorf("event: bad string literal %q: %w", tok, err)
+	}
+	return s, nil
+}

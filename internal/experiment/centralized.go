@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dimprune/internal/auction"
+	"dimprune/internal/core"
+	"dimprune/internal/event"
+	"dimprune/internal/filter"
+	"dimprune/internal/selectivity"
+	"dimprune/internal/subscription"
+)
+
+// RunCentralized measures Fig 1(a)–(c): a single broker's routing table
+// holding every subscription as a prunable entry (the centralized setting
+// isolates the effect of pruning on filtering itself).
+func RunCentralized(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w, err := newWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	result := &Result{Setting: "centralized", Config: cfg}
+	for _, dim := range cfg.Dimensions {
+		sweep, err := runCentralizedSweep(cfg, w, dim)
+		if err != nil {
+			return nil, err
+		}
+		result.Sweeps = append(result.Sweeps, *sweep)
+	}
+	return result, nil
+}
+
+// workload is the shared deterministic input of every sweep: identical
+// subscriptions, training sample, and measurement events for all heuristics.
+type workload struct {
+	subs   []*subscription.Subscription
+	train  []*event.Message
+	events []*event.Message
+	model  *selectivity.Model
+}
+
+func newWorkload(cfg Config) (*workload, error) {
+	gen, err := auction.NewGenerator(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	w := &workload{
+		subs:  make([]*subscription.Subscription, cfg.Subs),
+		model: selectivity.NewModel(),
+	}
+	for i := range w.subs {
+		s, err := gen.Subscription(uint64(i+1), fmt.Sprintf("client-%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		w.subs[i] = s
+	}
+	w.train = gen.Events(1, cfg.TrainEvents)
+	for _, m := range w.train {
+		w.model.Observe(m)
+	}
+	w.events = gen.Events(uint64(cfg.TrainEvents+1), cfg.Events)
+	return w, nil
+}
+
+// newEngine builds a pruning engine over the workload's subscriptions.
+func (w *workload) newEngine(cfg Config, dim core.Dimension) (*core.Engine, error) {
+	eng, err := core.NewEngine(dim, w.model, cfg.PruneOptions)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range w.subs {
+		if err := eng.Register(s); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+func runCentralizedSweep(cfg Config, w *workload, dim core.Dimension) (*Sweep, error) {
+	// Pass 1: learn the exhaustion total T on a scratch engine.
+	scratch, err := w.newEngine(cfg, dim)
+	if err != nil {
+		return nil, err
+	}
+	total := scratch.Exhaust()
+
+	// Pass 2: measured run with incremental pruning between checkpoints.
+	eng, err := w.newEngine(cfg, dim)
+	if err != nil {
+		return nil, err
+	}
+	table := filter.New()
+	for _, s := range w.subs {
+		if err := table.Register(s); err != nil {
+			return nil, err
+		}
+	}
+	initialAssocs := table.Associations()
+
+	// Warm the matcher (index sort, caches) so the first checkpoint's
+	// timing is not polluted by one-time costs.
+	for _, m := range w.events[:min(200, len(w.events))] {
+		table.MatchCount(m)
+	}
+
+	sweep := &Sweep{Dimension: dim, Total: total}
+	done := 0
+	for _, ratio := range ratios(cfg.Checkpoints) {
+		target := targetSteps(ratio, total)
+		for done < target {
+			op, ok := eng.Step()
+			if !ok {
+				break
+			}
+			if err := table.Update(op.Subscription); err != nil {
+				return nil, fmt.Errorf("experiment: apply pruning: %w", err)
+			}
+			done++
+		}
+		pt := measureCentralized(table, w.events)
+		pt.Ratio = ratio
+		pt.Prunings = done
+		pt.AssocReduction = reduction(initialAssocs, table.Associations())
+		sweep.Points = append(sweep.Points, pt)
+	}
+	return sweep, nil
+}
+
+// measureCentralized filters every measurement event through the table,
+// timing the filter and counting matched entries.
+func measureCentralized(table *filter.Engine, events []*event.Message) Point {
+	matched := 0
+	start := time.Now()
+	for _, m := range events {
+		matched += table.MatchCount(m)
+	}
+	elapsed := time.Since(start)
+	return Point{
+		FilterTimePerEvent: elapsed / time.Duration(len(events)),
+		MatchFraction:      float64(matched) / (float64(len(events)) * float64(table.NumSubscriptions())),
+	}
+}
+
+func reduction(initial, current int) float64 {
+	if initial == 0 {
+		return 0
+	}
+	return 1 - float64(current)/float64(initial)
+}

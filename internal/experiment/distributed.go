@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/core"
+	"dimprune/internal/simnet"
+)
+
+// RunDistributed measures Fig 1(d)–(f): brokers connected as a line,
+// subscriptions spread uniformly, events published at every broker in turn.
+// Local entries stay exact; every broker prunes its non-local routing
+// entries with the heuristic under test.
+func RunDistributed(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w, err := newWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	result := &Result{Setting: "distributed", Config: cfg}
+	for _, dim := range cfg.Dimensions {
+		sweep, err := runDistributedSweep(cfg, w, dim)
+		if err != nil {
+			return nil, err
+		}
+		result.Sweeps = append(result.Sweeps, *sweep)
+	}
+	return result, nil
+}
+
+// buildOverlay constructs the line network with all subscriptions in place.
+// Subscription i lives at broker i mod Brokers.
+func buildOverlay(cfg Config, w *workload, dim core.Dimension) (*simnet.Network, error) {
+	brokers := make([]*broker.Broker, cfg.Brokers)
+	for i := range brokers {
+		b, err := broker.New(broker.Config{
+			ID:           fmt.Sprintf("b%d", i),
+			Dimension:    dim,
+			PruneOptions: cfg.PruneOptions,
+			Model:        w.model, // shared pre-trained model; read-only here
+		})
+		if err != nil {
+			return nil, err
+		}
+		brokers[i] = b
+	}
+	net, err := simnet.NewLine(brokers)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range w.subs {
+		if err := net.SubscribeAt(i%cfg.Brokers, s); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// exhaustTotals learns each broker's pruning-exhaustion count on scratch
+// engines over its non-local entries.
+func exhaustTotals(cfg Config, w *workload, dim core.Dimension) ([]int, int, error) {
+	totals := make([]int, cfg.Brokers)
+	grand := 0
+	for b := 0; b < cfg.Brokers; b++ {
+		eng, err := core.NewEngine(dim, w.model, cfg.PruneOptions)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, s := range w.subs {
+			if i%cfg.Brokers == b {
+				continue // local at b: never pruned
+			}
+			if err := eng.Register(s); err != nil {
+				return nil, 0, err
+			}
+		}
+		totals[b] = eng.Exhaust()
+		grand += totals[b]
+	}
+	return totals, grand, nil
+}
+
+func runDistributedSweep(cfg Config, w *workload, dim core.Dimension) (*Sweep, error) {
+	totals, grand, err := exhaustTotals(cfg, w, dim)
+	if err != nil {
+		return nil, err
+	}
+	net, err := buildOverlay(cfg, w, dim)
+	if err != nil {
+		return nil, err
+	}
+
+	initialNonLocal := 0
+	initialAssocs := 0
+	for i := 0; i < cfg.Brokers; i++ {
+		initialNonLocal += net.Broker(i).NonLocalAssociations()
+		initialAssocs += net.Broker(i).Stats().Associations
+	}
+
+	// Warm every broker's matcher before the first measured checkpoint.
+	for i, m := range w.events[:min(100, len(w.events))] {
+		if _, err := net.PublishAt(i%cfg.Brokers, m); err != nil {
+			return nil, err
+		}
+	}
+
+	sweep := &Sweep{Dimension: dim, Total: grand}
+	var baselineFrames uint64
+	var baselineDeliveries uint64
+	done := make([]int, cfg.Brokers)
+	for _, ratio := range ratios(cfg.Checkpoints) {
+		for b := 0; b < cfg.Brokers; b++ {
+			target := targetSteps(ratio, totals[b])
+			if target > done[b] {
+				done[b] += net.Broker(b).Prune(target - done[b])
+			}
+		}
+		pt, frames, deliveries, err := measureDistributed(cfg, w, net)
+		if err != nil {
+			return nil, err
+		}
+		pt.Ratio = ratio
+		for b := 0; b < cfg.Brokers; b++ {
+			pt.Prunings += done[b]
+		}
+		if ratio == 0 {
+			baselineFrames = frames
+			baselineDeliveries = deliveries
+		} else if deliveries != baselineDeliveries {
+			// Invariant 4 (DESIGN.md §6): pruning must not change deliveries.
+			return nil, fmt.Errorf("experiment: deliveries changed under pruning: %d -> %d (dim %s, ratio %.2f)",
+				baselineDeliveries, deliveries, dim, ratio)
+		}
+		if baselineFrames > 0 {
+			pt.NetworkIncrease = float64(frames)/float64(baselineFrames) - 1
+		}
+		nonLocal := 0
+		assocs := 0
+		for b := 0; b < cfg.Brokers; b++ {
+			nonLocal += net.Broker(b).NonLocalAssociations()
+			assocs += net.Broker(b).Stats().Associations
+		}
+		pt.NonLocalAssocReduction = reduction(initialNonLocal, nonLocal)
+		pt.AssocReduction = reduction(initialAssocs, assocs)
+		sweep.Points = append(sweep.Points, pt)
+	}
+	return sweep, nil
+}
+
+// measureDistributed publishes the measurement events round-robin across
+// brokers and reports the aggregate filtering time per event, the number of
+// publish-frame transmissions, and the number of end-to-end deliveries.
+func measureDistributed(cfg Config, w *workload, net *simnet.Network) (Point, uint64, uint64, error) {
+	for i := 0; i < cfg.Brokers; i++ {
+		net.Broker(i).ResetCounters()
+	}
+	net.ResetTraffic()
+	var deliveries uint64
+	for i, m := range w.events {
+		dels, err := net.PublishAt(i%cfg.Brokers, m)
+		if err != nil {
+			return Point{}, 0, 0, err
+		}
+		deliveries += uint64(len(dels))
+	}
+	var filterTime time.Duration
+	var matched uint64
+	for i := 0; i < cfg.Brokers; i++ {
+		c := net.Broker(i).Stats().Counters
+		filterTime += c.FilterTime
+		matched += c.MatchedEntries
+	}
+	pt := Point{
+		FilterTimePerEvent: filterTime / time.Duration(len(w.events)),
+		MatchFraction:      float64(matched) / (float64(len(w.events)) * float64(len(w.subs))),
+	}
+	return pt, net.Traffic().PublishFrames, deliveries, nil
+}

@@ -1,0 +1,131 @@
+// Package experiment reproduces the paper's evaluation (§4): sweeps over
+// the proportional number of prunings for the three heuristics, in a
+// centralized single-broker setting (Fig 1(a)–(c)) and a distributed
+// five-broker line (Fig 1(d)–(f)).
+//
+// Abscissa normalization follows the paper: ratio r means ⌈r·T⌉ prunings
+// were performed, where T is the total the heuristic can perform before
+// every subscription is exhausted ("1, i.e., any other pruning removes a
+// complete subscription"). T is measured by exhausting a scratch engine
+// before the measured run (DESIGN.md §1 note 5).
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dimprune/internal/auction"
+	"dimprune/internal/core"
+)
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Subs and Events size the workload (paper: 200000 / 100000).
+	Subs, Events int
+	// TrainEvents seeds every selectivity model before measurement.
+	TrainEvents int
+	// Checkpoints is the number of abscissa points including 0 and 1
+	// (11 gives steps of 0.1).
+	Checkpoints int
+	// Brokers is the line length of the distributed setting (paper: 5).
+	Brokers int
+	// Dimensions lists the heuristics to sweep (default: all three).
+	Dimensions []core.Dimension
+	// Workload configures the auction generator.
+	Workload auction.Config
+	// PruneOptions feeds through to the engines (ablations).
+	PruneOptions core.Options
+}
+
+// DefaultConfig returns a laptop-scale configuration; cmd/prunesim raises
+// Subs/Events to paper scale.
+func DefaultConfig() Config {
+	return Config{
+		Subs:        20000,
+		Events:      10000,
+		TrainEvents: 5000,
+		Checkpoints: 11,
+		Brokers:     5,
+		Dimensions:  []core.Dimension{core.DimNetwork, core.DimThroughput, core.DimMemory},
+		Workload:    auction.DefaultConfig(),
+	}
+}
+
+func (c Config) validate() error {
+	if c.Subs <= 0 || c.Events <= 0 {
+		return fmt.Errorf("experiment: need positive Subs/Events, got %d/%d", c.Subs, c.Events)
+	}
+	if c.Checkpoints < 2 {
+		return fmt.Errorf("experiment: need at least 2 checkpoints, got %d", c.Checkpoints)
+	}
+	if c.Brokers < 2 {
+		return fmt.Errorf("experiment: distributed setting needs >= 2 brokers, got %d", c.Brokers)
+	}
+	if len(c.Dimensions) == 0 {
+		return fmt.Errorf("experiment: no dimensions selected")
+	}
+	for _, d := range c.Dimensions {
+		if !d.Valid() {
+			return fmt.Errorf("experiment: invalid dimension %d", int(d))
+		}
+	}
+	return nil
+}
+
+// Point is one checkpoint measurement; which fields are meaningful depends
+// on the setting (centralized vs. distributed).
+type Point struct {
+	// Ratio is the proportional number of prunings in [0, 1].
+	Ratio float64
+	// Prunings is the absolute number of prunings performed system-wide.
+	Prunings int
+
+	// FilterTimePerEvent is the ordinate of Fig 1(a)/(d): average wall time
+	// spent filtering per published event (summed over brokers in the
+	// distributed setting).
+	FilterTimePerEvent time.Duration
+	// MatchFraction is the ordinate of Fig 1(b): matched routing entries
+	// divided by (events × subscriptions) — the expected share of events a
+	// subscription's routing entry matches.
+	MatchFraction float64
+	// AssocReduction is the ordinate of Fig 1(c): 1 − current/initial
+	// predicate/subscription associations over all routing entries.
+	AssocReduction float64
+
+	// NetworkIncrease is the ordinate of Fig 1(e): proportional increase in
+	// publish-frame transmissions over the unoptimized run (0 = unchanged,
+	// 1.0 = doubled).
+	NetworkIncrease float64
+	// NonLocalAssocReduction is the ordinate of Fig 1(f): association
+	// reduction over non-local routing entries only.
+	NonLocalAssocReduction float64
+}
+
+// Sweep is one heuristic's measurement series.
+type Sweep struct {
+	Dimension core.Dimension
+	Total     int // prunings at exhaustion (the abscissa normalizer)
+	Points    []Point
+}
+
+// Result bundles the sweeps of one setting.
+type Result struct {
+	Setting string // "centralized" or "distributed"
+	Config  Config
+	Sweeps  []Sweep
+}
+
+// ratios returns the checkpoint abscissae.
+func ratios(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) / float64(n-1)
+	}
+	return out
+}
+
+// targetSteps converts a ratio into an absolute pruning target.
+func targetSteps(ratio float64, total int) int {
+	return int(math.Round(ratio * float64(total)))
+}

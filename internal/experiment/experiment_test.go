@@ -1,0 +1,260 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"dimprune/internal/core"
+)
+
+// smallConfig keeps unit-test sweeps fast; the benches and cmd/prunesim use
+// realistic scales.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Subs = 600
+	cfg.Events = 400
+	cfg.TrainEvents = 800
+	cfg.Checkpoints = 5
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Subs = 0 },
+		func(c *Config) { c.Events = -1 },
+		func(c *Config) { c.Checkpoints = 1 },
+		func(c *Config) { c.Brokers = 1 },
+		func(c *Config) { c.Dimensions = nil },
+		func(c *Config) { c.Dimensions = []core.Dimension{core.Dimension(9)} },
+	}
+	for i, mutate := range bad {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := RunCentralized(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunCentralizedShape(t *testing.T) {
+	cfg := smallConfig()
+	res, err := RunCentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Setting != "centralized" || len(res.Sweeps) != 3 {
+		t.Fatalf("unexpected result shape: %s, %d sweeps", res.Setting, len(res.Sweeps))
+	}
+	for _, sweep := range res.Sweeps {
+		if len(sweep.Points) != cfg.Checkpoints {
+			t.Fatalf("%s: %d points, want %d", sweep.Dimension, len(sweep.Points), cfg.Checkpoints)
+		}
+		if sweep.Total <= 0 {
+			t.Errorf("%s: exhaustion total %d", sweep.Dimension, sweep.Total)
+		}
+		first, last := sweep.Points[0], sweep.Points[len(sweep.Points)-1]
+		if first.Ratio != 0 || last.Ratio != 1 {
+			t.Errorf("%s: ratios span [%v, %v]", sweep.Dimension, first.Ratio, last.Ratio)
+		}
+		if first.Prunings != 0 {
+			t.Errorf("%s: prunings at ratio 0 = %d", sweep.Dimension, first.Prunings)
+		}
+		if last.Prunings != sweep.Total {
+			t.Errorf("%s: prunings at ratio 1 = %d, want %d", sweep.Dimension, last.Prunings, sweep.Total)
+		}
+		// Matching can only grow with pruning; associations can only fall.
+		for i := 1; i < len(sweep.Points); i++ {
+			if sweep.Points[i].MatchFraction+1e-12 < sweep.Points[i-1].MatchFraction {
+				t.Errorf("%s: match fraction decreased at %v", sweep.Dimension, sweep.Points[i].Ratio)
+			}
+			if sweep.Points[i].AssocReduction+1e-12 < sweep.Points[i-1].AssocReduction {
+				t.Errorf("%s: assoc reduction decreased at %v", sweep.Dimension, sweep.Points[i].Ratio)
+			}
+		}
+		if last.AssocReduction <= 0 || last.AssocReduction >= 1 {
+			t.Errorf("%s: final assoc reduction %v", sweep.Dimension, last.AssocReduction)
+		}
+	}
+}
+
+func TestCentralizedDimensionCharacter(t *testing.T) {
+	// The headline §4.2 orderings at mid-sweep: network-based pruning
+	// matches fewest extra events; memory-based reduces associations at
+	// least as much as the others.
+	cfg := smallConfig()
+	cfg.Subs = 1500
+	cfg.Events = 600
+	res, err := RunCentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDim := map[core.Dimension]Sweep{}
+	for _, s := range res.Sweeps {
+		byDim[s.Dimension] = s
+	}
+	mid := cfg.Checkpoints / 2
+	selLoad := byDim[core.DimNetwork].Points[mid].MatchFraction
+	memLoad := byDim[core.DimMemory].Points[mid].MatchFraction
+	if selLoad > memLoad {
+		t.Errorf("network-based pruning matched more events (%.4f) than memory-based (%.4f) at mid-sweep",
+			selLoad, memLoad)
+	}
+	memRed := byDim[core.DimMemory].Points[mid].AssocReduction
+	selRed := byDim[core.DimNetwork].Points[mid].AssocReduction
+	if memRed+0.02 < selRed {
+		t.Errorf("memory-based pruning reduced associations less (%v) than network-based (%v)",
+			memRed, selRed)
+	}
+}
+
+func TestRunDistributedShape(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Subs = 400
+	cfg.Events = 250
+	res, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Setting != "distributed" {
+		t.Fatal("wrong setting")
+	}
+	for _, sweep := range res.Sweeps {
+		if len(sweep.Points) != cfg.Checkpoints {
+			t.Fatalf("%s: %d points", sweep.Dimension, len(sweep.Points))
+		}
+		if sweep.Points[0].NetworkIncrease != 0 {
+			t.Errorf("%s: baseline network increase %v", sweep.Dimension, sweep.Points[0].NetworkIncrease)
+		}
+		for i := 1; i < len(sweep.Points); i++ {
+			if sweep.Points[i].NetworkIncrease+1e-9 < sweep.Points[i-1].NetworkIncrease {
+				t.Errorf("%s: network increase decreased at ratio %v",
+					sweep.Dimension, sweep.Points[i].Ratio)
+			}
+			if sweep.Points[i].NonLocalAssocReduction+1e-12 < sweep.Points[i-1].NonLocalAssocReduction {
+				t.Errorf("%s: non-local assoc reduction decreased", sweep.Dimension)
+			}
+		}
+		last := sweep.Points[len(sweep.Points)-1]
+		if last.NetworkIncrease <= 0 {
+			t.Errorf("%s: full pruning did not increase network load (%v)",
+				sweep.Dimension, last.NetworkIncrease)
+		}
+		if last.NonLocalAssocReduction <= 0 {
+			t.Errorf("%s: no non-local association reduction", sweep.Dimension)
+		}
+	}
+}
+
+func TestFiguresAndRendering(t *testing.T) {
+	cfg := smallConfig()
+	res, err := RunCentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := Figures(res)
+	if len(figs) != 3 {
+		t.Fatalf("%d figures, want 3", len(figs))
+	}
+	ids := []string{"1a", "1b", "1c"}
+	for i, fig := range figs {
+		if fig.ID != ids[i] {
+			t.Errorf("figure %d id %s, want %s", i, fig.ID, ids[i])
+		}
+		if len(fig.Series) != 3 {
+			t.Errorf("figure %s has %d series", fig.ID, len(fig.Series))
+		}
+		table := RenderTable(fig)
+		if !strings.Contains(table, "Figure "+fig.ID) || !strings.Contains(table, "sel") {
+			t.Errorf("table rendering incomplete:\n%s", table)
+		}
+		csv := RenderCSV(fig)
+		lines := strings.Split(strings.TrimSpace(csv), "\n")
+		if len(lines) != cfg.Checkpoints+1 {
+			t.Errorf("csv has %d lines, want %d", len(lines), cfg.Checkpoints+1)
+		}
+		if lines[0] != "ratio,sel,eff,mem" {
+			t.Errorf("csv header = %q", lines[0])
+		}
+	}
+	if s := Summary(res); !strings.Contains(s, "centralized") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestDistributedFigures(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Subs = 300
+	cfg.Events = 150
+	cfg.Checkpoints = 3
+	res, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := Figures(res)
+	ids := []string{"1d", "1e", "1f"}
+	for i, fig := range figs {
+		if fig.ID != ids[i] {
+			t.Errorf("figure %d id %s, want %s", i, fig.ID, ids[i])
+		}
+	}
+	if s := Summary(res); !strings.Contains(s, "network increase") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Subs = 300
+	cfg.Events = 200
+	cfg.Dimensions = []core.Dimension{core.DimNetwork}
+	r1, err := RunCentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunCentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Sweeps[0].Points {
+		p1, p2 := r1.Sweeps[0].Points[i], r2.Sweeps[0].Points[i]
+		if p1.MatchFraction != p2.MatchFraction || p1.AssocReduction != p2.AssocReduction ||
+			p1.Prunings != p2.Prunings {
+			t.Fatalf("sweep not deterministic at point %d: %+v vs %+v", i, p1, p2)
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	fig := Figure{
+		ID: "1b", Title: "Expected network load (centralized)",
+		YLabel: "Proport. no. of matching events",
+		Series: []FigureSeries{
+			{Label: "sel", X: []float64{0, 0.5, 1}, Y: []float64{0.01, 0.02, 0.2}},
+			{Label: "eff", X: []float64{0, 0.5, 1}, Y: []float64{0.01, 0.1, 0.2}},
+			{Label: "mem", X: []float64{0, 0.5, 1}, Y: []float64{0.01, 0.3, 0.35}},
+		},
+	}
+	out := RenderASCII(fig, 40, 10)
+	for _, want := range []string{"Figure 1b", "s = sel", "e = eff", "m = mem", "prunings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// All three series start at the same point: the origin cell overlaps.
+	if !strings.Contains(out, "*") {
+		t.Errorf("coinciding start not marked:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot has %d lines", len(lines))
+	}
+	// Degenerate sizes are clamped, not crashed.
+	if small := RenderASCII(fig, 1, 1); !strings.Contains(small, "Figure 1b") {
+		t.Error("clamped plot broken")
+	}
+	// All-zero series must not divide by zero.
+	zero := Figure{ID: "z", Series: []FigureSeries{{Label: "sel", X: []float64{0, 1}, Y: []float64{0, 0}}}}
+	if z := RenderASCII(zero, 20, 6); !strings.Contains(z, "s") {
+		t.Error("zero series not plotted")
+	}
+}

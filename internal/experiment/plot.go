@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderASCII draws a figure as a terminal plot, one mark per heuristic:
+// s = network-based (sel), e = throughput-based (eff), m = memory-based
+// (mem); * marks coinciding points. It is the quickest way to compare curve
+// shapes against the paper without leaving the terminal.
+func RenderASCII(fig Figure, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	var maxY float64
+	for _, s := range fig.Series {
+		for _, y := range s.Y {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+
+	// grid[row][col]; row 0 is the top.
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	mark := func(label string) byte {
+		if len(label) == 0 {
+			return '?'
+		}
+		return label[0]
+	}
+	for _, s := range fig.Series {
+		for i := range s.X {
+			col := int(s.X[i] * float64(width-1))
+			row := height - 1 - int(s.Y[i]/maxY*float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			cell := &grid[row][col]
+			switch *cell {
+			case ' ':
+				*cell = mark(s.Label)
+			case mark(s.Label):
+			default:
+				*cell = '*'
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s\n", fig.ID, fig.Title)
+	fmt.Fprintf(&b, "%s (top = %.6g)\n", fig.YLabel, maxY)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, " 0%sprunings%s1\n",
+		strings.Repeat(" ", (width-10)/2), strings.Repeat(" ", width-10-(width-10)/2))
+	legend := make([]string, 0, len(fig.Series))
+	for _, s := range fig.Series {
+		legend = append(legend, fmt.Sprintf("%c = %s", mark(s.Label), s.Label))
+	}
+	fmt.Fprintf(&b, " %s, * = overlap\n", strings.Join(legend, ", "))
+	return b.String()
+}

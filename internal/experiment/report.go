@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure is one reproduced paper figure as plottable series.
+type Figure struct {
+	// ID is the paper's figure number, e.g. "1a".
+	ID string
+	// Title matches the paper's caption.
+	Title string
+	// YLabel describes the ordinate.
+	YLabel string
+	// Series holds one line per heuristic, labelled sel/eff/mem as in the
+	// paper.
+	Series []FigureSeries
+}
+
+// FigureSeries is one heuristic's curve.
+type FigureSeries struct {
+	Label string
+	X, Y  []float64
+}
+
+// Figures converts a Result into its paper figures: 1(a)–(c) for the
+// centralized setting, 1(d)–(f) for the distributed one.
+func Figures(res *Result) []Figure {
+	type spec struct {
+		id, title, ylabel string
+		y                 func(Point) float64
+	}
+	var specs []spec
+	if res.Setting == "centralized" {
+		specs = []spec{
+			{"1a", "Time efficiency (centralized)", "Filtering time per event in sec",
+				func(p Point) float64 { return p.FilterTimePerEvent.Seconds() }},
+			{"1b", "Expected network load (centralized)", "Proport. no. of matching events",
+				func(p Point) float64 { return p.MatchFraction }},
+			{"1c", "Memory usage (centralized)", "Prop. reduction in pred/sub assoc.",
+				func(p Point) float64 { return p.AssocReduction }},
+		}
+	} else {
+		specs = []spec{
+			{"1d", "Time efficiency (distributed)", "Filtering time per event in sec",
+				func(p Point) float64 { return p.FilterTimePerEvent.Seconds() }},
+			{"1e", "Actual network load (distributed)", "Proport. increase in network load",
+				func(p Point) float64 { return p.NetworkIncrease }},
+			{"1f", "Memory usage (distributed)", "Prop. reduction in pred/sub assoc.",
+				func(p Point) float64 { return p.NonLocalAssocReduction }},
+		}
+	}
+	figs := make([]Figure, 0, len(specs))
+	for _, sp := range specs {
+		fig := Figure{ID: sp.id, Title: sp.title, YLabel: sp.ylabel}
+		for _, sweep := range res.Sweeps {
+			series := FigureSeries{Label: sweep.Dimension.String()}
+			for _, p := range sweep.Points {
+				series.X = append(series.X, p.Ratio)
+				series.Y = append(series.Y, sp.y(p))
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+// RenderTable renders a figure as an aligned text table, one row per
+// abscissa checkpoint and one column per heuristic.
+func RenderTable(fig Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s\n", fig.ID, fig.Title)
+	fmt.Fprintf(&b, "ordinate: %s\n", fig.YLabel)
+	fmt.Fprintf(&b, "%-8s", "ratio")
+	for _, s := range fig.Series {
+		fmt.Fprintf(&b, "%14s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(fig.Series) == 0 {
+		return b.String()
+	}
+	for i := range fig.Series[0].X {
+		fmt.Fprintf(&b, "%-8.2f", fig.Series[0].X[i])
+		for _, s := range fig.Series {
+			fmt.Fprintf(&b, "%14.6f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCSV renders a figure as CSV with a ratio column and one column per
+// heuristic.
+func RenderCSV(fig Figure) string {
+	var b strings.Builder
+	b.WriteString("ratio")
+	for _, s := range fig.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	if len(fig.Series) == 0 {
+		return b.String()
+	}
+	for i := range fig.Series[0].X {
+		fmt.Fprintf(&b, "%.3f", fig.Series[0].X[i])
+		for _, s := range fig.Series {
+			fmt.Fprintf(&b, ",%.8f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary reports headline comparisons between the heuristics of a result,
+// in the spirit of the paper's §4.2 discussion. It is best-effort prose for
+// tools; EXPERIMENTS.md records the full numbers.
+func Summary(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "setting: %s (%d subscriptions, %d events)\n",
+		res.Setting, res.Config.Subs, res.Config.Events)
+	for _, sweep := range res.Sweeps {
+		last := sweep.Points[len(sweep.Points)-1]
+		fmt.Fprintf(&b, "  %s: total prunings %d;", sweep.Dimension, sweep.Total)
+		fmt.Fprintf(&b, " final time/event %v, match fraction %.4f, assoc reduction %.2f",
+			last.FilterTimePerEvent, last.MatchFraction, last.AssocReduction)
+		if res.Setting == "distributed" {
+			fmt.Fprintf(&b, ", network increase %.2f, non-local assoc reduction %.2f",
+				last.NetworkIncrease, last.NonLocalAssocReduction)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,325 @@
+package filter
+
+import (
+	"sort"
+
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// attrIndex locates the non-negated predicates on one attribute that a given
+// event value fulfills.
+//
+//   - Equality predicates live in a hash map keyed by the canonical value
+//     (numerically equal int/float collapse to one key).
+//   - Numeric and string range predicates live in threshold arrays sorted on
+//     demand: bulk registration appends and marks the array dirty, queries
+//     binary-search. Removal is lazy (tombstones compacted at next sort) so
+//     bulk pruning phases stay cheap.
+//   - Everything else (≠, prefix/suffix/contains, exists, range predicates
+//     whose literal kind needs per-value checks) goes to a scan list
+//     evaluated against the concrete value.
+type attrIndex struct {
+	eq map[event.Value][]predID
+
+	numLess    thresholdSet // OpLt/OpLe with numeric literal
+	numGreater thresholdSet // OpGt/OpGe with numeric literal
+	strLess    strThresholdSet
+	strGreater strThresholdSet
+
+	scan map[predID]subscription.Predicate
+}
+
+func newAttrIndex() *attrIndex {
+	return &attrIndex{
+		eq:   make(map[event.Value][]predID),
+		scan: make(map[predID]subscription.Predicate),
+	}
+}
+
+// canonicalValue mirrors selectivity.canonical: numerically equal values
+// share an equality bucket.
+func canonicalValue(v event.Value) event.Value {
+	if v.Kind() == event.KindInt {
+		f := float64(v.AsInt())
+		if int64(f) == v.AsInt() {
+			return event.Float(f)
+		}
+	}
+	return v
+}
+
+func (ai *attrIndex) add(id predID, p subscription.Predicate) {
+	switch p.Op {
+	case subscription.OpEq:
+		key := canonicalValue(p.Value)
+		ai.eq[key] = append(ai.eq[key], id)
+	case subscription.OpLt, subscription.OpLe:
+		if f, ok := p.Value.Numeric(); ok {
+			ai.numLess.add(threshold{val: f, strict: p.Op == subscription.OpLt, id: id})
+			return
+		}
+		if p.Value.Kind() == event.KindString {
+			ai.strLess.add(strThreshold{val: p.Value.AsString(), strict: p.Op == subscription.OpLt, id: id})
+			return
+		}
+		ai.scan[id] = p
+	case subscription.OpGt, subscription.OpGe:
+		if f, ok := p.Value.Numeric(); ok {
+			ai.numGreater.add(threshold{val: f, strict: p.Op == subscription.OpGt, id: id})
+			return
+		}
+		if p.Value.Kind() == event.KindString {
+			ai.strGreater.add(strThreshold{val: p.Value.AsString(), strict: p.Op == subscription.OpGt, id: id})
+			return
+		}
+		ai.scan[id] = p
+	default:
+		ai.scan[id] = p
+	}
+}
+
+func (ai *attrIndex) remove(id predID, p subscription.Predicate) {
+	switch p.Op {
+	case subscription.OpEq:
+		key := canonicalValue(p.Value)
+		ids := ai.eq[key]
+		for i, x := range ids {
+			if x == id {
+				ids[i] = ids[len(ids)-1]
+				ai.eq[key] = ids[:len(ids)-1]
+				break
+			}
+		}
+		if len(ai.eq[key]) == 0 {
+			delete(ai.eq, key)
+		}
+	case subscription.OpLt, subscription.OpLe:
+		if _, ok := p.Value.Numeric(); ok {
+			ai.numLess.remove(id)
+			return
+		}
+		if p.Value.Kind() == event.KindString {
+			ai.strLess.remove(id)
+			return
+		}
+		delete(ai.scan, id)
+	case subscription.OpGt, subscription.OpGe:
+		if _, ok := p.Value.Numeric(); ok {
+			ai.numGreater.remove(id)
+			return
+		}
+		if p.Value.Kind() == event.KindString {
+			ai.strGreater.remove(id)
+			return
+		}
+		delete(ai.scan, id)
+	default:
+		delete(ai.scan, id)
+	}
+}
+
+// collect invokes mark for every indexed predicate fulfilled by value v.
+func (ai *attrIndex) collect(v event.Value, mark func(predID)) {
+	if ids := ai.eq[canonicalValue(v)]; len(ids) > 0 {
+		for _, id := range ids {
+			mark(id)
+		}
+	}
+	if f, ok := v.Numeric(); ok {
+		ai.numLess.collectGE(f, mark)    // threshold >= value fulfills x <= t
+		ai.numGreater.collectLE(f, mark) // threshold <= value fulfills x >= t
+	}
+	if v.Kind() == event.KindString {
+		s := v.AsString()
+		ai.strLess.collectGE(s, mark)
+		ai.strGreater.collectLE(s, mark)
+	}
+	for id, p := range ai.scan {
+		if p.EvalValue(v) {
+			mark(id)
+		}
+	}
+}
+
+// threshold is one range predicate boundary. For a "less" set the predicate
+// is x < val (strict) or x <= val; for a "greater" set x > val or x >= val.
+type threshold struct {
+	val    float64
+	strict bool
+	id     predID
+}
+
+// thresholdSet is a lazily sorted multiset of thresholds with tombstoned
+// removal. Sorting happens at most once per mutation batch.
+type thresholdSet struct {
+	items []threshold
+	dead  map[predID]struct{}
+	dirty bool
+}
+
+func (ts *thresholdSet) add(t threshold) {
+	if _, wasDead := ts.dead[t.id]; wasDead {
+		// A recycled predID may carry a different threshold than the
+		// tombstoned item; drop the stale item before re-adding.
+		ts.compact()
+	}
+	ts.items = append(ts.items, t)
+	ts.dirty = true
+}
+
+func (ts *thresholdSet) remove(id predID) {
+	if ts.dead == nil {
+		ts.dead = make(map[predID]struct{})
+	}
+	ts.dead[id] = struct{}{}
+	if len(ts.dead) > len(ts.items)/2 {
+		ts.compact()
+	}
+}
+
+func (ts *thresholdSet) compact() {
+	live := ts.items[:0]
+	for _, t := range ts.items {
+		if _, d := ts.dead[t.id]; !d {
+			live = append(live, t)
+		}
+	}
+	ts.items = live
+	ts.dead = nil
+	ts.dirty = true
+}
+
+func (ts *thresholdSet) ensure() {
+	if ts.dirty {
+		sort.Slice(ts.items, func(i, j int) bool { return ts.items[i].val < ts.items[j].val })
+		ts.dirty = false
+	}
+}
+
+// collectGE marks predicates in a "less" set fulfilled by event value x:
+// those with threshold > x, plus non-strict ones with threshold == x.
+func (ts *thresholdSet) collectGE(x float64, mark func(predID)) {
+	if len(ts.items) == 0 {
+		return
+	}
+	ts.ensure()
+	i := sort.Search(len(ts.items), func(i int) bool { return ts.items[i].val >= x })
+	for ; i < len(ts.items); i++ {
+		t := ts.items[i]
+		if t.val == x && t.strict {
+			continue // x < x is false
+		}
+		if _, d := ts.dead[t.id]; d {
+			continue
+		}
+		mark(t.id)
+	}
+}
+
+// collectLE marks predicates in a "greater" set fulfilled by event value x:
+// those with threshold < x, plus non-strict ones with threshold == x.
+func (ts *thresholdSet) collectLE(x float64, mark func(predID)) {
+	if len(ts.items) == 0 {
+		return
+	}
+	ts.ensure()
+	end := sort.Search(len(ts.items), func(i int) bool { return ts.items[i].val > x })
+	for i := 0; i < end; i++ {
+		t := ts.items[i]
+		if t.val == x && t.strict {
+			continue // x > x is false
+		}
+		if _, d := ts.dead[t.id]; d {
+			continue
+		}
+		mark(t.id)
+	}
+}
+
+// strThreshold / strThresholdSet mirror the numeric structures for string
+// ranges (lexicographic order).
+type strThreshold struct {
+	val    string
+	strict bool
+	id     predID
+}
+
+type strThresholdSet struct {
+	items []strThreshold
+	dead  map[predID]struct{}
+	dirty bool
+}
+
+func (ts *strThresholdSet) add(t strThreshold) {
+	if _, wasDead := ts.dead[t.id]; wasDead {
+		ts.compact() // see thresholdSet.add
+	}
+	ts.items = append(ts.items, t)
+	ts.dirty = true
+}
+
+func (ts *strThresholdSet) remove(id predID) {
+	if ts.dead == nil {
+		ts.dead = make(map[predID]struct{})
+	}
+	ts.dead[id] = struct{}{}
+	if len(ts.dead) > len(ts.items)/2 {
+		ts.compact()
+	}
+}
+
+func (ts *strThresholdSet) compact() {
+	live := ts.items[:0]
+	for _, t := range ts.items {
+		if _, d := ts.dead[t.id]; !d {
+			live = append(live, t)
+		}
+	}
+	ts.items = live
+	ts.dead = nil
+	ts.dirty = true
+}
+
+func (ts *strThresholdSet) ensure() {
+	if ts.dirty {
+		sort.Slice(ts.items, func(i, j int) bool { return ts.items[i].val < ts.items[j].val })
+		ts.dirty = false
+	}
+}
+
+func (ts *strThresholdSet) collectGE(x string, mark func(predID)) {
+	if len(ts.items) == 0 {
+		return
+	}
+	ts.ensure()
+	i := sort.Search(len(ts.items), func(i int) bool { return ts.items[i].val >= x })
+	for ; i < len(ts.items); i++ {
+		t := ts.items[i]
+		if t.val == x && t.strict {
+			continue
+		}
+		if _, d := ts.dead[t.id]; d {
+			continue
+		}
+		mark(t.id)
+	}
+}
+
+func (ts *strThresholdSet) collectLE(x string, mark func(predID)) {
+	if len(ts.items) == 0 {
+		return
+	}
+	ts.ensure()
+	end := sort.Search(len(ts.items), func(i int) bool { return ts.items[i].val > x })
+	for i := 0; i < end; i++ {
+		t := ts.items[i]
+		if t.val == x && t.strict {
+			continue
+		}
+		if _, d := ts.dead[t.id]; d {
+			continue
+		}
+		mark(t.id)
+	}
+}

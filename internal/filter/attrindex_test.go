@@ -1,0 +1,167 @@
+package filter
+
+import (
+	"sort"
+	"testing"
+
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+func collectIDs(ts *thresholdSet, x float64, less bool) []predID {
+	var got []predID
+	if less {
+		ts.collectGE(x, func(id predID) { got = append(got, id) })
+	} else {
+		ts.collectLE(x, func(id predID) { got = append(got, id) })
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	return got
+}
+
+func TestThresholdSetBoundaries(t *testing.T) {
+	var ts thresholdSet
+	// x <= 10 (id 1), x < 10 (id 2), x <= 20 (id 3).
+	ts.add(threshold{val: 10, strict: false, id: 1})
+	ts.add(threshold{val: 10, strict: true, id: 2})
+	ts.add(threshold{val: 20, strict: false, id: 3})
+
+	tests := []struct {
+		x    float64
+		want []predID
+	}{
+		{5, []predID{1, 2, 3}},
+		{10, []predID{1, 3}}, // strict x<10 excluded at equality
+		{15, []predID{3}},
+		{20, []predID{3}},
+		{25, nil},
+	}
+	for _, tt := range tests {
+		if got := collectIDs(&ts, tt.x, true); !equalPredIDs(got, tt.want) {
+			t.Errorf("collectGE(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestThresholdSetGreaterBoundaries(t *testing.T) {
+	var ts thresholdSet
+	// x >= 10 (id 1), x > 10 (id 2), x >= 5 (id 3).
+	ts.add(threshold{val: 10, strict: false, id: 1})
+	ts.add(threshold{val: 10, strict: true, id: 2})
+	ts.add(threshold{val: 5, strict: false, id: 3})
+
+	tests := []struct {
+		x    float64
+		want []predID
+	}{
+		{4, nil},
+		{5, []predID{3}},
+		{10, []predID{1, 3}},
+		{11, []predID{1, 2, 3}},
+	}
+	for _, tt := range tests {
+		if got := collectIDs(&ts, tt.x, false); !equalPredIDs(got, tt.want) {
+			t.Errorf("collectLE(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestThresholdSetTombstonesAndCompaction(t *testing.T) {
+	var ts thresholdSet
+	for i := 0; i < 10; i++ {
+		ts.add(threshold{val: float64(i), id: predID(i)})
+	}
+	// Remove a minority: tombstoned, not compacted.
+	ts.remove(3)
+	ts.remove(7)
+	if got := collectIDs(&ts, 0, true); len(got) != 8 {
+		t.Errorf("after 2 removals, %d live thresholds (want 8): %v", len(got), got)
+	}
+	if len(ts.items) != 10 {
+		t.Errorf("compaction ran early: %d items", len(ts.items))
+	}
+	// Remove enough to trigger compaction (> half dead).
+	for i := 0; i < 6; i++ {
+		ts.remove(predID(i))
+	}
+	if len(ts.items) >= 10 {
+		t.Errorf("compaction did not run: %d items", len(ts.items))
+	}
+	want := []predID{6, 8, 9} // removed: 0..5 plus 7 earlier
+	if got := collectIDs(&ts, 0, true); !equalPredIDs(got, want) {
+		t.Errorf("after compaction: %v, want %v", got, want)
+	}
+}
+
+func TestThresholdSetRecycledIDNewValue(t *testing.T) {
+	// A tombstoned predID re-added with a different threshold must not
+	// resurrect the stale value.
+	var ts thresholdSet
+	ts.add(threshold{val: 10, id: 1})
+	ts.add(threshold{val: 50, id: 2})
+	ts.remove(1)
+	ts.add(threshold{val: 99, id: 1}) // recycled with new threshold
+
+	// Event value 60: fulfilled for "x <= 99" (id 1) but not "x <= 10".
+	if got := collectIDs(&ts, 60, true); !equalPredIDs(got, []predID{1}) {
+		t.Errorf("recycled id lookup = %v, want [1]", got)
+	}
+	// Event value 5: both live thresholds qualify.
+	if got := collectIDs(&ts, 5, true); !equalPredIDs(got, []predID{1, 2}) {
+		t.Errorf("low-value lookup = %v, want [1 2]", got)
+	}
+}
+
+func TestStrThresholdSetThroughEngine(t *testing.T) {
+	// Exercise the string threshold structures through the public API with
+	// churn that forces tombstoning and recycling.
+	e := New()
+	mk := func(id uint64, expr string) *subscription.Subscription {
+		s, err := subscription.New(id, "c", subscription.MustParse(expr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	e.Register(mk(1, `name < "m"`))
+	e.Register(mk(2, `name >= "m"`))
+	e.Register(mk(3, `name <= "zz"`))
+	check := func(val string, want ...uint64) {
+		t.Helper()
+		got := e.Match(event.Build(1).Str("name", val).Msg(), nil)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("Match(%q) = %v, want %v", val, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Match(%q) = %v, want %v", val, got, want)
+			}
+		}
+	}
+	check("alpha", 1, 3)
+	check("m", 2, 3)
+	check("zulu", 2, 3)
+	check("zzz", 2)
+
+	// Churn: remove and re-add with different bounds under the same ids.
+	e.Unregister(1)
+	e.Unregister(2)
+	e.Register(mk(1, `name < "c"`))
+	e.Register(mk(2, `name >= "x"`))
+	check("alpha", 1, 3)
+	check("m", 3)
+	check("zulu", 2, 3)
+}
+
+func equalPredIDs(a, b []predID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

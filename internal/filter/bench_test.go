@@ -1,0 +1,83 @@
+package filter
+
+import (
+	"fmt"
+	"testing"
+
+	"dimprune/internal/auction"
+	"dimprune/internal/event"
+)
+
+// benchEngine registers n auction subscriptions and returns events to match.
+func benchEngine(b *testing.B, n int) (*Engine, []*event.Message) {
+	b.Helper()
+	gen, err := auction.NewGenerator(auction.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := New()
+	for i := 0; i < n; i++ {
+		s, err := gen.Subscription(uint64(i+1), fmt.Sprintf("c%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Register(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e, gen.Events(1, 2048)
+}
+
+func BenchmarkMatch1k(b *testing.B)  { benchMatch(b, 1000) }
+func BenchmarkMatch10k(b *testing.B) { benchMatch(b, 10000) }
+func BenchmarkMatch50k(b *testing.B) { benchMatch(b, 50000) }
+
+func benchMatch(b *testing.B, subs int) {
+	e, events := benchEngine(b, subs)
+	b.ResetTimer()
+	matches := 0
+	for i := 0; i < b.N; i++ {
+		matches += e.MatchCount(events[i%len(events)])
+	}
+	b.ReportMetric(float64(matches)/float64(b.N), "matches/event")
+}
+
+func BenchmarkRegisterUnregister(b *testing.B) {
+	gen, err := auction.NewGenerator(auction.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := New()
+	subs := make([]uint64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := gen.Subscription(uint64(i+1), "c")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Register(s); err != nil {
+			b.Fatal(err)
+		}
+		subs = append(subs, s.ID)
+	}
+	for _, id := range subs {
+		e.Unregister(id)
+	}
+}
+
+func BenchmarkUpdateAfterPrune(b *testing.B) {
+	e, _ := benchEngine(b, 5000)
+	gen, _ := auction.NewGenerator(auction.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i%5000 + 1)
+		old, ok := e.Subscription(id)
+		if !ok {
+			b.Fatal("missing subscription")
+		}
+		if err := e.Update(old); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = gen
+}

@@ -1,0 +1,295 @@
+// Package filter implements the counting-based filtering algorithm for
+// Boolean subscriptions described in [2] (Bittner & Hinze, CoopIS 2005) —
+// the "non-canonical" matcher the paper's throughput heuristic reasons
+// about.
+//
+// The engine deduplicates predicates across subscriptions in a registry and
+// keeps, per predicate, its predicate/subscription associations — the
+// paper's memory metric. Matching an event proceeds in two phases:
+//
+//  1. Predicate phase: per-attribute operator indexes (hash for equality,
+//     sorted threshold arrays for ranges, scan lists for the rest) determine
+//     the set of fulfilled predicates without touching subscriptions.
+//  2. Counting phase: fulfilled predicates bump a counter on each associated
+//     subscription; only subscriptions whose counter reaches pmin — the
+//     minimal number of fulfilled predicates that can satisfy the tree —
+//     have their Boolean tree evaluated.
+//
+// The pmin gate is exactly what throughput-based pruning preserves: pruning
+// that keeps pmin high keeps tree evaluations rare.
+package filter
+
+import (
+	"fmt"
+
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// Engine filters events against a dynamic set of Boolean subscriptions.
+// It is not safe for concurrent use; each broker owns one.
+type Engine struct {
+	registry registry
+	attrs    map[string]*attrIndex
+
+	// negScan lists predicates that can be fulfilled by the *absence* of
+	// their attribute (negated predicates); they are evaluated against the
+	// whole message once per match call.
+	negScan map[predID]struct{}
+
+	subs     map[uint64]*subEntry
+	dense    []*subEntry // dense index -> entry (nil for free slots)
+	freeSubs []int32
+
+	epoch     uint64
+	fulfilled []uint64 // predID -> epoch stamp
+	counts    []int32  // dense sub index -> fulfilled-predicate count
+	touched   []int32  // dense sub indexes with counts > 0 this epoch
+
+	assocs int // current predicate/subscription associations
+}
+
+// subEntry is the engine's view of one registered subscription.
+type subEntry struct {
+	sub   *subscription.Subscription
+	idx   int32    // dense index
+	pmin  int32    // cached PMin of the current tree
+	leafs []predID // leaf predicates in pre-order (with duplicates)
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{
+		registry: newRegistry(),
+		attrs:    make(map[string]*attrIndex),
+		negScan:  make(map[predID]struct{}),
+		subs:     make(map[uint64]*subEntry),
+	}
+}
+
+// NumSubscriptions returns the number of registered subscriptions.
+func (e *Engine) NumSubscriptions() int { return len(e.subs) }
+
+// Associations returns the current number of predicate/subscription
+// associations — the sum of leaf counts over all registered trees. This is
+// the routing-table memory metric of Fig. 1(c)/(f).
+func (e *Engine) Associations() int { return e.assocs }
+
+// NumPredicates returns the number of distinct predicates in the registry.
+func (e *Engine) NumPredicates() int { return e.registry.live }
+
+// Subscription returns the currently registered tree for id.
+func (e *Engine) Subscription(id uint64) (*subscription.Subscription, bool) {
+	se, ok := e.subs[id]
+	if !ok {
+		return nil, false
+	}
+	return se.sub, true
+}
+
+// Register adds a subscription. The subscription tree is used as-is (callers
+// pass validated trees); registering an already-present ID is an error.
+func (e *Engine) Register(s *subscription.Subscription) error {
+	if _, dup := e.subs[s.ID]; dup {
+		return fmt.Errorf("filter: subscription %d already registered", s.ID)
+	}
+	se := &subEntry{sub: s}
+	if n := len(e.freeSubs); n > 0 {
+		se.idx = e.freeSubs[n-1]
+		e.freeSubs = e.freeSubs[:n-1]
+		e.dense[se.idx] = se
+	} else {
+		se.idx = int32(len(e.dense))
+		e.dense = append(e.dense, se)
+		e.counts = append(e.counts, 0)
+	}
+	e.subs[s.ID] = se
+	e.attach(se)
+	return nil
+}
+
+// Unregister removes a subscription, releasing its predicate associations.
+// It reports whether the ID was present.
+func (e *Engine) Unregister(id uint64) bool {
+	se, ok := e.subs[id]
+	if !ok {
+		return false
+	}
+	e.detach(se)
+	e.dense[se.idx] = nil
+	e.counts[se.idx] = 0
+	e.freeSubs = append(e.freeSubs, se.idx)
+	delete(e.subs, id)
+	return true
+}
+
+// Update replaces the tree of a registered subscription — how pruned routing
+// entries take effect. The subscription keeps its identity; associations and
+// indexes adjust incrementally.
+func (e *Engine) Update(s *subscription.Subscription) error {
+	se, ok := e.subs[s.ID]
+	if !ok {
+		return fmt.Errorf("filter: subscription %d not registered", s.ID)
+	}
+	e.detach(se)
+	se.sub = s
+	e.attach(se)
+	return nil
+}
+
+// attach registers the entry's current tree with the predicate registry and
+// attribute indexes.
+func (e *Engine) attach(se *subEntry) {
+	leaves := se.sub.Root.Leaves(nil)
+	se.leafs = make([]predID, len(leaves))
+	se.pmin = int32(se.sub.PMin())
+	for i, p := range leaves {
+		id, isNew := e.registry.intern(p)
+		se.leafs[i] = id
+		if isNew {
+			e.indexAdd(id, p)
+			e.growPredTables()
+		}
+		e.registry.associate(id, se.idx)
+	}
+	e.assocs += len(leaves)
+}
+
+// detach removes the entry's current tree from registry and indexes.
+func (e *Engine) detach(se *subEntry) {
+	for _, id := range se.leafs {
+		p, gone := e.registry.dissociate(id, se.idx)
+		if gone {
+			e.indexRemove(id, p)
+		}
+	}
+	e.assocs -= len(se.leafs)
+	se.leafs = nil
+}
+
+func (e *Engine) growPredTables() {
+	if n := e.registry.capacity(); n > len(e.fulfilled) {
+		grown := make([]uint64, n+n/2+8)
+		copy(grown, e.fulfilled)
+		e.fulfilled = grown
+	}
+}
+
+// indexAdd routes a new predicate into the right per-attribute structure.
+func (e *Engine) indexAdd(id predID, p subscription.Predicate) {
+	if p.Negated {
+		e.negScan[id] = struct{}{}
+		return
+	}
+	ai := e.attrs[p.Attr]
+	if ai == nil {
+		ai = newAttrIndex()
+		e.attrs[p.Attr] = ai
+	}
+	ai.add(id, p)
+}
+
+func (e *Engine) indexRemove(id predID, p subscription.Predicate) {
+	if p.Negated {
+		delete(e.negScan, id)
+		return
+	}
+	if ai := e.attrs[p.Attr]; ai != nil {
+		ai.remove(id, p)
+	}
+}
+
+// Match appends the IDs of all subscriptions matching m to dst and returns
+// it. The result set is deterministic; its order is unspecified.
+func (e *Engine) Match(m *event.Message, dst []uint64) []uint64 {
+	e.MatchVisit(m, func(s *subscription.Subscription) {
+		dst = append(dst, s.ID)
+	})
+	return dst
+}
+
+// MatchCount returns the number of matching subscriptions.
+func (e *Engine) MatchCount(m *event.Message) int {
+	n := 0
+	e.MatchVisit(m, func(*subscription.Subscription) { n++ })
+	return n
+}
+
+// MatchVisit invokes fn for every subscription whose tree matches m.
+// fn must not mutate the engine.
+func (e *Engine) MatchVisit(m *event.Message, fn func(*subscription.Subscription)) {
+	e.epoch++
+
+	// Phase 1: determine fulfilled predicates.
+	for _, a := range m.Attrs {
+		if ai := e.attrs[a.Name]; ai != nil {
+			ai.collect(a.Value, e.mark)
+		}
+	}
+	for id := range e.negScan {
+		if e.registry.pred(id).Matches(m) {
+			e.mark(id)
+		}
+	}
+
+	// Phase 2: count and evaluate gated subscriptions.
+	for _, idx := range e.touched {
+		se := e.dense[idx]
+		if se != nil && e.counts[idx] >= se.pmin && e.evalTree(se) {
+			fn(se.sub)
+		}
+		e.counts[idx] = 0
+	}
+	e.touched = e.touched[:0]
+}
+
+// mark stamps a predicate as fulfilled for the current epoch and credits its
+// associated subscriptions.
+func (e *Engine) mark(id predID) {
+	if e.fulfilled[id] == e.epoch {
+		return
+	}
+	e.fulfilled[id] = e.epoch
+	for _, idx := range e.registry.subsOf(id) {
+		if e.counts[idx] == 0 {
+			e.touched = append(e.touched, idx)
+		}
+		e.counts[idx]++
+	}
+}
+
+// evalTree evaluates the Boolean tree of se using the epoch-stamped
+// fulfilled set; leaves are consumed in pre-order, mirroring attach.
+func (e *Engine) evalTree(se *subEntry) bool {
+	pos := 0
+	return e.evalNode(se.sub.Root, se.leafs, &pos)
+}
+
+func (e *Engine) evalNode(n *subscription.Node, leafs []predID, pos *int) bool {
+	switch n.Kind {
+	case subscription.NodeLeaf:
+		id := leafs[*pos]
+		*pos++
+		return e.fulfilled[id] == e.epoch
+	case subscription.NodeAnd:
+		ok := true
+		for _, c := range n.Children {
+			// No short-circuit: the leaf cursor must advance through every
+			// child regardless of the outcome.
+			if !e.evalNode(c, leafs, pos) {
+				ok = false
+			}
+		}
+		return ok
+	case subscription.NodeOr:
+		ok := false
+		for _, c := range n.Children {
+			if e.evalNode(c, leafs, pos) {
+				ok = true
+			}
+		}
+		return ok
+	default:
+		return false
+	}
+}

@@ -1,0 +1,72 @@
+package filter
+
+import (
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// Random tree/message helpers over a small attribute universe, mirroring the
+// subscription package's generators so the oracle tests exercise the same
+// shapes the pruning engine sees.
+
+var testAttrs = []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+
+func randomPredicate(r *dist.RNG) subscription.Predicate {
+	attr := testAttrs[r.Intn(len(testAttrs))]
+	var p subscription.Predicate
+	switch r.Intn(7) {
+	case 0:
+		p = subscription.Pred(attr, subscription.OpEq, event.Int(int64(r.Intn(10))))
+	case 1:
+		p = subscription.Pred(attr, subscription.OpLe, event.Int(int64(r.Intn(10))))
+	case 2:
+		p = subscription.Pred(attr, subscription.OpGt, event.Int(int64(r.Intn(10))))
+	case 3:
+		p = subscription.Pred(attr, subscription.OpEq, event.String(string(rune('a'+r.Intn(5)))))
+	case 4:
+		p = subscription.Pred(attr, subscription.OpPrefix, event.String(string(rune('a'+r.Intn(3)))))
+	case 5:
+		p = subscription.Pred(attr, subscription.OpNe, event.Int(int64(r.Intn(10))))
+	default:
+		p = subscription.Pred(attr, subscription.OpExists, event.Value{})
+	}
+	if r.Bool(0.15) {
+		p = p.Negate()
+	}
+	return p
+}
+
+func randomTree(r *dist.RNG, maxDepth int) *subscription.Node {
+	if maxDepth <= 0 || r.Bool(0.4) {
+		return subscription.Leaf(randomPredicate(r))
+	}
+	kind := subscription.NodeAnd
+	if r.Bool(0.4) {
+		kind = subscription.NodeOr
+	}
+	n := r.IntRange(2, 4)
+	children := make([]*subscription.Node, n)
+	for i := range children {
+		children[i] = randomTree(r, maxDepth-1)
+	}
+	return &subscription.Node{Kind: kind, Children: children}
+}
+
+func randomMessage(r *dist.RNG, id uint64) *event.Message {
+	b := event.Build(id)
+	for _, a := range testAttrs {
+		if r.Bool(0.3) {
+			continue
+		}
+		switch r.Intn(3) {
+		case 0:
+			b.Int(a, int64(r.Intn(10)))
+		case 1:
+			b.Num(a, r.Range(0, 10))
+		default:
+			b.Str(a, string(rune('a'+r.Intn(5)))+string(rune('a'+r.Intn(5))))
+		}
+	}
+	return b.Msg()
+}

@@ -1,0 +1,92 @@
+package filter
+
+import "dimprune/internal/subscription"
+
+// predID densely numbers distinct predicates in the registry.
+type predID = int32
+
+// predEntry is one interned predicate with its subscription associations.
+type predEntry struct {
+	pred subscription.Predicate
+	// subs lists dense subscription indexes, one entry per leaf occurrence,
+	// so a predicate appearing twice in one tree credits its counter twice
+	// (pmin counts leaf occurrences).
+	subs []int32
+	live bool
+}
+
+// registry deduplicates predicates across subscriptions. Identical
+// attribute–operator–value(–negation) triples share one entry — the sharing
+// that makes predicate/subscription associations the natural memory unit.
+type registry struct {
+	byPred map[subscription.Predicate]predID
+	byID   []predEntry
+	freeID []predID
+	live   int // distinct predicates currently referenced
+}
+
+func newRegistry() registry {
+	return registry{byPred: make(map[subscription.Predicate]predID)}
+}
+
+// capacity returns the size of the predID space (for sizing stamp tables).
+func (r *registry) capacity() int { return len(r.byID) }
+
+// pred returns the predicate for an ID.
+func (r *registry) pred(id predID) subscription.Predicate { return r.byID[id].pred }
+
+// subsOf returns the dense subscription indexes associated with a predicate.
+// The returned slice is owned by the registry; callers must not retain it
+// across mutations.
+func (r *registry) subsOf(id predID) []int32 { return r.byID[id].subs }
+
+// intern returns the ID for p, allocating an entry when p is new. isNew
+// reports whether the predicate needs to be added to the attribute indexes.
+func (r *registry) intern(p subscription.Predicate) (id predID, isNew bool) {
+	if id, ok := r.byPred[p]; ok {
+		// byPred only holds live entries: dissociate removes retired
+		// predicates from the map before recycling their IDs.
+		return id, false
+	}
+	if n := len(r.freeID); n > 0 {
+		id = r.freeID[n-1]
+		r.freeID = r.freeID[:n-1]
+		r.byID[id] = predEntry{pred: p, live: true}
+	} else {
+		id = predID(len(r.byID))
+		r.byID = append(r.byID, predEntry{pred: p, live: true})
+	}
+	r.byPred[p] = id
+	r.live++
+	return id, true
+}
+
+// associate records that the subscription at dense index subIdx holds one
+// leaf occurrence of predicate id.
+func (r *registry) associate(id predID, subIdx int32) {
+	r.byID[id].subs = append(r.byID[id].subs, subIdx)
+}
+
+// dissociate removes one leaf occurrence. When the predicate's last
+// association disappears it is retired: gone=true tells the caller to drop
+// it from the attribute indexes. The predicate value is returned for that
+// removal.
+func (r *registry) dissociate(id predID, subIdx int32) (p subscription.Predicate, gone bool) {
+	ent := &r.byID[id]
+	for i, s := range ent.subs {
+		if s == subIdx {
+			last := len(ent.subs) - 1
+			ent.subs[i] = ent.subs[last]
+			ent.subs = ent.subs[:last]
+			break
+		}
+	}
+	if len(ent.subs) == 0 && ent.live {
+		ent.live = false
+		r.live--
+		delete(r.byPred, ent.pred)
+		r.freeID = append(r.freeID, id)
+		return ent.pred, true
+	}
+	return ent.pred, false
+}

@@ -1,0 +1,74 @@
+// Package metrics collects the counters the experiments report: filtering
+// time, matched/forwarded event counts, routing-table associations, and
+// per-link traffic. Counters are plain values owned by a single goroutine
+// (brokers and the simulation are single-threaded); Snapshot copies them out
+// for reporting.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Counters accumulates one broker's (or one harness run's) measurements.
+type Counters struct {
+	// EventsFiltered counts events pushed through the filtering engine.
+	EventsFiltered uint64
+	// FilterTime accumulates wall time spent inside the filtering engine.
+	FilterTime time.Duration
+	// MatchedEntries counts routing-table entries matched by events
+	// (the "matching events × entries" volume of Fig 1(b)).
+	MatchedEntries uint64
+	// EventsPublished counts events injected by local clients.
+	EventsPublished uint64
+	// EventsForwarded counts publish frames sent to neighbor brokers —
+	// the routed-event unit of Fig 1(e).
+	EventsForwarded uint64
+	// ControlSent counts subscribe/unsubscribe frames sent to neighbors.
+	ControlSent uint64
+	// BytesSent accumulates encoded frame bytes sent to neighbors.
+	BytesSent uint64
+	// Deliveries counts notifications handed to local subscribers.
+	Deliveries uint64
+}
+
+// Add folds o into c.
+func (c *Counters) Add(o Counters) {
+	c.EventsFiltered += o.EventsFiltered
+	c.FilterTime += o.FilterTime
+	c.MatchedEntries += o.MatchedEntries
+	c.EventsPublished += o.EventsPublished
+	c.EventsForwarded += o.EventsForwarded
+	c.ControlSent += o.ControlSent
+	c.BytesSent += o.BytesSent
+	c.Deliveries += o.Deliveries
+}
+
+// FilterTimePerEvent returns the average filtering time per filtered event,
+// the ordinate of Fig 1(a)/(d).
+func (c Counters) FilterTimePerEvent() time.Duration {
+	if c.EventsFiltered == 0 {
+		return 0
+	}
+	return c.FilterTime / time.Duration(c.EventsFiltered)
+}
+
+// String renders the counters compactly for logs and tools.
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"filtered=%d filterTime=%v matched=%d published=%d forwarded=%d control=%d bytes=%d delivered=%d",
+		c.EventsFiltered, c.FilterTime, c.MatchedEntries, c.EventsPublished,
+		c.EventsForwarded, c.ControlSent, c.BytesSent, c.Deliveries)
+}
+
+// Timer measures one timed region; start with Start, stop with Stop.
+// The zero Timer is ready to use.
+type Timer struct {
+	started time.Time
+}
+
+// Start begins timing.
+func (t *Timer) Start() { t.started = time.Now() }
+
+// Stop returns the elapsed time since Start.
+func (t *Timer) Stop() time.Duration { return time.Since(t.started) }

@@ -1,0 +1,50 @@
+package selectivity
+
+import (
+	"testing"
+
+	"dimprune/internal/auction"
+	"dimprune/internal/subscription"
+)
+
+func benchModelAndTrees(b *testing.B) (*Model, []*subscription.Node) {
+	b.Helper()
+	gen, err := auction.NewGenerator(auction.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewModel()
+	for _, ev := range gen.Events(1, 4000) {
+		m.Observe(ev)
+	}
+	trees := make([]*subscription.Node, 128)
+	for i := range trees {
+		s, err := gen.Subscription(uint64(i+1), "c")
+		if err != nil {
+			b.Fatal(err)
+		}
+		trees[i] = s.Root
+	}
+	return m, trees
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	m, trees := benchModelAndTrees(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Estimate(trees[i%len(trees)])
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	gen, err := auction.NewGenerator(auction.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := gen.Events(1, 4096)
+	m := NewModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(events[i%len(events)])
+	}
+}

@@ -1,0 +1,263 @@
+package selectivity
+
+import (
+	"strings"
+
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// Estimate is the three-component selectivity estimate sel≈ of §3.1:
+// the share of events a subscription matches, bounded below and above, plus
+// an independence-assumption average. Invariant: 0 ≤ Min ≤ Avg ≤ Max ≤ 1.
+type Estimate struct {
+	Min float64
+	Avg float64
+	Max float64
+}
+
+// Point returns an estimate with all three components equal.
+func Point(p float64) Estimate { return Estimate{Min: p, Avg: p, Max: p} }
+
+// Degradation is Δ≈sel(sx, sy) of §3.1: the maximum of the component-wise
+// differences between the pruned estimate e2 and the original estimate e1.
+// It estimates how much less selective the pruned subscription is; higher
+// means more additional events will be matched and routed.
+func Degradation(e1, e2 Estimate) float64 {
+	d := e2.Min - e1.Min
+	if v := e2.Avg - e1.Avg; v > d {
+		d = v
+	}
+	if v := e2.Max - e1.Max; v > d {
+		d = v
+	}
+	return d
+}
+
+// defaultSel is used for predicates on attributes with no observations: with
+// no evidence either way, assume a moderately selective predicate rather
+// than an extreme.
+const defaultSel = 0.1
+
+// Predicate estimates the probability that a predicate matches a random
+// event drawn from the observed distribution.
+func (m *Model) Predicate(p subscription.Predicate) float64 {
+	raw := m.rawPredicate(p)
+	if p.Negated {
+		return clamp01(1 - raw)
+	}
+	return raw
+}
+
+// rawPredicate estimates P(attribute present ∧ operator holds).
+func (m *Model) rawPredicate(p subscription.Predicate) float64 {
+	st := m.attrs[p.Attr]
+	if st == nil || m.events == 0 || st.present == 0 {
+		if p.Op == subscription.OpExists {
+			return 0
+		}
+		return defaultSel
+	}
+	presence := float64(st.present) / float64(m.events)
+	return clamp01(presence * st.conditional(p))
+}
+
+// conditional estimates P(operator holds | attribute present).
+func (s *attrStats) conditional(p subscription.Predicate) float64 {
+	switch p.Op {
+	case subscription.OpExists:
+		return 1
+	case subscription.OpEq:
+		return s.eqProb(p.Value)
+	case subscription.OpNe:
+		return clamp01(1 - s.eqProb(p.Value))
+	case subscription.OpLt, subscription.OpLe, subscription.OpGt, subscription.OpGe:
+		return s.rangeProb(p.Op, p.Value)
+	case subscription.OpPrefix, subscription.OpSuffix, subscription.OpContains:
+		return s.stringProb(p.Op, p.Value)
+	default:
+		return defaultSel
+	}
+}
+
+func (s *attrStats) eqProb(v event.Value) float64 {
+	key := canonical(v)
+	if n, ok := s.freq[key]; ok {
+		return float64(n) / float64(s.present)
+	}
+	if s.overflow == 0 {
+		return 0
+	}
+	// The value was never tracked; spread the overflow mass uniformly over an
+	// assumed long tail as wide as the tracked head.
+	return float64(s.overflow) / float64(s.present) / float64(maxTrackedValues)
+}
+
+func (s *attrStats) rangeProb(op subscription.Op, v event.Value) float64 {
+	if f, ok := v.Numeric(); ok {
+		nums := s.sortedNums()
+		if len(nums) == 0 {
+			return defaultSel
+		}
+		lower := search(nums, func(x float64) bool { return x >= f })
+		upper := search(nums, func(x float64) bool { return x > f })
+		n := float64(len(nums))
+		numericShare := float64(s.numsTotal) / float64(s.present)
+		var frac float64
+		switch op {
+		case subscription.OpLt:
+			frac = float64(lower) / n
+		case subscription.OpLe:
+			frac = float64(upper) / n
+		case subscription.OpGt:
+			frac = float64(len(nums)-upper) / n
+		default: // OpGe
+			frac = float64(len(nums)-lower) / n
+		}
+		return clamp01(frac * numericShare)
+	}
+	if v.Kind() == event.KindString {
+		strs := s.sortedStrs()
+		if len(strs) == 0 {
+			return defaultSel
+		}
+		t := v.AsString()
+		lower := searchStr(strs, func(x string) bool { return x >= t })
+		upper := searchStr(strs, func(x string) bool { return x > t })
+		n := float64(len(strs))
+		stringShare := float64(s.strsTotal) / float64(s.present)
+		var frac float64
+		switch op {
+		case subscription.OpLt:
+			frac = float64(lower) / n
+		case subscription.OpLe:
+			frac = float64(upper) / n
+		case subscription.OpGt:
+			frac = float64(len(strs)-upper) / n
+		default:
+			frac = float64(len(strs)-lower) / n
+		}
+		return clamp01(frac * stringShare)
+	}
+	return 0 // unorderable value kind never satisfies a range operator
+}
+
+func (s *attrStats) stringProb(op subscription.Op, v event.Value) float64 {
+	if v.Kind() != event.KindString {
+		return 0
+	}
+	strs := s.sortedStrs()
+	if len(strs) == 0 {
+		return defaultSel
+	}
+	t := v.AsString()
+	match := 0
+	for _, x := range strs {
+		switch op {
+		case subscription.OpPrefix:
+			if strings.HasPrefix(x, t) {
+				match++
+			}
+		case subscription.OpSuffix:
+			if strings.HasSuffix(x, t) {
+				match++
+			}
+		default: // OpContains
+			if strings.Contains(x, t) {
+				match++
+			}
+		}
+	}
+	stringShare := float64(s.strsTotal) / float64(s.present)
+	return clamp01(float64(match) / float64(len(strs)) * stringShare)
+}
+
+// Estimate computes the three-component estimate of a subscription tree.
+// Leaves receive point estimates; AND combines with the Fréchet lower bound,
+// independence average, and min upper bound; OR with the max lower bound,
+// inclusion–exclusion-under-independence average, and capped-sum upper
+// bound. These bounds hold for any correlation structure among subtrees, so
+// the true selectivity of the tree lies in [Min, Max] whenever the leaf
+// estimates are exact.
+func (m *Model) Estimate(n *subscription.Node) Estimate {
+	switch n.Kind {
+	case subscription.NodeLeaf:
+		return Point(m.Predicate(n.Pred))
+	case subscription.NodeAnd:
+		e := Estimate{Min: 1, Avg: 1, Max: 1}
+		for _, c := range n.Children {
+			ce := m.Estimate(c)
+			e.Min = clamp01(e.Min + ce.Min - 1)
+			e.Avg *= ce.Avg
+			if ce.Max < e.Max {
+				e.Max = ce.Max
+			}
+		}
+		return e.normalize()
+	case subscription.NodeOr:
+		var e Estimate
+		for _, c := range n.Children {
+			ce := m.Estimate(c)
+			if ce.Min > e.Min {
+				e.Min = ce.Min
+			}
+			e.Avg = 1 - (1-e.Avg)*(1-ce.Avg)
+			e.Max = clamp01(e.Max + ce.Max)
+		}
+		return e.normalize()
+	default:
+		return Estimate{}
+	}
+}
+
+// normalize repairs floating-point drift so Min ≤ Avg ≤ Max stays true.
+func (e Estimate) normalize() Estimate {
+	e.Min = clamp01(e.Min)
+	e.Avg = clamp01(e.Avg)
+	e.Max = clamp01(e.Max)
+	if e.Avg < e.Min {
+		e.Avg = e.Min
+	}
+	if e.Max < e.Avg {
+		e.Max = e.Avg
+	}
+	return e
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// search returns the first index i in the ascending slice for which
+// pred(s[i]) is true, or len(s).
+func search(s []float64, pred func(float64) bool) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pred(s[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func searchStr(s []string, pred func(string) bool) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pred(s[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

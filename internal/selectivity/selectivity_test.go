@@ -1,0 +1,235 @@
+package selectivity
+
+import (
+	"math"
+	"testing"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// uniformModel observes n events with price uniform over [0,100) (ints) and
+// category drawn from {a: 50%, b: 30%, c: 20%}.
+func uniformModel(t *testing.T, n int) *Model {
+	t.Helper()
+	m := NewModel()
+	r := dist.New(1)
+	for i := 0; i < n; i++ {
+		b := event.Build(uint64(i)).Int("price", int64(r.Intn(100)))
+		u := r.Float64()
+		switch {
+		case u < 0.5:
+			b.Str("category", "a")
+		case u < 0.8:
+			b.Str("category", "b")
+		default:
+			b.Str("category", "c")
+		}
+		if r.Bool(0.25) { // rating present on 25% of events
+			b.Int("rating", int64(r.Intn(5)))
+		}
+		m.Observe(b.Msg())
+	}
+	return m
+}
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v ± %v", name, got, want, tol)
+	}
+}
+
+func TestPredicateEquality(t *testing.T) {
+	m := uniformModel(t, 20000)
+	approx(t, "category = a", m.Predicate(subscription.Pred("category", subscription.OpEq, event.String("a"))), 0.5, 0.02)
+	approx(t, "category = c", m.Predicate(subscription.Pred("category", subscription.OpEq, event.String("c"))), 0.2, 0.02)
+	approx(t, "category = zz", m.Predicate(subscription.Pred("category", subscription.OpEq, event.String("zz"))), 0, 0.001)
+}
+
+func TestPredicateRange(t *testing.T) {
+	m := uniformModel(t, 20000)
+	approx(t, "price < 50", m.Predicate(subscription.Pred("price", subscription.OpLt, event.Int(50))), 0.5, 0.03)
+	approx(t, "price <= 9", m.Predicate(subscription.Pred("price", subscription.OpLe, event.Int(9))), 0.1, 0.02)
+	approx(t, "price > 89", m.Predicate(subscription.Pred("price", subscription.OpGt, event.Int(89))), 0.1, 0.02)
+	approx(t, "price >= 0", m.Predicate(subscription.Pred("price", subscription.OpGe, event.Int(0))), 1, 0.01)
+	approx(t, "price < 0", m.Predicate(subscription.Pred("price", subscription.OpLt, event.Int(0))), 0, 0.001)
+}
+
+func TestPredicatePresence(t *testing.T) {
+	m := uniformModel(t, 20000)
+	// rating present on ~25% of events; rating >= 0 always true given present.
+	approx(t, "rating exists", m.Predicate(subscription.Pred("rating", subscription.OpExists, event.Value{})), 0.25, 0.02)
+	approx(t, "rating >= 0", m.Predicate(subscription.Pred("rating", subscription.OpGe, event.Int(0))), 0.25, 0.02)
+	// Negation includes absent-attribute events.
+	approx(t, "not rating >= 0", m.Predicate(subscription.Pred("rating", subscription.OpGe, event.Int(0)).Negate()), 0.75, 0.02)
+}
+
+func TestPredicateUnknownAttribute(t *testing.T) {
+	m := uniformModel(t, 100)
+	got := m.Predicate(subscription.Pred("nosuch", subscription.OpEq, event.Int(1)))
+	if got != defaultSel {
+		t.Errorf("unknown attribute selectivity = %v, want default %v", got, defaultSel)
+	}
+	if got := m.Predicate(subscription.Pred("nosuch", subscription.OpExists, event.Value{})); got != 0 {
+		t.Errorf("exists on unknown attribute = %v, want 0", got)
+	}
+}
+
+func TestPredicateNe(t *testing.T) {
+	m := uniformModel(t, 20000)
+	approx(t, "category != a", m.Predicate(subscription.Pred("category", subscription.OpNe, event.String("a"))), 0.5, 0.02)
+}
+
+func TestStringOps(t *testing.T) {
+	m := NewModel()
+	titles := []string{"The Hobbit", "The Silmarillion", "Dune", "Dune Messiah", "Emma"}
+	for i, s := range titles {
+		for k := 0; k < 100; k++ {
+			m.Observe(event.Build(uint64(i*100+k)).Str("title", s).Msg())
+		}
+	}
+	approx(t, `title prefix "The"`, m.Predicate(subscription.Pred("title", subscription.OpPrefix, event.String("The"))), 0.4, 0.01)
+	approx(t, `title prefix "Dune"`, m.Predicate(subscription.Pred("title", subscription.OpPrefix, event.String("Dune"))), 0.4, 0.01)
+	approx(t, `title contains "il"`, m.Predicate(subscription.Pred("title", subscription.OpContains, event.String("il"))), 0.2, 0.01)
+	approx(t, `title suffix "iah"`, m.Predicate(subscription.Pred("title", subscription.OpSuffix, event.String("iah"))), 0.2, 0.01)
+}
+
+func TestCrossKindEquality(t *testing.T) {
+	m := NewModel()
+	for i := 0; i < 100; i++ {
+		m.Observe(event.Build(uint64(i)).Int("x", 7).Msg())
+	}
+	// Predicate written as float must hit the int observations.
+	approx(t, "x = 7.0", m.Predicate(subscription.Pred("x", subscription.OpEq, event.Float(7))), 1, 0.001)
+}
+
+func TestEstimateInvariants(t *testing.T) {
+	m := uniformModel(t, 5000)
+	trees := []*subscription.Node{
+		subscription.MustParse(`price < 50`),
+		subscription.MustParse(`price < 50 and category = "a"`),
+		subscription.MustParse(`price < 50 or category = "a"`),
+		subscription.MustParse(`(price < 10 or price > 90) and category = "b" and rating >= 2`),
+		subscription.MustParse(`not price < 50 and category != "c"`),
+	}
+	for _, tr := range trees {
+		e := m.Estimate(tr)
+		if !(e.Min >= 0 && e.Min <= e.Avg && e.Avg <= e.Max && e.Max <= 1) {
+			t.Errorf("estimate invariant violated for %s: %+v", tr, e)
+		}
+	}
+}
+
+func TestEstimateAndOrSemantics(t *testing.T) {
+	m := uniformModel(t, 20000)
+	and := m.Estimate(subscription.MustParse(`price < 50 and category = "a"`))
+	// Independence average: 0.5 * 0.5 = 0.25.
+	approx(t, "AND avg", and.Avg, 0.25, 0.02)
+	// Fréchet: max(0, 0.5+0.5-1) = 0, min(0.5, 0.5) = 0.5.
+	approx(t, "AND min", and.Min, 0, 0.02)
+	approx(t, "AND max", and.Max, 0.5, 0.02)
+
+	or := m.Estimate(subscription.MustParse(`price < 50 or category = "a"`))
+	approx(t, "OR avg", or.Avg, 0.75, 0.02)
+	approx(t, "OR min", or.Min, 0.5, 0.02)
+	approx(t, "OR max", or.Max, 1.0, 0.02)
+}
+
+func TestEmpiricalSelectivityWithinBounds(t *testing.T) {
+	// Invariant 3 of DESIGN.md §6: measured match ratio falls inside
+	// [Min, Max] for independently drawn attributes.
+	m := NewModel()
+	r := dist.New(9)
+	gen := func(id uint64) *event.Message {
+		return event.Build(id).
+			Int("price", int64(r.Intn(100))).
+			Int("rating", int64(r.Intn(5))).
+			Msg()
+	}
+	var train []*event.Message
+	for i := 0; i < 20000; i++ {
+		msg := gen(uint64(i))
+		train = append(train, msg)
+		m.Observe(msg)
+	}
+	trees := []*subscription.Node{
+		subscription.MustParse(`price < 30 and rating >= 3`),
+		subscription.MustParse(`price < 30 or rating >= 3`),
+		subscription.MustParse(`price >= 20 and price < 80 and rating >= 1`),
+	}
+	for _, tr := range trees {
+		match := 0
+		for _, msg := range train {
+			if tr.Matches(msg) {
+				match++
+			}
+		}
+		ratio := float64(match) / float64(len(train))
+		e := m.Estimate(tr)
+		if ratio < e.Min-0.01 || ratio > e.Max+0.01 {
+			t.Errorf("%s: empirical %v outside [%v, %v]", tr, ratio, e.Min, e.Max)
+		}
+		// Independent attributes: the average should be close too.
+		approx(t, tr.String()+" avg", e.Avg, ratio, 0.05)
+	}
+}
+
+func TestDegradation(t *testing.T) {
+	e1 := Estimate{Min: 0.1, Avg: 0.2, Max: 0.3}
+	e2 := Estimate{Min: 0.15, Avg: 0.5, Max: 0.4}
+	if got := Degradation(e1, e2); got != 0.3 {
+		t.Errorf("Degradation = %v, want 0.3 (avg component)", got)
+	}
+	if got := Degradation(e1, e1); got != 0 {
+		t.Errorf("self-degradation = %v, want 0", got)
+	}
+}
+
+func TestDegradationNonNegativeForPrunings(t *testing.T) {
+	// Pruning generalizes, so each component can only grow: the maximum of
+	// the differences is non-negative.
+	m := uniformModel(t, 5000)
+	root := subscription.MustParse(`price < 40 and category = "a" and rating >= 2`)
+	e1 := m.Estimate(root)
+	for _, cand := range subscription.Candidates(root, nil) {
+		pruned := subscription.PruneAt(root, cand)
+		if pruned == nil {
+			t.Fatal("candidate rejected")
+		}
+		if d := Degradation(e1, m.Estimate(pruned)); d < 0 {
+			t.Errorf("negative degradation %v for pruning to %s", d, pruned)
+		}
+	}
+}
+
+func TestEstimateEmptyModel(t *testing.T) {
+	m := NewModel()
+	e := m.Estimate(subscription.MustParse(`price < 50 and category = "a"`))
+	if !(e.Min >= 0 && e.Min <= e.Avg && e.Avg <= e.Max && e.Max <= 1) {
+		t.Errorf("empty-model estimate invariant violated: %+v", e)
+	}
+}
+
+func TestPointAndNormalize(t *testing.T) {
+	p := Point(0.4)
+	if p.Min != 0.4 || p.Avg != 0.4 || p.Max != 0.4 {
+		t.Errorf("Point = %+v", p)
+	}
+	n := (Estimate{Min: 0.5, Avg: 0.2, Max: 0.1}).normalize()
+	if !(n.Min <= n.Avg && n.Avg <= n.Max) {
+		t.Errorf("normalize failed: %+v", n)
+	}
+}
+
+func TestReservoirOverflowStaysSane(t *testing.T) {
+	m := NewModel()
+	r := dist.New(5)
+	// More distinct values than the reservoir holds.
+	for i := 0; i < 3*maxSamples; i++ {
+		m.Observe(event.Build(uint64(i)).Int("x", int64(r.Intn(1000000))).Msg())
+	}
+	p := m.Predicate(subscription.Pred("x", subscription.OpLt, event.Int(500000)))
+	approx(t, "x < 500000 under subsampling", p, 0.5, 0.08)
+}

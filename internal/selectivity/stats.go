@@ -1,0 +1,135 @@
+// Package selectivity estimates how many events a subscription (or a pruned
+// variant of it) matches. The network-load heuristic of the paper (§3.1)
+// compares three-component estimates — minimal, average, and maximal possible
+// selectivity — of the original and the pruned subscription.
+//
+// Per-predicate selectivities are learned from observed (or generated) event
+// samples; tree-level estimates combine them with bounds that hold under any
+// correlation between subtrees (Fréchet inequalities) plus an independence
+// assumption for the average. This mirrors the estimation design of [4],
+// which keeps the estimate cheap to compute and store.
+package selectivity
+
+import (
+	"sort"
+
+	"dimprune/internal/event"
+)
+
+// maxTrackedValues bounds the per-attribute frequency table. Attribute
+// domains beyond the bound fall back to the sample reservoir and a uniform
+// remainder estimate.
+const maxTrackedValues = 4096
+
+// maxSamples bounds the per-attribute value reservoir used for range and
+// string-operator estimates.
+const maxSamples = 4096
+
+// attrStats accumulates per-attribute observations.
+type attrStats struct {
+	present int // events carrying the attribute
+
+	freq     map[event.Value]int // canonical value -> occurrences
+	overflow int                 // occurrences beyond maxTrackedValues distinct values
+
+	nums      []float64 // numeric sample reservoir (sorted on demand)
+	numsTotal int       // numeric observations (reservoir may subsample)
+	numsDirty bool
+
+	strs      []string // string sample reservoir (sorted on demand)
+	strsTotal int
+	strsDirty bool
+}
+
+// Model holds the learned statistics. Build one with NewModel, feed it
+// events with Observe, then query Predicate/Estimate. Observing and querying
+// may interleave; estimates always reflect the events seen so far.
+//
+// Model is not safe for concurrent use; each broker owns one.
+type Model struct {
+	attrs  map[string]*attrStats
+	events int
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{attrs: make(map[string]*attrStats)}
+}
+
+// Events returns the number of observed events.
+func (m *Model) Events() int { return m.events }
+
+// Observe folds one event message into the statistics.
+func (m *Model) Observe(msg *event.Message) {
+	m.events++
+	for _, a := range msg.Attrs {
+		st := m.attrs[a.Name]
+		if st == nil {
+			st = &attrStats{freq: make(map[event.Value]int)}
+			m.attrs[a.Name] = st
+		}
+		st.observe(a.Value)
+	}
+}
+
+func (s *attrStats) observe(v event.Value) {
+	s.present++
+	key := canonical(v)
+	if _, tracked := s.freq[key]; tracked || len(s.freq) < maxTrackedValues {
+		s.freq[key]++
+	} else {
+		s.overflow++
+	}
+	if f, ok := v.Numeric(); ok {
+		s.numsTotal++
+		if len(s.nums) < maxSamples {
+			s.nums = append(s.nums, f)
+			s.numsDirty = true
+		} else {
+			// Deterministic systematic subsample: overwrite a rotating slot.
+			s.nums[s.numsTotal%maxSamples] = f
+			s.numsDirty = true
+		}
+	}
+	if v.Kind() == event.KindString {
+		s.strsTotal++
+		if len(s.strs) < maxSamples {
+			s.strs = append(s.strs, v.AsString())
+			s.strsDirty = true
+		} else {
+			s.strs[s.strsTotal%maxSamples] = v.AsString()
+			s.strsDirty = true
+		}
+	}
+}
+
+// canonical maps numerically equal values to one key so Int(3) and
+// Float(3.0) share a frequency bucket, matching predicate equality
+// semantics. Integers beyond 2^53 keep their exact representation.
+func canonical(v event.Value) event.Value {
+	if v.Kind() == event.KindInt {
+		f := float64(v.AsInt())
+		if int64(f) == v.AsInt() {
+			return event.Float(f)
+		}
+	}
+	return v
+}
+
+// sortedNums returns the numeric reservoir in ascending order.
+func (s *attrStats) sortedNums() []float64 {
+	if s.numsDirty {
+		sort.Float64s(s.nums)
+		s.numsDirty = false
+	}
+	return s.nums
+}
+
+// sortedStrs returns the string reservoir in ascending order.
+func (s *attrStats) sortedStrs() []string {
+	if s.strsDirty {
+		sort.Strings(s.strs)
+		s.strsDirty = false
+	}
+	return s.strs
+}

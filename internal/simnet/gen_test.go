@@ -1,0 +1,61 @@
+package simnet
+
+import (
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// Random workload helpers shared by the simnet tests.
+
+var testAttrs = []string{"price", "rating", "category", "alpha", "beta"}
+
+func randomPredicate(r *dist.RNG) subscription.Predicate {
+	attr := testAttrs[r.Intn(len(testAttrs))]
+	switch r.Intn(5) {
+	case 0:
+		return subscription.Pred(attr, subscription.OpEq, event.Int(int64(r.Intn(10))))
+	case 1:
+		return subscription.Pred(attr, subscription.OpLe, event.Int(int64(r.Intn(100))))
+	case 2:
+		return subscription.Pred(attr, subscription.OpGt, event.Int(int64(r.Intn(100))))
+	case 3:
+		return subscription.Pred(attr, subscription.OpEq, event.String(string(rune('a'+r.Intn(3)))))
+	default:
+		return subscription.Pred(attr, subscription.OpExists, event.Value{})
+	}
+}
+
+func randomTree(r *dist.RNG, maxDepth int) *subscription.Node {
+	if maxDepth <= 0 || r.Bool(0.35) {
+		return subscription.Leaf(randomPredicate(r))
+	}
+	kind := subscription.NodeAnd
+	if r.Bool(0.4) {
+		kind = subscription.NodeOr
+	}
+	n := r.IntRange(2, 4)
+	children := make([]*subscription.Node, n)
+	for i := range children {
+		children[i] = randomTree(r, maxDepth-1)
+	}
+	return &subscription.Node{Kind: kind, Children: children}
+}
+
+func randomMessage(r *dist.RNG, id uint64) *event.Message {
+	b := event.Build(id)
+	for _, a := range testAttrs {
+		if r.Bool(0.3) {
+			continue
+		}
+		switch r.Intn(3) {
+		case 0:
+			b.Int(a, int64(r.Intn(100)))
+		case 1:
+			b.Num(a, r.Range(0, 100))
+		default:
+			b.Str(a, string(rune('a'+r.Intn(3))))
+		}
+	}
+	return b.Msg()
+}

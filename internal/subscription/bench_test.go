@@ -1,0 +1,59 @@
+package subscription
+
+import (
+	"testing"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+)
+
+const benchExpr = `(author = "Herbert" or author = "Asimov" or author = "Le Guin") ` +
+	`and price <= 25 and (format = "hardcover" or format = "paperback") and rating >= 3`
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchExpr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeMatch(b *testing.B) {
+	root := MustParse(benchExpr)
+	m := event.Build(1).
+		Str("author", "Asimov").
+		Num("price", 19).
+		Str("format", "paperback").
+		Int("rating", 4).
+		Msg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !root.Matches(m) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkCandidatesAndPrune(b *testing.B) {
+	root := MustParse(benchExpr)
+	var cands []*Node
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands = Candidates(root, cands[:0])
+		if PruneAt(root, cands[0]) == nil {
+			b.Fatal("pruning failed")
+		}
+	}
+}
+
+func BenchmarkPMin(b *testing.B) {
+	r := dist.New(1)
+	trees := make([]*Node, 64)
+	for i := range trees {
+		trees[i] = randomTree(r, 3).Simplify()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = trees[i%len(trees)].PMin()
+	}
+}

@@ -1,0 +1,72 @@
+package subscription
+
+import "dimprune/internal/event"
+
+// This file provides the fluent construction API used by library consumers:
+//
+//	s, err := subscription.New(1, "alice", subscription.And(
+//	    subscription.Eq("category", event.String("scifi")),
+//	    subscription.Or(
+//	        subscription.Eq("author", event.String("Herbert")),
+//	        subscription.Eq("author", event.String("Asimov")),
+//	    ),
+//	    subscription.Le("price", event.Float(25)),
+//	))
+
+// Eq returns an equality predicate leaf.
+func Eq(attr string, v event.Value) *Node { return Leaf(Pred(attr, OpEq, v)) }
+
+// Ne returns an inequality predicate leaf (attribute must be present).
+func Ne(attr string, v event.Value) *Node { return Leaf(Pred(attr, OpNe, v)) }
+
+// Lt returns a less-than predicate leaf.
+func Lt(attr string, v event.Value) *Node { return Leaf(Pred(attr, OpLt, v)) }
+
+// Le returns a less-or-equal predicate leaf.
+func Le(attr string, v event.Value) *Node { return Leaf(Pred(attr, OpLe, v)) }
+
+// Gt returns a greater-than predicate leaf.
+func Gt(attr string, v event.Value) *Node { return Leaf(Pred(attr, OpGt, v)) }
+
+// Ge returns a greater-or-equal predicate leaf.
+func Ge(attr string, v event.Value) *Node { return Leaf(Pred(attr, OpGe, v)) }
+
+// Prefix returns a string-prefix predicate leaf.
+func Prefix(attr, prefix string) *Node {
+	return Leaf(Pred(attr, OpPrefix, event.String(prefix)))
+}
+
+// Suffix returns a string-suffix predicate leaf.
+func Suffix(attr, suffix string) *Node {
+	return Leaf(Pred(attr, OpSuffix, event.String(suffix)))
+}
+
+// Contains returns a substring predicate leaf.
+func Contains(attr, substr string) *Node {
+	return Leaf(Pred(attr, OpContains, event.String(substr)))
+}
+
+// Exists returns an attribute-presence predicate leaf.
+func Exists(attr string) *Node { return Leaf(Pred(attr, OpExists, event.Value{})) }
+
+// Not returns the logical complement of the subtree in negation normal form:
+// De Morgan's laws push the negation down to the leaves, where it becomes
+// the predicate Negated flag.
+func Not(n *Node) *Node {
+	switch n.Kind {
+	case NodeLeaf:
+		return Leaf(n.Pred.Negate())
+	case NodeAnd, NodeOr:
+		kind := NodeOr
+		if n.Kind == NodeOr {
+			kind = NodeAnd
+		}
+		children := make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			children[i] = Not(c)
+		}
+		return &Node{Kind: kind, Children: children}
+	default:
+		return n
+	}
+}

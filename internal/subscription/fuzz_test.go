@@ -1,0 +1,47 @@
+package subscription
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the subscription parser: it must either
+// return an error or a valid tree whose rendering round-trips. Run longer
+// with: go test -fuzz=FuzzParse ./internal/subscription
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`price <= 20`,
+		`a = 1 and b = 2 or not c = 3`,
+		`(category = "scifi" or category = 'fantasy') and price <= 25.5`,
+		`t prefix "The" and t suffix "end" and t contains "mid"`,
+		`x exists`,
+		`a = true and b = false and c = -17`,
+		`not not not a >= 1e3`,
+		`((((a = 1))))`,
+		`a = "esc \" quote"`,
+		`平仮名 = "unicode attr"`,
+		``,
+		`and and and`,
+		`a = `,
+		`a <=`,
+		`!=`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		n, err := Parse(text)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("Parse accepted %q but produced invalid tree: %v", text, err)
+		}
+		// Rendered form must re-parse to an equal tree.
+		rendered := n.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of %q does not re-parse: %q: %v", text, rendered, err)
+		}
+		if !back.Equal(n) {
+			t.Fatalf("round trip changed tree for %q:\n%s\n%s", text, n, back)
+		}
+	})
+}

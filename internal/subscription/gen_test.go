@@ -1,0 +1,73 @@
+package subscription
+
+import (
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+)
+
+// Test helpers: random trees and messages over a small shared attribute
+// universe, used by the property tests in this package (and mirrored by the
+// core package's tests).
+
+var testAttrs = []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+
+func randomPredicate(r *dist.RNG) Predicate {
+	attr := testAttrs[r.Intn(len(testAttrs))]
+	var p Predicate
+	switch r.Intn(6) {
+	case 0:
+		p = Pred(attr, OpEq, event.Int(int64(r.Intn(10))))
+	case 1:
+		p = Pred(attr, OpLe, event.Int(int64(r.Intn(10))))
+	case 2:
+		p = Pred(attr, OpGt, event.Int(int64(r.Intn(10))))
+	case 3:
+		p = Pred(attr, OpEq, event.String(string(rune('a'+r.Intn(5)))))
+	case 4:
+		p = Pred(attr, OpPrefix, event.String(string(rune('a'+r.Intn(3)))))
+	default:
+		p = Pred(attr, OpExists, event.Value{})
+	}
+	if r.Bool(0.15) {
+		p = p.Negate()
+	}
+	return p
+}
+
+// randomTree generates a random NNF tree with the given maximum depth.
+// Shapes are biased toward small mixed AND/OR trees like the workload's.
+func randomTree(r *dist.RNG, maxDepth int) *Node {
+	if maxDepth <= 0 || r.Bool(0.4) {
+		return Leaf(randomPredicate(r))
+	}
+	kind := NodeAnd
+	if r.Bool(0.4) {
+		kind = NodeOr
+	}
+	n := r.IntRange(2, 4)
+	children := make([]*Node, n)
+	for i := range children {
+		children[i] = randomTree(r, maxDepth-1)
+	}
+	return &Node{Kind: kind, Children: children}
+}
+
+// randomMessage generates a message assigning random values to a random
+// subset of the attribute universe.
+func randomMessage(r *dist.RNG, id uint64) *event.Message {
+	b := event.Build(id)
+	for _, a := range testAttrs {
+		if r.Bool(0.3) {
+			continue // leave some attributes absent
+		}
+		switch r.Intn(3) {
+		case 0:
+			b.Int(a, int64(r.Intn(10)))
+		case 1:
+			b.Num(a, r.Range(0, 10))
+		default:
+			b.Str(a, string(rune('a'+r.Intn(5)))+string(rune('a'+r.Intn(5))))
+		}
+	}
+	return b.Msg()
+}

@@ -1,0 +1,290 @@
+package subscription
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"dimprune/internal/event"
+)
+
+// Parse converts the text subscription syntax into a tree in negation
+// normal form. The grammar, with the usual precedence not < and < or... more
+// precisely `or` binds loosest, then `and`, then `not`:
+//
+//	expr     := andExpr ("or" andExpr)*
+//	andExpr  := unary ("and" unary)*
+//	unary    := "not" unary | "(" expr ")" | predicate
+//	predicate := IDENT op literal | IDENT "exists"
+//	op       := "=" | "!=" | "<" | "<=" | ">" | ">=" |
+//	            "prefix" | "suffix" | "contains"
+//	literal  := NUMBER | STRING | "true" | "false"
+//
+// Keywords are case-insensitive; strings use single or double quotes.
+// Node.String() output round-trips through Parse.
+func Parse(text string) (*Node, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("subscription: unexpected %q at offset %d", p.peek().text, p.peek().pos)
+	}
+	return n.Simplify(), nil
+}
+
+// MustParse is Parse for tests and examples with known-good input; it panics
+// on error.
+func MustParse(text string) *Node {
+	n, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type tokenKind uint8
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokNumber
+	tokString
+	tokOp // = != < <= > >=
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 >= len(s) || s[i+1] != '=' {
+				return nil, fmt.Errorf("subscription: stray '!' at offset %d", i)
+			}
+			toks = append(toks, token{tokOp, "!=", i})
+			i += 2
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(s) && s[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case c == '"' || c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != c {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("subscription: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, s[i : j+1], i})
+			i = j + 1
+		case c == '-' || c >= '0' && c <= '9':
+			j := i + 1
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' || s[j] == 'e' || s[j] == 'E' ||
+				(s[j] == '-' || s[j] == '+') && (s[j-1] == 'e' || s[j-1] == 'E')) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(s) && isIdentPart(rune(s[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("subscription: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) atEnd() bool { return p.i >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.atEnd() {
+		return token{pos: -1, text: "end of input"}
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.i++
+	return t
+}
+
+// keyword consumes the next token when it is the given case-insensitive
+// identifier keyword.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (*Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Node{left}
+	for p.keyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return Or(children...), nil
+}
+
+func (p *parser) parseAnd() (*Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Node{left}
+	for p.keyword("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return And(children...), nil
+}
+
+func (p *parser) parseUnary() (*Node, error) {
+	if p.keyword("not") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(inner), nil
+	}
+	if p.peek().kind == tokLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("subscription: expected ')' but found %q", p.peek().text)
+		}
+		p.next()
+		return inner, nil
+	}
+	return p.parsePredicate()
+}
+
+var textOps = map[string]Op{
+	"=":        OpEq,
+	"!=":       OpNe,
+	"<":        OpLt,
+	"<=":       OpLe,
+	">":        OpGt,
+	">=":       OpGe,
+	"prefix":   OpPrefix,
+	"suffix":   OpSuffix,
+	"contains": OpContains,
+	"exists":   OpExists,
+}
+
+func (p *parser) parsePredicate() (*Node, error) {
+	attrTok := p.next()
+	if attrTok.kind != tokIdent {
+		return nil, fmt.Errorf("subscription: expected attribute name, found %q", attrTok.text)
+	}
+	opTok := p.next()
+	var opText string
+	switch opTok.kind {
+	case tokOp:
+		opText = opTok.text
+	case tokIdent:
+		opText = strings.ToLower(opTok.text)
+	default:
+		return nil, fmt.Errorf("subscription: expected operator after %q, found %q", attrTok.text, opTok.text)
+	}
+	op, ok := textOps[opText]
+	if !ok {
+		return nil, fmt.Errorf("subscription: unknown operator %q", opTok.text)
+	}
+	pred := Predicate{Attr: attrTok.text, Op: op}
+	if op.NeedsValue() {
+		valTok := p.next()
+		switch valTok.kind {
+		case tokNumber, tokString:
+			v, err := event.ParseLiteral(valTok.text)
+			if err != nil {
+				return nil, err
+			}
+			pred.Value = v
+		case tokIdent:
+			// true/false booleans arrive as identifiers.
+			v, err := event.ParseLiteral(strings.ToLower(valTok.text))
+			if err != nil {
+				return nil, fmt.Errorf("subscription: expected literal after %q %s, found %q",
+					attrTok.text, op, valTok.text)
+			}
+			pred.Value = v
+		default:
+			return nil, fmt.Errorf("subscription: expected literal after %q %s, found %q",
+				attrTok.text, op, valTok.text)
+		}
+	}
+	if err := pred.Validate(); err != nil {
+		return nil, err
+	}
+	return Leaf(pred), nil
+}

@@ -1,0 +1,201 @@
+package subscription
+
+import (
+	"testing"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+)
+
+func TestParseSimplePredicate(t *testing.T) {
+	n, err := Parse(`price <= 20`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Le("price", event.Int(20))
+	if !n.Equal(want) {
+		t.Errorf("got %s, want %s", n, want)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// and binds tighter than or.
+	n, err := Parse(`a = 1 or b = 2 and c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind != NodeOr || len(n.Children) != 2 {
+		t.Fatalf("root should be OR with 2 children: %s", n)
+	}
+	if n.Children[1].Kind != NodeAnd {
+		t.Errorf("right OR child should be AND: %s", n)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	n, err := Parse(`(a = 1 or b = 2) and c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind != NodeAnd || n.Children[0].Kind != NodeOr {
+		t.Errorf("parenthesized OR lost: %s", n)
+	}
+}
+
+func TestParseNotPushedToNNF(t *testing.T) {
+	n, err := Parse(`not (a = 1 and b = 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// De Morgan: OR of negated leaves.
+	if n.Kind != NodeOr || len(n.Children) != 2 {
+		t.Fatalf("want OR of 2, got %s", n)
+	}
+	for _, c := range n.Children {
+		if c.Kind != NodeLeaf || !c.Pred.Negated {
+			t.Errorf("child not a negated leaf: %s", c)
+		}
+	}
+	// Double negation cancels.
+	n2, err := Parse(`not not a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Kind != NodeLeaf || n2.Pred.Negated {
+		t.Errorf("double negation not cancelled: %s", n2)
+	}
+}
+
+func TestParseAllOperators(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Predicate
+	}{
+		{`a = 5`, Pred("a", OpEq, event.Int(5))},
+		{`a != 5`, Pred("a", OpNe, event.Int(5))},
+		{`a < 5`, Pred("a", OpLt, event.Int(5))},
+		{`a <= 5`, Pred("a", OpLe, event.Int(5))},
+		{`a > 5`, Pred("a", OpGt, event.Int(5))},
+		{`a >= 5.5`, Pred("a", OpGe, event.Float(5.5))},
+		{`a prefix "The"`, Pred("a", OpPrefix, event.String("The"))},
+		{`a suffix 'ing'`, Pred("a", OpSuffix, event.String("ing"))},
+		{`a contains "x y"`, Pred("a", OpContains, event.String("x y"))},
+		{`a exists`, Pred("a", OpExists, event.Value{})},
+		{`a = true`, Pred("a", OpEq, event.Bool(true))},
+		{`a = false`, Pred("a", OpEq, event.Bool(false))},
+		{`a = -3`, Pred("a", OpEq, event.Int(-3))},
+		{`a = "it\"s"`, Pred("a", OpEq, event.String(`it"s`))},
+		{`AND_field = 1`, Pred("AND_field", OpEq, event.Int(1))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			n, err := Parse(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n.Kind != NodeLeaf || n.Pred != tt.want {
+				t.Errorf("got %+v, want %+v", n.Pred, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	n, err := Parse(`a = 1 AND b = 2 Or NOT c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind != NodeOr {
+		t.Errorf("got %s", n)
+	}
+}
+
+func TestParseMultiwayFlattening(t *testing.T) {
+	n, err := Parse(`a = 1 and b = 2 and c = 3 and d = 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind != NodeAnd || len(n.Children) != 4 {
+		t.Errorf("multiway AND not flat: %s", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`price <=`,
+		`<= 20`,
+		`price <= 20 extra`,
+		`(a = 1`,
+		`a = 1)`,
+		`a ~ 5`,
+		`a = `,
+		`a = "unterminated`,
+		`not`,
+		`a = 1 and`,
+		`a exists 5`,
+		`5 = a`,
+		`a ! 5`,
+		`a = 12abc`,
+		`a = b`,
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	r := dist.New(31)
+	for i := 0; i < 500; i++ {
+		n := randomTree(r, 3).Simplify()
+		back, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("rendered tree does not parse: %q: %v", n.String(), err)
+		}
+		if !back.Equal(n) {
+			t.Fatalf("round trip changed tree:\n in: %s\nout: %s", n, back)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse(`a ~ b`)
+}
+
+func TestParseSemanticAgreement(t *testing.T) {
+	// A handful of hand-written expressions evaluated both via a direct
+	// builder tree and the parsed tree.
+	in := `(category = "scifi" or category = "fantasy") and price <= 25 and not seller = "scalper"`
+	parsed, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := And(
+		Or(Eq("category", event.String("scifi")), Eq("category", event.String("fantasy"))),
+		Le("price", event.Int(25)),
+		Leaf(Pred("seller", OpEq, event.String("scalper")).Negate()),
+	).Simplify()
+	if !parsed.Equal(built) {
+		t.Fatalf("parsed %s != built %s", parsed, built)
+	}
+	msgs := []*event.Message{
+		event.Build(1).Str("category", "scifi").Num("price", 20).Str("seller", "alice").Msg(),
+		event.Build(2).Str("category", "scifi").Num("price", 20).Str("seller", "scalper").Msg(),
+		event.Build(3).Str("category", "crime").Num("price", 20).Str("seller", "alice").Msg(),
+		event.Build(4).Str("category", "fantasy").Num("price", 30).Msg(),
+		event.Build(5).Str("category", "fantasy").Num("price", 10).Msg(),
+	}
+	want := []bool{true, false, false, false, true}
+	for i, m := range msgs {
+		if got := parsed.Matches(m); got != want[i] {
+			t.Errorf("message %d: Matches = %v, want %v", i+1, got, want[i])
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package subscription implements the Boolean subscription language of the
+// paper (§2.1): a subscription is an arbitrary Boolean filter expression over
+// predicates, each predicate an attribute–operator–value triple, represented
+// as a tree.
+//
+// Trees are kept in negation normal form: the only internal nodes are AND and
+// OR, and negation lives inside the predicates (the Negated flag). NNF is
+// what makes pruning sound — replacing any subtree with TRUE can then only
+// generalize the subscription (DESIGN.md §1).
+package subscription
+
+import (
+	"fmt"
+	"strings"
+
+	"dimprune/internal/event"
+)
+
+// Op enumerates predicate operators. Comparisons apply to numeric values and
+// (lexicographically) to strings; Prefix/Suffix/Contains apply to strings
+// only; Exists tests attribute presence.
+type Op uint8
+
+// Predicate operators. OpInvalid is the zero value so unset predicates are
+// detectable.
+const (
+	OpInvalid Op = iota
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpPrefix
+	OpSuffix
+	OpContains
+	OpExists
+)
+
+var opNames = map[Op]string{
+	OpEq:       "=",
+	OpNe:       "!=",
+	OpLt:       "<",
+	OpLe:       "<=",
+	OpGt:       ">",
+	OpGe:       ">=",
+	OpPrefix:   "prefix",
+	OpSuffix:   "suffix",
+	OpContains: "contains",
+	OpExists:   "exists",
+}
+
+// String returns the operator's text-syntax spelling.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NeedsValue reports whether the operator takes a right-hand literal.
+func (o Op) NeedsValue() bool { return o != OpExists && o != OpInvalid }
+
+// Predicate is an attribute–operator–value condition, optionally negated.
+//
+// A non-negated predicate matches a message iff the attribute is present and
+// the operator holds for its value. Negated is exact logical complement: a
+// negated predicate also matches messages that lack the attribute. This is
+// required for negation normal form to preserve semantics.
+//
+// Predicate is a comparable plain value; the filtering engine uses it
+// directly as a map key to share identical predicates across subscriptions.
+type Predicate struct {
+	Attr    string
+	Op      Op
+	Value   event.Value
+	Negated bool
+}
+
+// Pred builds a predicate. For OpExists pass event.Value{}.
+func Pred(attr string, op Op, v event.Value) Predicate {
+	return Predicate{Attr: attr, Op: op, Value: v}
+}
+
+// Negate returns the logical complement of p.
+func (p Predicate) Negate() Predicate {
+	p.Negated = !p.Negated
+	return p
+}
+
+// Matches evaluates the predicate against a message.
+func (p Predicate) Matches(m *event.Message) bool {
+	return p.rawMatches(m) != p.Negated
+}
+
+// rawMatches evaluates the non-negated condition: attribute present and
+// operator satisfied.
+func (p Predicate) rawMatches(m *event.Message) bool {
+	v, ok := m.Get(p.Attr)
+	if !ok {
+		return false
+	}
+	return p.Op.eval(v, p.Value)
+}
+
+// EvalValue evaluates the non-negated operator condition against a concrete
+// attribute value, without presence handling. The filtering engine uses it
+// when it has already located the attribute.
+func (p Predicate) EvalValue(v event.Value) bool {
+	return p.Op.eval(v, p.Value)
+}
+
+func (o Op) eval(have, want event.Value) bool {
+	switch o {
+	case OpEq:
+		return have.Equal(want)
+	case OpNe:
+		return !have.Equal(want)
+	case OpLt, OpLe, OpGt, OpGe:
+		cmp, ok := have.Compare(want)
+		if !ok {
+			return false
+		}
+		switch o {
+		case OpLt:
+			return cmp < 0
+		case OpLe:
+			return cmp <= 0
+		case OpGt:
+			return cmp > 0
+		default:
+			return cmp >= 0
+		}
+	case OpPrefix:
+		return have.Kind() == event.KindString && want.Kind() == event.KindString &&
+			strings.HasPrefix(have.AsString(), want.AsString())
+	case OpSuffix:
+		return have.Kind() == event.KindString && want.Kind() == event.KindString &&
+			strings.HasSuffix(have.AsString(), want.AsString())
+	case OpContains:
+		return have.Kind() == event.KindString && want.Kind() == event.KindString &&
+			strings.Contains(have.AsString(), want.AsString())
+	case OpExists:
+		return true // presence was already established
+	default:
+		return false
+	}
+}
+
+// Validate reports whether the predicate is well formed: a non-empty
+// attribute, a known operator, and a value exactly when the operator needs
+// one.
+func (p Predicate) Validate() error {
+	if p.Attr == "" {
+		return fmt.Errorf("subscription: predicate with empty attribute")
+	}
+	if _, ok := opNames[p.Op]; !ok {
+		return fmt.Errorf("subscription: predicate %q has unknown operator %d", p.Attr, p.Op)
+	}
+	if p.Op.NeedsValue() && !p.Value.IsValid() {
+		return fmt.Errorf("subscription: predicate %q %s is missing its value", p.Attr, p.Op)
+	}
+	if !p.Op.NeedsValue() && p.Value.IsValid() {
+		return fmt.Errorf("subscription: predicate %q %s must not carry a value", p.Attr, p.Op)
+	}
+	return nil
+}
+
+// MemSize returns the predicate's contribution to mem≈ in bytes: attribute
+// name, operator and negation bytes, and the value payload.
+func (p Predicate) MemSize() int {
+	s := len(p.Attr) + 2 // op byte + negation byte
+	if p.Op.NeedsValue() {
+		s += p.Value.Size()
+	}
+	return s
+}
+
+// String renders the predicate in the text-subscription syntax, e.g.
+// `price <= 20`, `not title prefix "The"`, `seller exists`.
+func (p Predicate) String() string {
+	var b strings.Builder
+	if p.Negated {
+		b.WriteString("not ")
+	}
+	b.WriteString(p.Attr)
+	b.WriteByte(' ')
+	b.WriteString(p.Op.String())
+	if p.Op.NeedsValue() {
+		b.WriteByte(' ')
+		b.WriteString(p.Value.String())
+	}
+	return b.String()
+}

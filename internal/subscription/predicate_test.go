@@ -1,0 +1,165 @@
+package subscription
+
+import (
+	"testing"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+)
+
+func msg(t *testing.T, attrs ...event.Attr) *event.Message {
+	t.Helper()
+	m, err := event.NewMessage(1, attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPredicateMatchesTable(t *testing.T) {
+	base := []event.Attr{
+		{Name: "price", Value: event.Float(12.5)},
+		{Name: "bids", Value: event.Int(3)},
+		{Name: "title", Value: event.String("The Left Hand of Darkness")},
+		{Name: "signed", Value: event.Bool(true)},
+	}
+	tests := []struct {
+		name string
+		p    Predicate
+		want bool
+	}{
+		{"eq float hit", Pred("price", OpEq, event.Float(12.5)), true},
+		{"eq float miss", Pred("price", OpEq, event.Float(13)), false},
+		{"eq int vs float", Pred("bids", OpEq, event.Float(3)), true},
+		{"eq string hit", Pred("title", OpEq, event.String("The Left Hand of Darkness")), true},
+		{"eq bool", Pred("signed", OpEq, event.Bool(true)), true},
+		{"ne hit", Pred("bids", OpNe, event.Int(4)), true},
+		{"ne miss", Pred("bids", OpNe, event.Int(3)), false},
+		{"lt hit", Pred("price", OpLt, event.Float(13)), true},
+		{"lt miss equal", Pred("price", OpLt, event.Float(12.5)), false},
+		{"le hit equal", Pred("price", OpLe, event.Float(12.5)), true},
+		{"gt hit", Pred("bids", OpGt, event.Int(2)), true},
+		{"gt miss", Pred("bids", OpGt, event.Int(3)), false},
+		{"ge hit equal", Pred("bids", OpGe, event.Int(3)), true},
+		{"string lt", Pred("title", OpLt, event.String("Z")), true},
+		{"prefix hit", Pred("title", OpPrefix, event.String("The Left")), true},
+		{"prefix miss", Pred("title", OpPrefix, event.String("Left")), false},
+		{"suffix hit", Pred("title", OpSuffix, event.String("Darkness")), true},
+		{"suffix miss", Pred("title", OpSuffix, event.String("Dark")), false},
+		{"contains hit", Pred("title", OpContains, event.String("Hand")), true},
+		{"contains miss", Pred("title", OpContains, event.String("Foot")), false},
+		{"exists hit", Pred("title", OpExists, event.Value{}), true},
+		{"exists miss", Pred("author", OpExists, event.Value{}), false},
+		{"missing attr eq", Pred("author", OpEq, event.String("x")), false},
+		{"missing attr lt", Pred("author", OpLt, event.Int(1)), false},
+		{"type mismatch lt", Pred("title", OpLt, event.Int(1)), false},
+		{"prefix on number", Pred("price", OpPrefix, event.String("1")), false},
+	}
+	m := msg(t, base...)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Matches(m); got != tt.want {
+				t.Errorf("%s on %s = %v, want %v", tt.p, m, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPredicateNegation(t *testing.T) {
+	m := msg(t, event.Attr{Name: "price", Value: event.Float(5)})
+	p := Pred("price", OpLt, event.Float(10))
+	if !p.Matches(m) {
+		t.Fatal("base predicate should match")
+	}
+	if p.Negate().Matches(m) {
+		t.Error("negated predicate still matches")
+	}
+	// Negation of a predicate on a missing attribute matches (exact
+	// complement semantics, required for NNF).
+	q := Pred("author", OpEq, event.String("x"))
+	if q.Matches(m) {
+		t.Fatal("predicate on missing attribute matched")
+	}
+	if !q.Negate().Matches(m) {
+		t.Error("negated predicate on missing attribute did not match")
+	}
+	if q.Negate().Negate() != q {
+		t.Error("double negation is not identity")
+	}
+}
+
+func TestPredicateNegationIsExactComplement(t *testing.T) {
+	r := dist.New(99)
+	for i := 0; i < 2000; i++ {
+		p := randomPredicate(r)
+		m := randomMessage(r, uint64(i))
+		if p.Matches(m) == p.Negate().Matches(m) {
+			t.Fatalf("p and not-p agree on %s for %s", m, p)
+		}
+	}
+}
+
+func TestPredicateValidate(t *testing.T) {
+	valid := []Predicate{
+		Pred("a", OpEq, event.Int(1)),
+		Pred("a", OpExists, event.Value{}),
+		Pred("a", OpPrefix, event.String("x")).Negate(),
+	}
+	for _, p := range valid {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", p, err)
+		}
+	}
+	invalid := []Predicate{
+		{},
+		Pred("", OpEq, event.Int(1)),
+		Pred("a", OpEq, event.Value{}),
+		Pred("a", OpExists, event.Int(1)),
+		{Attr: "a", Op: Op(200), Value: event.Int(1)},
+	}
+	for _, p := range invalid {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	tests := []struct {
+		p    Predicate
+		want string
+	}{
+		{Pred("price", OpLe, event.Float(20)), "price <= 20.0"},
+		{Pred("price", OpLe, event.Int(20)), "price <= 20"},
+		{Pred("title", OpPrefix, event.String("The")), `title prefix "The"`},
+		{Pred("seller", OpExists, event.Value{}), "seller exists"},
+		{Pred("bids", OpGt, event.Int(2)).Negate(), "not bids > 2"},
+		{Pred("x", OpNe, event.Bool(true)), "x != true"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestPredicateMemSize(t *testing.T) {
+	p := Pred("price", OpLe, event.Float(20))
+	// 5 attr + 2 + 9 value payload
+	if got := p.MemSize(); got != 16 {
+		t.Errorf("MemSize = %d, want 16", got)
+	}
+	e := Pred("x", OpExists, event.Value{})
+	if got := e.MemSize(); got != 3 {
+		t.Errorf("exists MemSize = %d, want 3", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpEq.String() != "=" || OpGe.String() != ">=" || OpContains.String() != "contains" {
+		t.Error("operator spellings changed")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Errorf("unknown op spelled %q", Op(99).String())
+	}
+}

@@ -1,0 +1,125 @@
+package subscription
+
+// This file implements the pruning operation of [4] as tree surgery:
+// removing the subtree rooted at a node whose parent is an AND node and
+// re-simplifying. In negation normal form this is exactly "replace the
+// subtree by TRUE": TRUE is the identity of AND, so the child disappears; a
+// subtree under an OR parent is not an independent candidate because TRUE
+// absorbs the whole OR, which equals pruning the OR node itself.
+
+// Candidates appends every prunable node of the tree rooted at root to dst
+// and returns it: all nodes whose parent is an AND node, in pre-order. The
+// root itself is never a candidate (pruning it would drop the whole
+// subscription, which the engine models as unsubscription, not pruning).
+func Candidates(root *Node, dst []*Node) []*Node {
+	root.Walk(func(n, parent *Node) bool {
+		if parent != nil && parent.Kind == NodeAnd {
+			dst = append(dst, n)
+		}
+		return true
+	})
+	return dst
+}
+
+// ContainsAnd reports whether the subtree rooted at n contains an AND node
+// (including n itself).
+func ContainsAnd(n *Node) bool {
+	if n.Kind == NodeAnd {
+		return true
+	}
+	for _, c := range n.Children {
+		if ContainsAnd(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// InnermostCandidates appends the candidates that satisfy the §3.2
+// restriction — nodes with no valid pruning inside their own subtree — to
+// dst and returns it. A candidate contains a nested pruning opportunity
+// exactly when its subtree contains an AND node (that AND's children are
+// themselves candidates), so the innermost candidates are the AND-free ones.
+func InnermostCandidates(root *Node, dst []*Node) []*Node {
+	root.Walk(func(n, parent *Node) bool {
+		if parent != nil && parent.Kind == NodeAnd && !ContainsAnd(n) {
+			dst = append(dst, n)
+		}
+		return true
+	})
+	return dst
+}
+
+// PruneAt returns a new tree equal to root with the subtree rooted at target
+// (located by pointer identity) removed, in simplified canonical form. It
+// returns nil when target is not a valid candidate in root — i.e. not
+// present, or not the child of an AND node. root is not modified.
+func PruneAt(root, target *Node) *Node {
+	pruned, found := rebuildWithout(root, target)
+	if !found || pruned == nil {
+		return nil
+	}
+	return pruned.Simplify()
+}
+
+// rebuildWithout copies n, omitting target when it appears as the child of
+// an AND node. It returns the copy (nil if n == target at an invalid
+// position handled by the caller) and whether target was removed somewhere
+// inside.
+func rebuildWithout(n, target *Node) (*Node, bool) {
+	if n == target {
+		// Reaching the target at the top of a recursion means its parent was
+		// not an AND (or it is the root); the caller rejects this case.
+		return nil, false
+	}
+	if n.Kind == NodeLeaf {
+		return &Node{Kind: NodeLeaf, Pred: n.Pred}, false
+	}
+	children := make([]*Node, 0, len(n.Children))
+	found := false
+	for _, c := range n.Children {
+		if c == target {
+			if n.Kind != NodeAnd {
+				return nil, false // OR child: not a valid pruning
+			}
+			found = true
+			continue
+		}
+		cc, f := rebuildWithout(c, target)
+		if cc == nil {
+			return nil, false
+		}
+		children = append(children, cc)
+		found = found || f
+	}
+	if len(children) == 1 {
+		return children[0], found
+	}
+	return &Node{Kind: n.Kind, Children: children}, found
+}
+
+// MaxPrunings returns the number of prunings needed to exhaust the tree when
+// prunings are applied one innermost leaf-level candidate at a time — an
+// upper bound on any pruning sequence's length, used for sizing. A tree is
+// exhausted when it contains no AND node: removing one leaf-level candidate
+// at a time, every leaf under an AND (directly or through ORs) is eventually
+// removed except the last remaining branch.
+func MaxPrunings(root *Node) int {
+	// Pruning leaf-by-leaf, the process ends when no AND remains. Each step
+	// removes exactly one innermost candidate. Simulation on a clone is the
+	// simplest correct accounting and trees are small.
+	n := root.Clone()
+	count := 0
+	for {
+		cands := InnermostCandidates(n, nil)
+		if len(cands) == 0 {
+			return count
+		}
+		next := PruneAt(n, cands[0])
+		if next == nil {
+			return count
+		}
+		n = next
+		count++
+	}
+}

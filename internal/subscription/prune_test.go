@@ -1,0 +1,225 @@
+package subscription
+
+import (
+	"testing"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+)
+
+func TestCandidatesSampleTree(t *testing.T) {
+	root := sampleTree() // AND(category, OR(author, author), price)
+	cands := Candidates(root, nil)
+	// Children of the root AND: category leaf, the OR node, price leaf.
+	// The OR's children are not candidates.
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates, want 3: %v", len(cands), cands)
+	}
+	for _, c := range cands {
+		if c == root {
+			t.Error("root offered as candidate")
+		}
+	}
+}
+
+func TestCandidatesPureOr(t *testing.T) {
+	root := Or(Eq("a", event.Int(1)), Eq("b", event.Int(2)))
+	if cands := Candidates(root, nil); len(cands) != 0 {
+		t.Errorf("pure OR tree has %d candidates, want 0", len(cands))
+	}
+}
+
+func TestCandidatesSingleLeaf(t *testing.T) {
+	root := Eq("a", event.Int(1))
+	if cands := Candidates(root, nil); len(cands) != 0 {
+		t.Errorf("leaf tree has %d candidates, want 0", len(cands))
+	}
+}
+
+func TestCandidatesNestedAndUnderOr(t *testing.T) {
+	// OR(AND(a,b), c): a and b are candidates (children of inner AND);
+	// the OR children themselves are not.
+	inner := And(Eq("a", event.Int(1)), Eq("b", event.Int(2)))
+	root := Or(inner, Eq("c", event.Int(3)))
+	cands := Candidates(root, nil)
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidates, want 2", len(cands))
+	}
+}
+
+func TestInnermostCandidates(t *testing.T) {
+	// AND(leaf, OR(leaf, AND(leaf, leaf)))
+	deepAnd := And(Eq("c", event.Int(3)), Eq("d", event.Int(4)))
+	orNode := Or(Eq("b", event.Int(2)), deepAnd)
+	root := And(Eq("a", event.Int(1)), orNode)
+	all := Candidates(root, nil)
+	if len(all) != 4 { // a-leaf, orNode, c-leaf, d-leaf
+		t.Fatalf("got %d candidates, want 4", len(all))
+	}
+	inner := InnermostCandidates(root, nil)
+	// a-leaf (no AND below), c-leaf, d-leaf. orNode contains deepAnd -> excluded.
+	if len(inner) != 3 {
+		t.Fatalf("got %d innermost candidates, want 3", len(inner))
+	}
+	for _, c := range inner {
+		if c == orNode {
+			t.Error("or node with nested AND offered as innermost candidate")
+		}
+	}
+}
+
+func TestPruneAtRemovesLeaf(t *testing.T) {
+	root := sampleTree()
+	cands := Candidates(root, nil)
+	// Prune the price leaf (last candidate).
+	price := cands[len(cands)-1]
+	if price.Kind != NodeLeaf || price.Pred.Attr != "price" {
+		t.Fatalf("unexpected candidate order: %v", price)
+	}
+	pruned := PruneAt(root, price)
+	if pruned == nil {
+		t.Fatal("PruneAt returned nil for valid candidate")
+	}
+	if pruned.NumLeaves() != 3 {
+		t.Errorf("pruned tree has %d leaves, want 3", pruned.NumLeaves())
+	}
+	// Original is untouched.
+	if root.NumLeaves() != 4 {
+		t.Error("PruneAt modified the original tree")
+	}
+	// Message matching only without the price constraint.
+	m := event.Build(1).Str("category", "scifi").Str("author", "H").Num("price", 100).Msg()
+	if root.Matches(m) {
+		t.Fatal("original should not match")
+	}
+	if !pruned.Matches(m) {
+		t.Error("pruned tree should match (generalization)")
+	}
+}
+
+func TestPruneAtCollapsesAnd(t *testing.T) {
+	a, b := Eq("a", event.Int(1)), Eq("b", event.Int(2))
+	root := And(a, b)
+	pruned := PruneAt(root, b)
+	if pruned == nil || pruned.Kind != NodeLeaf || pruned.Pred.Attr != "a" {
+		t.Errorf("pruning one of two AND children should leave the other leaf, got %v", pruned)
+	}
+}
+
+func TestPruneAtWholeOrSubtree(t *testing.T) {
+	root := sampleTree()
+	or := root.Children[1]
+	pruned := PruneAt(root, or)
+	if pruned == nil {
+		t.Fatal("pruning the OR subtree failed")
+	}
+	if pruned.NumLeaves() != 2 {
+		t.Errorf("pruned tree has %d leaves, want 2", pruned.NumLeaves())
+	}
+	m := event.Build(1).Str("category", "scifi").Str("author", "nobody").Num("price", 10).Msg()
+	if !pruned.Matches(m) {
+		t.Error("author constraint should be gone")
+	}
+}
+
+func TestPruneAtRejectsInvalidTargets(t *testing.T) {
+	root := sampleTree()
+	if PruneAt(root, root) != nil {
+		t.Error("pruning the root should be rejected")
+	}
+	orChild := root.Children[1].Children[0]
+	if got := PruneAt(root, orChild); got != nil {
+		t.Errorf("pruning an OR child should be rejected, got %v", got)
+	}
+	foreign := Eq("zzz", event.Int(1))
+	if PruneAt(root, foreign) != nil {
+		t.Error("pruning a node not in the tree should be rejected")
+	}
+}
+
+func TestPruneGeneralizesProperty(t *testing.T) {
+	// Invariant 1 of DESIGN.md §6: every valid pruning is a generalization.
+	r := dist.New(77)
+	trees := 0
+	for trees < 400 {
+		root := randomTree(r, 3).Simplify()
+		cands := Candidates(root, nil)
+		if len(cands) == 0 {
+			continue
+		}
+		trees++
+		target := cands[r.Intn(len(cands))]
+		pruned := PruneAt(root, target)
+		if pruned == nil {
+			t.Fatalf("valid candidate rejected in %s", root)
+		}
+		if err := pruned.Validate(); err != nil {
+			t.Fatalf("pruned tree invalid: %v (%s)", err, pruned)
+		}
+		for j := 0; j < 30; j++ {
+			m := randomMessage(r, uint64(trees*100+j))
+			if root.Matches(m) && !pruned.Matches(m) {
+				t.Fatalf("pruning specialized: %s -> %s misses %s", root, pruned, m)
+			}
+		}
+		// Invariant 2: pmin never increases.
+		if pruned.PMin() > root.PMin() {
+			t.Fatalf("pmin increased from %d to %d: %s -> %s", root.PMin(), pruned.PMin(), root, pruned)
+		}
+		// mem strictly decreases.
+		if pruned.MemSize() >= root.MemSize() {
+			t.Fatalf("mem did not decrease: %s -> %s", root, pruned)
+		}
+		// Leaf count strictly decreases.
+		if pruned.NumLeaves() >= root.NumLeaves() {
+			t.Fatalf("leaves did not decrease: %s -> %s", root, pruned)
+		}
+	}
+}
+
+func TestMaxPruningsAndExhaustion(t *testing.T) {
+	tests := []struct {
+		name string
+		n    *Node
+		want int
+	}{
+		{"leaf", Eq("a", event.Int(1)), 0},
+		{"pure or", Or(Eq("a", event.Int(1)), Eq("b", event.Int(2))), 0},
+		{"and2", And(Eq("a", event.Int(1)), Eq("b", event.Int(2))), 1},
+		{"and3", And(Eq("a", event.Int(1)), Eq("b", event.Int(2)), Eq("c", event.Int(3))), 2},
+		{"sample", sampleTree(), 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := MaxPrunings(tt.n); got != tt.want {
+				t.Errorf("MaxPrunings = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExhaustionEndsAndFree(t *testing.T) {
+	// Invariant 7: repeatedly pruning any candidate terminates with an
+	// AND-free tree.
+	r := dist.New(123)
+	for i := 0; i < 200; i++ {
+		n := randomTree(r, 3).Simplify()
+		steps := 0
+		for {
+			cands := Candidates(n, nil)
+			if len(cands) == 0 {
+				break
+			}
+			n = PruneAt(n, cands[r.Intn(len(cands))])
+			if n == nil {
+				t.Fatal("valid candidate pruning returned nil")
+			}
+			if steps++; steps > 10000 {
+				t.Fatal("exhaustion did not terminate")
+			}
+		}
+		if ContainsAnd(n) {
+			t.Fatalf("exhausted tree still contains AND: %s", n)
+		}
+	}
+}

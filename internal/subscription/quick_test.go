@@ -1,0 +1,99 @@
+package subscription
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dimprune/internal/dist"
+)
+
+// Seed-driven testing/quick properties: quick generates the seeds, the
+// deterministic workload generators expand them into structures.
+
+func TestQuickPruningGeneralizes(t *testing.T) {
+	prop := func(seed uint64, pick uint8) bool {
+		r := dist.New(seed)
+		root := randomTree(r, 3).Simplify()
+		cands := Candidates(root, nil)
+		if len(cands) == 0 {
+			return true
+		}
+		pruned := PruneAt(root, cands[int(pick)%len(cands)])
+		if pruned == nil {
+			return false
+		}
+		for j := 0; j < 25; j++ {
+			m := randomMessage(r, uint64(j))
+			if root.Matches(m) && !pruned.Matches(m) {
+				return false
+			}
+		}
+		return pruned.PMin() <= root.PMin() && pruned.MemSize() < root.MemSize()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimplifyIdempotent(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := dist.New(seed)
+		n := randomTree(r, 3)
+		once := n.Simplify()
+		twice := once.Simplify()
+		return once.Equal(twice)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneEqualAndIndependent(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := dist.New(seed)
+		n := randomTree(r, 3).Simplify()
+		c := n.Clone()
+		if !c.Equal(n) {
+			return false
+		}
+		// Mutating the clone's first leaf must not affect the original.
+		var leaf *Node
+		c.Walk(func(node, _ *Node) bool {
+			if leaf == nil && node.Kind == NodeLeaf {
+				leaf = node
+			}
+			return leaf == nil
+		})
+		if leaf == nil {
+			return true
+		}
+		leaf.Pred.Attr = "mutated-by-clone-test"
+		mutatedInOriginal := false
+		n.Walk(func(node, _ *Node) bool {
+			if node.Kind == NodeLeaf && node.Pred.Attr == "mutated-by-clone-test" {
+				mutatedInOriginal = true
+			}
+			return true
+		})
+		return !mutatedInOriginal
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseRenderFixpoint(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := dist.New(seed)
+		n := randomTree(r, 3).Simplify()
+		rendered := n.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			return false
+		}
+		return back.Equal(n) && back.String() == rendered
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

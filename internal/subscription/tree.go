@@ -1,0 +1,319 @@
+package subscription
+
+import (
+	"fmt"
+	"strings"
+
+	"dimprune/internal/event"
+)
+
+// NodeKind discriminates tree nodes.
+type NodeKind uint8
+
+// Node kinds. NodeInvalid is the zero value.
+const (
+	NodeInvalid NodeKind = iota
+	NodeAnd
+	NodeOr
+	NodeLeaf
+)
+
+// String names the node kind for diagnostics.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeAnd:
+		return "and"
+	case NodeOr:
+		return "or"
+	case NodeLeaf:
+		return "leaf"
+	default:
+		return "invalid"
+	}
+}
+
+// Node is a subscription tree node: an AND/OR over children, or a predicate
+// leaf. Trees are in negation normal form (see the package comment).
+type Node struct {
+	Kind     NodeKind
+	Children []*Node   // NodeAnd/NodeOr only
+	Pred     Predicate // NodeLeaf only
+}
+
+// Leaf returns a predicate leaf node.
+func Leaf(p Predicate) *Node { return &Node{Kind: NodeLeaf, Pred: p} }
+
+// And returns a conjunction node over the given children.
+func And(children ...*Node) *Node { return &Node{Kind: NodeAnd, Children: children} }
+
+// Or returns a disjunction node over the given children.
+func Or(children ...*Node) *Node { return &Node{Kind: NodeOr, Children: children} }
+
+// Matches evaluates the tree against a message.
+func (n *Node) Matches(m *event.Message) bool {
+	switch n.Kind {
+	case NodeLeaf:
+		return n.Pred.Matches(m)
+	case NodeAnd:
+		for _, c := range n.Children {
+			if !c.Matches(m) {
+				return false
+			}
+		}
+		return true
+	case NodeOr:
+		for _, c := range n.Children {
+			if c.Matches(m) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// PMin returns the minimal number of fulfilled predicates required for the
+// tree to evaluate to true — the pmin parameter of [2] that drives the
+// throughput heuristic: sum over AND children, min over OR children, 1 for a
+// leaf.
+func (n *Node) PMin() int {
+	switch n.Kind {
+	case NodeLeaf:
+		return 1
+	case NodeAnd:
+		sum := 0
+		for _, c := range n.Children {
+			sum += c.PMin()
+		}
+		return sum
+	case NodeOr:
+		min := 0
+		for i, c := range n.Children {
+			p := c.PMin()
+			if i == 0 || p < min {
+				min = p
+			}
+		}
+		return min
+	default:
+		return 0
+	}
+}
+
+// MemSize returns mem≈ of the subtree in bytes: a fixed per-node overhead
+// (tree pointers and kind tag) plus the predicate payloads. This is the
+// estimation of §3.2 — it counts only the subscription tree itself, not
+// index structures, so the true memory effect of a pruning is at least this
+// large.
+func (n *Node) MemSize() int {
+	const nodeOverhead = 16
+	s := nodeOverhead
+	if n.Kind == NodeLeaf {
+		return s + n.Pred.MemSize()
+	}
+	for _, c := range n.Children {
+		s += 8 + c.MemSize() // child pointer + child subtree
+	}
+	return s
+}
+
+// NumNodes counts the nodes of the subtree.
+func (n *Node) NumNodes() int {
+	c := 1
+	for _, ch := range n.Children {
+		c += ch.NumNodes()
+	}
+	return c
+}
+
+// NumLeaves counts predicate leaves — the subscription's predicate count,
+// which is also its number of predicate/subscription associations in the
+// filtering engine (the paper's memory metric).
+func (n *Node) NumLeaves() int {
+	if n.Kind == NodeLeaf {
+		return 1
+	}
+	c := 0
+	for _, ch := range n.Children {
+		c += ch.NumLeaves()
+	}
+	return c
+}
+
+// Leaves appends the subtree's predicates to dst and returns it.
+func (n *Node) Leaves(dst []Predicate) []Predicate {
+	if n.Kind == NodeLeaf {
+		return append(dst, n.Pred)
+	}
+	for _, c := range n.Children {
+		dst = c.Leaves(dst)
+	}
+	return dst
+}
+
+// Clone deep-copies the subtree.
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Pred: n.Pred}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// Walk visits the subtree pre-order, passing each node with its parent (nil
+// for the root it was called on). Returning false from fn prunes descent
+// into that node's children.
+func (n *Node) Walk(fn func(node, parent *Node) bool) {
+	n.walk(nil, fn)
+}
+
+func (n *Node) walk(parent *Node, fn func(node, parent *Node) bool) {
+	if !fn(n, parent) {
+		return
+	}
+	for _, c := range n.Children {
+		c.walk(n, fn)
+	}
+}
+
+// Validate checks structural well-formedness: known kinds, AND/OR nodes with
+// at least two children, leaves with valid predicates and no children.
+func (n *Node) Validate() error {
+	switch n.Kind {
+	case NodeLeaf:
+		if len(n.Children) != 0 {
+			return fmt.Errorf("subscription: leaf node with %d children", len(n.Children))
+		}
+		return n.Pred.Validate()
+	case NodeAnd, NodeOr:
+		if len(n.Children) < 2 {
+			return fmt.Errorf("subscription: %s node with %d children (want >= 2)", n.Kind, len(n.Children))
+		}
+		for _, c := range n.Children {
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("subscription: invalid node kind %d", n.Kind)
+	}
+}
+
+// Simplify returns a canonical equivalent of the subtree: single-child
+// AND/OR nodes collapse into their child, and same-kind nested nodes are
+// flattened (AND(a, AND(b, c)) becomes AND(a, b, c)). Simplify never returns
+// nil for a non-nil receiver and does not modify the receiver.
+func (n *Node) Simplify() *Node {
+	if n.Kind == NodeLeaf {
+		return &Node{Kind: NodeLeaf, Pred: n.Pred}
+	}
+	flat := make([]*Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		sc := c.Simplify()
+		if sc.Kind == n.Kind {
+			flat = append(flat, sc.Children...)
+		} else {
+			flat = append(flat, sc)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &Node{Kind: n.Kind, Children: flat}
+}
+
+// Equal reports structural equality of two subtrees, including child order.
+func (n *Node) Equal(o *Node) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.Kind != o.Kind || len(n.Children) != len(o.Children) {
+		return false
+	}
+	if n.Kind == NodeLeaf {
+		return n.Pred == o.Pred
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the subtree in the text-subscription syntax with explicit
+// parentheses around nested Boolean groups.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, false)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, parenthesize bool) {
+	if n.Kind == NodeLeaf {
+		b.WriteString(n.Pred.String())
+		return
+	}
+	sep := " and "
+	if n.Kind == NodeOr {
+		sep = " or "
+	}
+	if parenthesize {
+		b.WriteByte('(')
+	}
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		c.render(b, true)
+	}
+	if parenthesize {
+		b.WriteByte(')')
+	}
+}
+
+// Subscription is a registered Boolean filter expression: an identifier, the
+// identity of the subscribing client, and the tree.
+type Subscription struct {
+	ID         uint64
+	Subscriber string
+	Root       *Node
+}
+
+// New builds a validated subscription. The tree is simplified into canonical
+// form first, so callers may pass builder output directly.
+func New(id uint64, subscriber string, root *Node) (*Subscription, error) {
+	if root == nil {
+		return nil, fmt.Errorf("subscription %d: nil tree", id)
+	}
+	s := &Subscription{ID: id, Subscriber: subscriber, Root: root.Simplify()}
+	if err := s.Root.Validate(); err != nil {
+		return nil, fmt.Errorf("subscription %d: %w", id, err)
+	}
+	return s, nil
+}
+
+// Matches evaluates the subscription against a message.
+func (s *Subscription) Matches(m *event.Message) bool { return s.Root.Matches(m) }
+
+// PMin returns the subscription's pmin (see Node.PMin).
+func (s *Subscription) PMin() int { return s.Root.PMin() }
+
+// MemSize returns mem≈ of the subscription in bytes.
+func (s *Subscription) MemSize() int { return s.Root.MemSize() }
+
+// NumLeaves returns the number of predicate leaves.
+func (s *Subscription) NumLeaves() int { return s.Root.NumLeaves() }
+
+// Clone deep-copies the subscription.
+func (s *Subscription) Clone() *Subscription {
+	return &Subscription{ID: s.ID, Subscriber: s.Subscriber, Root: s.Root.Clone()}
+}
+
+// String renders the subscription tree in text syntax.
+func (s *Subscription) String() string { return s.Root.String() }

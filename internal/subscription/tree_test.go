@@ -1,0 +1,291 @@
+package subscription
+
+import (
+	"strings"
+	"testing"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+)
+
+// sampleTree builds (category = "scifi") and (author = "H" or author = "A")
+// and price <= 25.
+func sampleTree() *Node {
+	return And(
+		Eq("category", event.String("scifi")),
+		Or(
+			Eq("author", event.String("H")),
+			Eq("author", event.String("A")),
+		),
+		Le("price", event.Float(25)),
+	)
+}
+
+func TestTreeMatches(t *testing.T) {
+	root := sampleTree()
+	tests := []struct {
+		name string
+		m    *event.Message
+		want bool
+	}{
+		{"full match first author", event.Build(1).Str("category", "scifi").Str("author", "H").Num("price", 10).Msg(), true},
+		{"full match second author", event.Build(2).Str("category", "scifi").Str("author", "A").Num("price", 25).Msg(), true},
+		{"wrong author", event.Build(3).Str("category", "scifi").Str("author", "X").Num("price", 10).Msg(), false},
+		{"price too high", event.Build(4).Str("category", "scifi").Str("author", "H").Num("price", 26).Msg(), false},
+		{"missing category", event.Build(5).Str("author", "H").Num("price", 10).Msg(), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := root.Matches(tt.m); got != tt.want {
+				t.Errorf("Matches(%s) = %v, want %v", tt.m, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPMin(t *testing.T) {
+	tests := []struct {
+		name string
+		n    *Node
+		want int
+	}{
+		{"leaf", Eq("a", event.Int(1)), 1},
+		{"and of three", And(Eq("a", event.Int(1)), Eq("b", event.Int(2)), Eq("c", event.Int(3))), 3},
+		{"or picks min", Or(And(Eq("a", event.Int(1)), Eq("b", event.Int(2))), Eq("c", event.Int(3))), 1},
+		{"sample", sampleTree(), 3},
+		{"and with or child", And(Eq("a", event.Int(1)), Or(Eq("b", event.Int(2)), And(Eq("c", event.Int(3)), Eq("d", event.Int(4))))), 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.n.PMin(); got != tt.want {
+				t.Errorf("PMin = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCountsAndLeaves(t *testing.T) {
+	root := sampleTree()
+	if got := root.NumNodes(); got != 6 {
+		t.Errorf("NumNodes = %d, want 6", got)
+	}
+	if got := root.NumLeaves(); got != 4 {
+		t.Errorf("NumLeaves = %d, want 4", got)
+	}
+	leaves := root.Leaves(nil)
+	if len(leaves) != 4 {
+		t.Fatalf("Leaves returned %d predicates", len(leaves))
+	}
+	if leaves[0].Attr != "category" || leaves[3].Attr != "price" {
+		t.Errorf("leaf order unexpected: %v", leaves)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	root := sampleTree()
+	c := root.Clone()
+	if !root.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Children[0].Pred = Pred("category", OpEq, event.String("other"))
+	if root.Children[0].Pred == c.Children[0].Pred {
+		t.Error("clone shares leaf storage")
+	}
+	c.Children[1].Children = c.Children[1].Children[:1]
+	if len(root.Children[1].Children) != 2 {
+		t.Error("clone shares child slices")
+	}
+}
+
+func TestSimplifyCollapsesAndFlattens(t *testing.T) {
+	// AND(AND(a,b), c) -> AND(a,b,c)
+	a, b, c := Eq("a", event.Int(1)), Eq("b", event.Int(2)), Eq("c", event.Int(3))
+	n := And(And(a, b), c).Simplify()
+	if n.Kind != NodeAnd || len(n.Children) != 3 {
+		t.Errorf("flatten failed: %s", n)
+	}
+	// Single-child nodes collapse.
+	single := &Node{Kind: NodeOr, Children: []*Node{Eq("x", event.Int(1))}}
+	if got := single.Simplify(); got.Kind != NodeLeaf {
+		t.Errorf("single-child OR did not collapse: %s", got)
+	}
+	// OR nested in AND is preserved.
+	m := And(a.Clone(), Or(b.Clone(), c.Clone())).Simplify()
+	if m.Kind != NodeAnd || len(m.Children) != 2 || m.Children[1].Kind != NodeOr {
+		t.Errorf("mixed tree over-simplified: %s", m)
+	}
+	// Deep chain of single children collapses fully.
+	deep := &Node{Kind: NodeAnd, Children: []*Node{
+		{Kind: NodeOr, Children: []*Node{Eq("y", event.Int(9))}},
+	}}
+	if got := deep.Simplify(); got.Kind != NodeLeaf {
+		t.Errorf("deep single chain did not collapse: %s", got)
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	r := dist.New(5)
+	for i := 0; i < 500; i++ {
+		n := randomTree(r, 3)
+		s := n.Simplify()
+		for j := 0; j < 20; j++ {
+			m := randomMessage(r, uint64(i*100+j))
+			if n.Matches(m) != s.Matches(m) {
+				t.Fatalf("simplify changed semantics of %s -> %s on %s", n, s, m)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sampleTree().Validate(); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+	bad := []*Node{
+		{Kind: NodeAnd, Children: []*Node{Eq("a", event.Int(1))}}, // 1 child
+		{Kind: NodeOr},   // no children
+		{Kind: NodeLeaf}, // invalid predicate
+		{Kind: NodeLeaf, Pred: Pred("a", OpEq, event.Int(1)), Children: []*Node{Eq("b", event.Int(2))}},
+		{Kind: NodeInvalid},
+		And(Eq("a", event.Int(1)), &Node{Kind: NodeLeaf}), // nested invalid
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d: invalid tree accepted", i)
+		}
+	}
+}
+
+func TestNodeEqual(t *testing.T) {
+	a, b := sampleTree(), sampleTree()
+	if !a.Equal(b) {
+		t.Error("identical trees unequal")
+	}
+	b.Children[2].Pred.Value = event.Float(30)
+	if a.Equal(b) {
+		t.Error("different trees equal")
+	}
+	if a.Equal(nil) || (*Node)(nil).Equal(a) {
+		t.Error("nil comparison wrong")
+	}
+	if !(*Node)(nil).Equal(nil) {
+		t.Error("nil/nil should be equal")
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	got := sampleTree().String()
+	want := `category = "scifi" and (author = "H" or author = "A") and price <= 25.0`
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestNotDeMorgan(t *testing.T) {
+	r := dist.New(21)
+	for i := 0; i < 300; i++ {
+		n := randomTree(r, 3)
+		neg := Not(n)
+		// The result must still be NNF: no node kind other than and/or/leaf,
+		// and Matches must be the exact complement.
+		neg.Walk(func(node, _ *Node) bool {
+			if node.Kind != NodeAnd && node.Kind != NodeOr && node.Kind != NodeLeaf {
+				t.Fatalf("Not produced non-NNF node kind %v", node.Kind)
+			}
+			return true
+		})
+		for j := 0; j < 20; j++ {
+			m := randomMessage(r, uint64(i*100+j))
+			if n.Matches(m) == neg.Matches(m) {
+				t.Fatalf("Not is not the complement of %s on %s", n, m)
+			}
+		}
+	}
+}
+
+func TestMemSizeAdditive(t *testing.T) {
+	a := Eq("a", event.Int(1))
+	b := Eq("bb", event.Int(2))
+	root := And(a.Clone(), b.Clone())
+	wantLeafA := 16 + a.Pred.MemSize()
+	wantLeafB := 16 + b.Pred.MemSize()
+	if a.MemSize() != wantLeafA {
+		t.Errorf("leaf MemSize = %d, want %d", a.MemSize(), wantLeafA)
+	}
+	want := 16 + 8 + wantLeafA + 8 + wantLeafB
+	if root.MemSize() != want {
+		t.Errorf("root MemSize = %d, want %d", root.MemSize(), want)
+	}
+}
+
+func TestSubscriptionNew(t *testing.T) {
+	s, err := New(7, "alice", sampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != 7 || s.Subscriber != "alice" {
+		t.Errorf("metadata lost: %+v", s)
+	}
+	if s.PMin() != 3 || s.NumLeaves() != 4 {
+		t.Errorf("PMin/NumLeaves = %d/%d", s.PMin(), s.NumLeaves())
+	}
+	if _, err := New(1, "x", nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, err := New(1, "x", &Node{Kind: NodeLeaf}); err == nil {
+		t.Error("invalid tree accepted")
+	}
+	// New simplifies: a single-child AND collapses and still validates.
+	s2, err := New(2, "x", &Node{Kind: NodeAnd, Children: []*Node{Eq("a", event.Int(1))}})
+	if err != nil {
+		t.Fatalf("simplifiable tree rejected: %v", err)
+	}
+	if s2.Root.Kind != NodeLeaf {
+		t.Errorf("New did not simplify: %s", s2)
+	}
+}
+
+func TestSubscriptionCloneAndString(t *testing.T) {
+	s, err := New(1, "bob", sampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if c.ID != s.ID || c.Subscriber != s.Subscriber || !c.Root.Equal(s.Root) {
+		t.Error("clone differs")
+	}
+	c.Root.Children[0].Pred.Attr = "zzz"
+	if s.Root.Children[0].Pred.Attr == "zzz" {
+		t.Error("clone shares tree")
+	}
+	if !strings.Contains(s.String(), "category") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestWalkParentTracking(t *testing.T) {
+	root := sampleTree()
+	parents := map[*Node]*Node{}
+	root.Walk(func(n, p *Node) bool {
+		parents[n] = p
+		return true
+	})
+	if parents[root] != nil {
+		t.Error("root has a parent")
+	}
+	or := root.Children[1]
+	for _, c := range or.Children {
+		if parents[c] != or {
+			t.Error("or child has wrong parent")
+		}
+	}
+	// Early termination: stop descending below the OR.
+	visited := 0
+	root.Walk(func(n, p *Node) bool {
+		visited++
+		return n.Kind != NodeOr
+	})
+	if visited != 4 { // root, category leaf, or node, price leaf
+		t.Errorf("early-stop walk visited %d nodes, want 4", visited)
+	}
+}

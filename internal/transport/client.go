@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+	"dimprune/internal/wire"
+)
+
+// Client is a subscriber/publisher session against a broker server reached
+// over a Conn (typically TCP via Dial). Notifications arrive on the channel
+// returned by Notifications until the connection closes.
+type Client struct {
+	subscriber string
+	conn       Conn
+
+	notifications chan *event.Message
+	closeOnce     sync.Once
+	done          chan struct{}
+}
+
+// NewClient starts a client session over conn, introducing itself with a
+// hello frame. Servers reached through ListenClients use the hello to name
+// the session; servers that attached the connection explicitly just verify
+// the name matches.
+func NewClient(subscriber string, conn Conn) *Client {
+	c := &Client{
+		subscriber:    subscriber,
+		conn:          conn,
+		notifications: make(chan *event.Message, 64),
+		done:          make(chan struct{}),
+	}
+	// A hello failure surfaces on the first real operation; the read loop
+	// observes the broken connection either way.
+	_ = conn.Send(wire.HelloFrame(subscriber))
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	defer close(c.notifications)
+	for {
+		f, err := c.conn.Recv()
+		if err != nil {
+			return
+		}
+		if f.Type != wire.FramePublish {
+			continue // tolerate unknown server frames
+		}
+		select {
+		case c.notifications <- f.Msg:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Notifications returns the stream of matching events. The channel closes
+// when the session ends.
+func (c *Client) Notifications() <-chan *event.Message { return c.notifications }
+
+// Subscribe registers a subscription under this client's name.
+func (c *Client) Subscribe(id uint64, root *subscription.Node) error {
+	s, err := subscription.New(id, c.subscriber, root)
+	if err != nil {
+		return err
+	}
+	return c.conn.Send(wire.SubscribeFrame(s))
+}
+
+// Unsubscribe retracts a subscription.
+func (c *Client) Unsubscribe(id uint64) error {
+	return c.conn.Send(wire.UnsubscribeFrame(id))
+}
+
+// Publish injects an event.
+func (c *Client) Publish(m *event.Message) error {
+	if m == nil {
+		return fmt.Errorf("transport: nil message")
+	}
+	return c.conn.Send(wire.PublishFrame(m))
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.conn.Close()
+}

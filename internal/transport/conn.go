@@ -1,0 +1,140 @@
+// Package transport runs brokers over real connections. The sans-IO broker
+// state machine (internal/broker) stays single-threaded; a Server serializes
+// access to it and owns every goroutine: one reader per connection and one
+// writer per outbox, all stopped and awaited by Shutdown.
+//
+// Two connection types are provided: TCP (length-prefixed wire frames, used
+// by cmd/brokerd) and in-memory channel pairs (tests, examples).
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"dimprune/internal/wire"
+)
+
+// Conn is a bidirectional, frame-oriented connection. Send and Recv may be
+// called from different goroutines; neither is safe for concurrent calls
+// with itself.
+type Conn interface {
+	// Send transmits one frame.
+	Send(wire.Frame) error
+	// Recv blocks for the next frame. It returns an error once the peer
+	// closed or the connection broke.
+	Recv() (wire.Frame, error)
+	// Close tears the connection down; pending Recv calls unblock.
+	Close() error
+}
+
+// ErrClosed reports use of a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// tcpConn frames a net.Conn with the wire stream format.
+type tcpConn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	mu sync.Mutex // serializes writes
+	bw *bufio.Writer
+}
+
+// NewTCPConn wraps an established net.Conn.
+func NewTCPConn(nc net.Conn) Conn {
+	return &tcpConn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Dial connects to a broker's listener.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+func (c *tcpConn) Send(f wire.Frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.bw, f); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *tcpConn) Recv() (wire.Frame, error) {
+	return wire.ReadFrame(c.br)
+}
+
+func (c *tcpConn) Close() error { return c.nc.Close() }
+
+// chanConn is one end of an in-memory connection pair.
+type chanConn struct {
+	send chan<- wire.Frame
+	recv <-chan wire.Frame
+
+	closeOnce sync.Once
+	closed    chan struct{}        // this end closed
+	peer      <-chan struct{}      // other end closed
+	signal    func() chan struct{} // returns this end's close channel
+}
+
+// Pipe returns two connected in-memory connections. Frames sent on one are
+// received on the other. The internal buffer smooths bursts; when it fills,
+// Send blocks until the peer drains or either side closes.
+func Pipe() (Conn, Conn) {
+	ab := make(chan wire.Frame, 64)
+	ba := make(chan wire.Frame, 64)
+	aClosed := make(chan struct{})
+	bClosed := make(chan struct{})
+	a := &chanConn{send: ab, recv: ba, closed: aClosed, peer: bClosed}
+	b := &chanConn{send: ba, recv: ab, closed: bClosed, peer: aClosed}
+	return a, b
+}
+
+func (c *chanConn) Send(f wire.Frame) error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.send <- f:
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer:
+		return ErrClosed
+	}
+}
+
+func (c *chanConn) Recv() (wire.Frame, error) {
+	select {
+	case f := <-c.recv:
+		return f, nil
+	case <-c.closed:
+		return wire.Frame{}, ErrClosed
+	case <-c.peer:
+		// Drain frames the peer sent before closing.
+		select {
+		case f := <-c.recv:
+			return f, nil
+		default:
+			return wire.Frame{}, ErrClosed
+		}
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}

@@ -1,0 +1,71 @@
+package transport
+
+import "sync"
+
+// outbox decouples the broker's event loop from slow peers: handlers append
+// frames under the server lock and return immediately; a writer goroutine
+// drains the queue in order.
+//
+// The queue is unbounded by design: bounding it would let one stalled peer
+// block the broker (and, with mutual blocking, deadlock two brokers sending
+// to each other). A production deployment would add flow control at the
+// subscription-admission level; for this system the trade-off is documented
+// rather than hidden.
+type outbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []queuedItem
+	closed bool
+}
+
+type queuedItem struct {
+	send func() error
+}
+
+func newOutbox() *outbox {
+	o := &outbox{}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+// push enqueues a send closure. It reports false when the outbox is closed.
+func (o *outbox) push(send func() error) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return false
+	}
+	o.queue = append(o.queue, queuedItem{send: send})
+	o.cond.Signal()
+	return true
+}
+
+// close stops the drain loop after the current item.
+func (o *outbox) close() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.closed = true
+	o.cond.Broadcast()
+}
+
+// drain runs until close, sending items in order. Send errors stop the loop
+// (the connection is broken; the reader side reports it).
+func (o *outbox) drain() {
+	for {
+		o.mu.Lock()
+		for len(o.queue) == 0 && !o.closed {
+			o.cond.Wait()
+		}
+		if len(o.queue) == 0 && o.closed {
+			o.mu.Unlock()
+			return
+		}
+		item := o.queue[0]
+		o.queue = o.queue[1:]
+		o.mu.Unlock()
+
+		if err := item.send(); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+	"dimprune/internal/wire"
+)
+
+// Server runs one broker over real connections. All broker access is
+// serialized through the server's mutex; connection readers and outbox
+// writers are the only goroutines, and Shutdown stops and awaits them.
+type Server struct {
+	mu sync.Mutex
+	b  *broker.Broker
+
+	links   map[broker.LinkID]*peerConn
+	clients map[string]*peerConn
+
+	listener  net.Listener
+	onDeliver func(broker.Delivery)
+
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// peerConn is one attached connection (broker link or client session).
+type peerConn struct {
+	conn Conn
+	out  *outbox
+}
+
+// NewServer wraps a broker. onDeliver (optional) receives notifications for
+// local subscribers that are not attached client sessions.
+func NewServer(b *broker.Broker, onDeliver func(broker.Delivery)) *Server {
+	return &Server{
+		b:         b,
+		links:     make(map[broker.LinkID]*peerConn),
+		clients:   make(map[string]*peerConn),
+		onDeliver: onDeliver,
+	}
+}
+
+// Broker exposes the underlying broker for stats. Callers must not mutate
+// it concurrently with the server; use the server's methods for traffic.
+func (s *Server) Broker() *broker.Broker { return s.b }
+
+// AttachLink registers conn as a neighbor-broker connection and starts its
+// reader. The returned LinkID is stable for the server's lifetime.
+func (s *Server) AttachLink(conn Conn) (broker.LinkID, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	id := s.b.AddLink()
+	p := &peerConn{conn: conn, out: newOutbox()}
+	s.links[id] = p
+	s.mu.Unlock()
+
+	s.startPeer(p, func(f wire.Frame) error { return s.handleLinkFrame(id, f) })
+	return id, nil
+}
+
+// AttachClient registers conn as a local client session named subscriber.
+// Deliveries for that subscriber flow back over the connection as publish
+// frames.
+func (s *Server) AttachClient(subscriber string, conn Conn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := s.clients[subscriber]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("transport: client %q already attached", subscriber)
+	}
+	p := &peerConn{conn: conn, out: newOutbox()}
+	s.clients[subscriber] = p
+	s.mu.Unlock()
+
+	s.startPeer(p, func(f wire.Frame) error { return s.handleClientFrame(subscriber, f) })
+	return nil
+}
+
+// startPeer spawns the reader and writer goroutines for a connection.
+func (s *Server) startPeer(p *peerConn, handle func(wire.Frame) error) {
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		p.out.drain()
+	}()
+	go func() {
+		defer s.wg.Done()
+		for {
+			f, err := p.conn.Recv()
+			if err != nil {
+				p.out.close()
+				return
+			}
+			if err := handle(f); err != nil {
+				// A protocol error from this peer; drop the connection.
+				p.out.close()
+				_ = p.conn.Close()
+				return
+			}
+		}
+	}()
+}
+
+func (s *Server) handleLinkFrame(from broker.LinkID, f wire.Frame) error {
+	s.mu.Lock()
+	out, dels, err := s.b.HandleFrame(from, f)
+	s.dispatchLocked(out, dels)
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Server) handleClientFrame(subscriber string, f wire.Frame) error {
+	switch f.Type {
+	case wire.FrameHello:
+		if f.Subscriber != subscriber {
+			return fmt.Errorf("transport: client %q sent hello as %q", subscriber, f.Subscriber)
+		}
+		return nil
+	case wire.FrameSubscribe:
+		if f.Sub.Subscriber != subscriber {
+			return fmt.Errorf("transport: client %q subscribing as %q", subscriber, f.Sub.Subscriber)
+		}
+		_, err := s.Subscribe(f.Sub)
+		return err
+	case wire.FrameUnsubscribe:
+		return s.Unsubscribe(f.SubID)
+	case wire.FramePublish:
+		s.Publish(f.Msg)
+		return nil
+	default:
+		return fmt.Errorf("transport: client sent unknown frame type %d", f.Type)
+	}
+}
+
+// Subscribe registers a local subscription and forwards it to neighbors.
+func (s *Server) Subscribe(sub *subscription.Subscription) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	out, err := s.b.SubscribeLocal(sub)
+	if err != nil {
+		return 0, err
+	}
+	s.dispatchLocked(out, nil)
+	return sub.ID, nil
+}
+
+// Unsubscribe retracts a local subscription.
+func (s *Server) Unsubscribe(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	out, err := s.b.UnsubscribeLocal(id)
+	if err != nil {
+		return err
+	}
+	s.dispatchLocked(out, nil)
+	return nil
+}
+
+// Publish injects a local event.
+func (s *Server) Publish(m *event.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	out, dels := s.b.PublishLocal(m)
+	s.dispatchLocked(out, dels)
+}
+
+// Prune applies up to n pruning steps (serialized with traffic).
+func (s *Server) Prune(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Prune(n)
+}
+
+// WriteSnapshot serializes the routing table (serialized with traffic).
+func (s *Server) WriteSnapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.WriteSnapshot(w)
+}
+
+// ReadSnapshot restores the routing table. Links referenced by the snapshot
+// must already be attached, and no subscription may have arrived yet; call
+// it between dialing static peers and opening listeners. Serialized with
+// traffic, so a frame that slips in first fails the restore cleanly rather
+// than corrupting it.
+func (s *Server) ReadSnapshot(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.ReadSnapshot(r)
+}
+
+// Stats snapshots the broker (serialized with traffic).
+func (s *Server) Stats() broker.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Stats()
+}
+
+// dispatchLocked queues outgoing frames and deliveries. Callers hold s.mu.
+func (s *Server) dispatchLocked(out []broker.Outgoing, dels []broker.Delivery) {
+	for _, o := range out {
+		p := s.links[o.Link]
+		if p == nil {
+			continue // link detached
+		}
+		f := o.Frame
+		conn := p.conn
+		p.out.push(func() error { return conn.Send(f) })
+	}
+	for _, d := range dels {
+		if p := s.clients[d.Subscriber]; p != nil {
+			f := wire.PublishFrame(d.Msg)
+			conn := p.conn
+			p.out.push(func() error { return conn.Send(f) })
+			continue
+		}
+		if s.onDeliver != nil {
+			s.onDeliver(d)
+		}
+	}
+}
+
+// Listen starts accepting neighbor-broker connections on addr. Every
+// accepted connection becomes a link.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			if _, err := s.AttachLink(NewTCPConn(nc)); err != nil {
+				_ = nc.Close()
+				return
+			}
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// ListenClients starts accepting client sessions on addr. Each connection
+// must introduce itself with a hello frame naming its subscriber; the
+// session is then attached under that name.
+func (s *Server) ListenClients(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen clients %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", ErrClosed
+	}
+	// Track as the (single) client listener by reusing the shutdown path:
+	// both listeners close on Shutdown.
+	if s.listener == nil {
+		s.listener = ln
+	} else {
+		prev := s.listener
+		s.listener = &dualListener{a: prev, b: ln}
+	}
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				conn := NewTCPConn(nc)
+				f, err := conn.Recv()
+				if err != nil || f.Type != wire.FrameHello {
+					_ = conn.Close()
+					return
+				}
+				if err := s.AttachClient(f.Subscriber, conn); err != nil {
+					_ = conn.Close()
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// dualListener lets Shutdown close both the link and client listeners
+// through one handle.
+type dualListener struct{ a, b net.Listener }
+
+func (d *dualListener) Accept() (net.Conn, error) { return nil, net.ErrClosed }
+func (d *dualListener) Addr() net.Addr            { return d.a.Addr() }
+func (d *dualListener) Close() error {
+	err1 := d.a.Close()
+	err2 := d.b.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// DialLink connects to a neighbor broker's listener and attaches the
+// connection as a link.
+func (s *Server) DialLink(addr string) (broker.LinkID, error) {
+	conn, err := Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	id, err := s.AttachLink(conn)
+	if err != nil {
+		_ = conn.Close()
+		return 0, err
+	}
+	return id, nil
+}
+
+// Shutdown closes the listener and every connection, then waits for all
+// goroutines to exit. It is idempotent.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.listener
+	var conns []*peerConn
+	for _, p := range s.links {
+		conns = append(conns, p)
+	}
+	for _, p := range s.clients {
+		conns = append(conns, p)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, p := range conns {
+		p.out.close()
+		_ = p.conn.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"testing"
+
+	"dimprune/internal/auction"
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+func benchWorkload(b *testing.B) (*event.Message, *subscription.Subscription) {
+	b.Helper()
+	gen, err := auction.NewGenerator(auction.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := gen.Event(1)
+	s, err := gen.Subscription(1, "client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, s
+}
+
+func BenchmarkEncodeMessage(b *testing.B) {
+	m, _ := benchWorkload(b)
+	buf := make([]byte, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendMessage(buf[:0], m)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecodeMessage(b *testing.B) {
+	m, _ := benchWorkload(b)
+	enc := AppendMessage(nil, m)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeMessage(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeSubscription(b *testing.B) {
+	_, s := benchWorkload(b)
+	buf := make([]byte, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendSubscription(buf[:0], s)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecodeSubscription(b *testing.B) {
+	_, s := benchWorkload(b)
+	enc := AppendSubscription(nil, s)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeSubscription(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// FrameType discriminates broker-to-broker protocol frames.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameSubscribe forwards a (possibly non-local) subscription.
+	FrameSubscribe FrameType = iota + 1
+	// FrameUnsubscribe retracts a subscription by ID.
+	FrameUnsubscribe
+	// FramePublish routes an event message.
+	FramePublish
+	// FrameHello introduces a client session (subscriber name); the first
+	// frame on a client connection.
+	FrameHello
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameSubscribe:
+		return "subscribe"
+	case FrameUnsubscribe:
+		return "unsubscribe"
+	case FramePublish:
+		return "publish"
+	case FrameHello:
+		return "hello"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// Frame is one broker protocol unit. Exactly the field matching Type is set.
+type Frame struct {
+	Type       FrameType
+	Sub        *subscription.Subscription // FrameSubscribe
+	SubID      uint64                     // FrameUnsubscribe
+	Msg        *event.Message             // FramePublish
+	Subscriber string                     // FrameHello
+}
+
+// SubscribeFrame builds a subscription-forwarding frame.
+func SubscribeFrame(s *subscription.Subscription) Frame {
+	return Frame{Type: FrameSubscribe, Sub: s}
+}
+
+// UnsubscribeFrame builds a retraction frame.
+func UnsubscribeFrame(id uint64) Frame {
+	return Frame{Type: FrameUnsubscribe, SubID: id}
+}
+
+// PublishFrame builds an event-routing frame.
+func PublishFrame(m *event.Message) Frame {
+	return Frame{Type: FramePublish, Msg: m}
+}
+
+// HelloFrame builds a client-session introduction frame.
+func HelloFrame(subscriber string) Frame {
+	return Frame{Type: FrameHello, Subscriber: subscriber}
+}
+
+// AppendFrame appends the encoding of f to dst.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	dst = append(dst, byte(f.Type))
+	switch f.Type {
+	case FrameSubscribe:
+		if f.Sub == nil {
+			return nil, errors.New("wire: subscribe frame without subscription")
+		}
+		return AppendSubscription(dst, f.Sub), nil
+	case FrameUnsubscribe:
+		return binary.AppendUvarint(dst, f.SubID), nil
+	case FramePublish:
+		if f.Msg == nil {
+			return nil, errors.New("wire: publish frame without message")
+		}
+		return AppendMessage(dst, f.Msg), nil
+	case FrameHello:
+		if f.Subscriber == "" {
+			return nil, errors.New("wire: hello frame without subscriber")
+		}
+		return appendString(dst, f.Subscriber), nil
+	default:
+		return nil, fmt.Errorf("wire: cannot encode frame type %d", f.Type)
+	}
+}
+
+// DecodeFrame decodes one frame and returns the bytes consumed.
+func DecodeFrame(data []byte) (Frame, int, error) {
+	if len(data) == 0 {
+		return Frame{}, 0, ErrTruncated
+	}
+	switch FrameType(data[0]) {
+	case FrameSubscribe:
+		s, n, err := DecodeSubscription(data[1:])
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		return SubscribeFrame(s), 1 + n, nil
+	case FrameUnsubscribe:
+		id, n := binary.Uvarint(data[1:])
+		if n <= 0 {
+			return Frame{}, 0, ErrTruncated
+		}
+		return UnsubscribeFrame(id), 1 + n, nil
+	case FramePublish:
+		m, n, err := DecodeMessage(data[1:])
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		return PublishFrame(m), 1 + n, nil
+	case FrameHello:
+		s, n, err := decodeString(data[1:])
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		if s == "" {
+			return Frame{}, 0, errors.New("wire: hello frame with empty subscriber")
+		}
+		return HelloFrame(s), 1 + n, nil
+	default:
+		return Frame{}, 0, fmt.Errorf("wire: unknown frame type %d", data[0])
+	}
+}
+
+// FrameSize returns the encoded size of f in bytes; the network simulation
+// charges this per link transmission. Invalid frames size to 0.
+func FrameSize(f Frame) int {
+	b, err := AppendFrame(nil, f)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// maxFrameLen bounds stream frames against corrupt or hostile peers.
+const maxFrameLen = 16 << 20
+
+// WriteFrame writes f to w with a uvarint length prefix, the stream format
+// of the TCP transport.
+func WriteFrame(w io.Writer, f Frame) error {
+	payload, err := AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	header := binary.AppendUvarint(nil, uint64(len(payload)))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r, which must be buffered
+// byte-at-a-time capable (io.ByteReader + io.Reader, e.g. *bufio.Reader).
+func ReadFrame(r interface {
+	io.Reader
+	io.ByteReader
+}) (Frame, error) {
+	length, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Frame{}, err // io.EOF passes through for clean shutdown
+	}
+	if length > maxFrameLen {
+		return Frame{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("wire: read frame payload: %w", err)
+	}
+	f, n, err := DecodeFrame(payload)
+	if err != nil {
+		return Frame{}, err
+	}
+	if n != len(payload) {
+		return Frame{}, fmt.Errorf("wire: frame has %d trailing bytes", len(payload)-n)
+	}
+	return f, nil
+}

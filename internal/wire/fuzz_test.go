@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"testing"
+
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes to the frame decoder: it must never
+// panic, and anything it accepts must re-encode to the bytes it consumed
+// (canonical encoding). Run longer with:
+// go test -fuzz=FuzzDecodeFrame ./internal/wire
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with valid frames plus noise.
+	s, _ := subscription.New(7, "bob", subscription.MustParse(`price <= 20 and category = "a"`))
+	sub, _ := AppendFrame(nil, SubscribeFrame(s))
+	pub, _ := AppendFrame(nil, PublishFrame(event.Build(9).Str("category", "a").Num("price", 10).Msg()))
+	unsub, _ := AppendFrame(nil, UnsubscribeFrame(999))
+	hello, _ := AppendFrame(nil, HelloFrame("carol"))
+	for _, seed := range [][]byte{sub, pub, unsub, hello, {0}, {1, 2, 3}, nil} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("DecodeFrame consumed %d of %d bytes", n, len(data))
+		}
+		// encode∘decode must be idempotent. (Byte-level canonicality is not
+		// required of arbitrary accepted inputs: Go's varint reader accepts
+		// non-minimal length encodings.)
+		enc1, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		fr2, n2, err := DecodeFrame(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if n2 != len(enc1) {
+			t.Fatalf("re-decode consumed %d of %d", n2, len(enc1))
+		}
+		enc2, err := AppendFrame(nil, fr2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if string(enc1) != string(enc2) {
+			t.Fatalf("encoding not idempotent:\n 1st % x\n 2nd % x", enc1, enc2)
+		}
+	})
+}
+
+// FuzzDecodeNode checks the tree decoder against hostile bytes: no panics,
+// no unvalidated trees, canonical re-encoding.
+func FuzzDecodeNode(f *testing.F) {
+	tree := AppendNode(nil, subscription.MustParse(`(a = 1 or b prefix "x") and not c >= 2.5`))
+	for _, seed := range [][]byte{tree, {tagAnd, 2}, {tagLeaf}, nil} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, used, err := DecodeNode(data)
+		if err != nil {
+			return
+		}
+		if used <= 0 || used > len(data) {
+			t.Fatalf("DecodeNode consumed %d of %d", used, len(data))
+		}
+		// Leaves are validated during decode; whole-tree validation may
+		// still fail (e.g. single-child AND), which Simplify normalizes.
+		// encode∘decode must be idempotent; compare bytes rather than trees
+		// so NaN float payloads (never semantically equal) don't trip it.
+		enc1 := AppendNode(nil, n)
+		n2, used2, err := DecodeNode(enc1)
+		if err != nil || used2 != len(enc1) {
+			t.Fatalf("re-decode failed: %v (%d of %d)", err, used2, len(enc1))
+		}
+		enc2 := AppendNode(nil, n2)
+		if string(enc1) != string(enc2) {
+			t.Fatalf("node encoding not idempotent:\n 1st % x\n 2nd % x", enc1, enc2)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package dimprune
+
+import (
+	"fmt"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/experiment"
+	"dimprune/internal/simnet"
+	"dimprune/internal/transport"
+)
+
+// Simulation re-exports: deterministic in-process broker overlays.
+
+// Overlay is a deterministic in-memory broker overlay (the simulation the
+// paper's distributed experiments run on).
+type Overlay = simnet.Network
+
+// SimDelivery is one delivery observed in a simulated overlay.
+type SimDelivery = simnet.Delivery
+
+// Traffic aggregates simulated link transmissions.
+type Traffic = simnet.TrafficCounters
+
+// Broker is a sans-IO routing broker; see the networked layer (NewServer)
+// or the simulation (NewLineNetwork) for drivers.
+type Broker = broker.Broker
+
+// BrokerConfig configures a broker.
+type BrokerConfig = broker.Config
+
+// BrokerStats snapshots a broker's state and counters.
+type BrokerStats = broker.Stats
+
+// Delivery is one notification for a local subscriber of a broker.
+type Delivery = broker.Delivery
+
+// NewBroker creates a routing broker.
+func NewBroker(cfg BrokerConfig) (*Broker, error) { return broker.New(cfg) }
+
+// NewLineOverlay builds n brokers connected as a line (the paper's
+// distributed topology), all pruning with the given dimension.
+func NewLineOverlay(n int, dim Dimension) (*Overlay, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dimprune: line network needs >= 2 brokers, got %d", n)
+	}
+	brokers := make([]*broker.Broker, n)
+	for i := range brokers {
+		b, err := broker.New(broker.Config{
+			ID:            fmt.Sprintf("b%d", i),
+			Dimension:     dim,
+			ObserveEvents: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		brokers[i] = b
+	}
+	return simnet.NewLine(brokers)
+}
+
+// Networked re-exports: real transports for broker deployments.
+
+// Server runs one broker over real connections (TCP or in-memory pipes).
+type Server = transport.Server
+
+// Conn is a frame-oriented bidirectional connection.
+type Conn = transport.Conn
+
+// Client is a subscriber/publisher session against a broker server.
+type Client = transport.Client
+
+// NewServer wraps a broker for networked operation.
+func NewServer(b *Broker, onDeliver func(Delivery)) *Server {
+	return transport.NewServer(b, onDeliver)
+}
+
+// DialBroker opens a TCP connection to a broker server.
+func DialBroker(addr string) (Conn, error) { return transport.Dial(addr) }
+
+// NewClient starts a client session over an established connection.
+func NewClient(subscriber string, conn Conn) *Client {
+	return transport.NewClient(subscriber, conn)
+}
+
+// Pipe returns two connected in-memory connections.
+func Pipe() (Conn, Conn) { return transport.Pipe() }
+
+// Experiment re-exports: the harness regenerating the paper's figures.
+
+// ExperimentConfig parameterizes a figure sweep.
+type ExperimentConfig = experiment.Config
+
+// ExperimentResult bundles the sweeps of one setting.
+type ExperimentResult = experiment.Result
+
+// Figure is one reproduced paper figure.
+type Figure = experiment.Figure
+
+// DefaultExperimentConfig returns the laptop-scale sweep configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiment.DefaultConfig() }
+
+// RunCentralized reproduces Fig 1(a)–(c).
+func RunCentralized(cfg ExperimentConfig) (*ExperimentResult, error) {
+	return experiment.RunCentralized(cfg)
+}
+
+// RunDistributed reproduces Fig 1(d)–(f).
+func RunDistributed(cfg ExperimentConfig) (*ExperimentResult, error) {
+	return experiment.RunDistributed(cfg)
+}
+
+// Figures converts a result into plottable figure series.
+func Figures(res *ExperimentResult) []Figure { return experiment.Figures(res) }
+
+// RenderTable renders a figure as an aligned text table.
+func RenderTable(fig Figure) string { return experiment.RenderTable(fig) }
+
+// RenderCSV renders a figure as CSV.
+func RenderCSV(fig Figure) string { return experiment.RenderCSV(fig) }

@@ -1,0 +1,31 @@
+package dimprune
+
+import "dimprune/internal/auction"
+
+// Workload re-exports: the online book-auction generator used by the
+// paper's evaluation.
+
+// WorkloadConfig parameterizes the auction workload generator.
+type WorkloadConfig = auction.Config
+
+// Workload generates auction events and subscriptions deterministically.
+type Workload = auction.Generator
+
+// WorkloadClass identifies the three subscription classes.
+type WorkloadClass = auction.Class
+
+// Subscription classes of the auction workload.
+const (
+	// TitleWatcher tracks one specific book below a price limit.
+	TitleWatcher = auction.ClassTitleWatcher
+	// CategoryHunter browses categories for discounted, well-rated listings.
+	CategoryHunter = auction.ClassCategoryHunter
+	// AuthorCollector follows several authors with price/format constraints.
+	AuthorCollector = auction.ClassAuthorCollector
+)
+
+// DefaultWorkloadConfig returns the experiment workload parameters.
+func DefaultWorkloadConfig() WorkloadConfig { return auction.DefaultConfig() }
+
+// NewWorkload builds a workload generator.
+func NewWorkload(cfg WorkloadConfig) (*Workload, error) { return auction.NewGenerator(cfg) }
