@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -42,18 +43,31 @@ func main() {
 func run(args []string, stop <-chan os.Signal) error {
 	fs := flag.NewFlagSet("brokerd", flag.ContinueOnError)
 	var (
-		id         = fs.String("id", "broker", "broker name for logs")
-		listen     = fs.String("listen", "", "address for neighbor-broker links (empty: none)")
-		clients    = fs.String("clients", "", "address for client sessions (empty: none)")
-		peers      = fs.String("peers", "", "comma-separated neighbor addresses to dial")
-		dimension  = fs.String("dimension", "sel", "pruning dimension: sel, eff, mem")
-		pruneEvery = fs.Duration("prune-every", 0, "interval between pruning batches (0: never prune)")
-		pruneBatch = fs.Int("prune-batch", 100, "prunings per batch")
-		statsEvery = fs.Duration("stats-every", time.Minute, "interval between stats log lines (0: never)")
-		snapshot   = fs.String("snapshot", "", "routing-table snapshot file: loaded on start if present, written on shutdown")
+		id           = fs.String("id", "broker", "broker name for logs")
+		listen       = fs.String("listen", "", "address for neighbor-broker links (empty: none)")
+		clients      = fs.String("clients", "", "address for client sessions (empty: none)")
+		peers        = fs.String("peers", "", "comma-separated neighbor addresses to dial")
+		dimension    = fs.String("dimension", "sel", "pruning dimension: sel, eff, mem")
+		pruneEvery   = fs.Duration("prune-every", 0, "interval between pruning batches (0: never prune)")
+		pruneBatch   = fs.Int("prune-batch", 100, "prunings per batch")
+		statsEvery   = fs.Duration("stats-every", time.Minute, "interval between stats log lines (0: never)")
+		snapshot     = fs.String("snapshot", "", "routing-table snapshot file: loaded on start if present, written on shutdown")
+		matchWorkers = fs.Int("match-workers", 0, "goroutines one match fans out across (0: GOMAXPROCS, 1: serial)")
+		matchShards  = fs.Int("match-shards", 0, "subscription-table shards (0: 2x match workers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	workers := *matchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := *matchShards
+	if shards <= 0 {
+		// A small multiple of the worker count keeps shards fine-grained
+		// enough that uneven subscription popularity still balances.
+		shards = 2 * workers
 	}
 
 	var dim core.Dimension
@@ -68,7 +82,13 @@ func run(args []string, stop <-chan os.Signal) error {
 		return fmt.Errorf("unknown -dimension %q (want sel, eff, mem)", *dimension)
 	}
 
-	b, err := broker.New(broker.Config{ID: *id, Dimension: dim, ObserveEvents: true})
+	b, err := broker.New(broker.Config{
+		ID:            *id,
+		Dimension:     dim,
+		ObserveEvents: true,
+		MatchWorkers:  workers,
+		MatchShards:   shards,
+	})
 	if err != nil {
 		return err
 	}
@@ -125,7 +145,7 @@ func run(args []string, stop <-chan os.Signal) error {
 		statsTick = t.C
 	}
 
-	logger.Printf("running (dimension %s)", dim)
+	logger.Printf("running (dimension %s, %d match workers, %d shards)", dim, workers, shards)
 	for {
 		select {
 		case <-stop:

@@ -1,7 +1,7 @@
-// Package dimprune is a content-based publish/subscribe library with
-// dimension-based subscription pruning, reproducing Bittner & Hinze,
-// "Dimension-Based Subscription Pruning for Publish/Subscribe Systems"
-// (ICDCS Workshops 2006).
+// Package dimprune is a concurrent content-based publish/subscribe library
+// with dimension-based subscription pruning, reproducing and extending
+// Bittner & Hinze, "Dimension-Based Subscription Pruning for
+// Publish/Subscribe Systems" (ICDCS Workshops 2006).
 //
 // Subscriptions are arbitrary Boolean expressions over attribute–operator–
 // value predicates. Brokers route events through acyclic overlays using
@@ -10,6 +10,16 @@
 // extra traffic for smaller tables and faster filtering. Pruning order is
 // driven by one of three dimensions — network load, memory usage, or
 // throughput — each with its own heuristic (the paper's contribution).
+//
+// The event hot path is parallel end to end. Publishing is the data plane:
+// any number of goroutines may publish at once, each event matched against
+// the routing table under a shared lock with per-call scratch state, and —
+// for large tables — a single match can additionally fan its counting
+// phase out across a worker pool over a sharded subscription table
+// (EmbeddedConfig.MatchWorkers / Shards, BrokerConfig.MatchWorkers /
+// MatchShards). Subscribing, unsubscribing, pruning, and snapshot restore
+// are the control plane and run exclusively. See ARCHITECTURE.md for the
+// full model.
 //
 // # Quick start
 //
@@ -24,10 +34,14 @@
 // # Layers
 //
 //   - Subscriptions and events: Parse / builders (Eq, And, Or …), NewEvent.
-//   - Embedded: single-process matcher for applications (NewEmbedded).
-//   - Simulation: deterministic broker overlays (NewLineNetwork) used by the
+//   - Embedded: single-process concurrent matcher for applications
+//     (NewEmbedded); Publish and PublishBatch are safe from any number of
+//     goroutines.
+//   - Simulation: deterministic broker overlays (NewLineOverlay) used by the
 //     paper's experiments (RunCentralized / RunDistributed).
-//   - Networked: TCP broker servers and clients (NewServer, DialBroker).
+//   - Networked: TCP broker servers and clients (NewServer, DialBroker),
+//     run as a concurrent decode → match → per-peer-outbox pipeline; see
+//     cmd/brokerd for the daemon with -match-workers / -match-shards.
 //
 // The experiment harness regenerating the paper's figures lives behind
 // RunCentralized/RunDistributed; see cmd/prunesim for the command-line

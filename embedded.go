@@ -18,6 +18,15 @@ type EmbeddedConfig struct {
 	// LearnFromEvents updates the selectivity model with every published
 	// event (default true), keeping Δ≈sel ratings current.
 	DisableLearning bool
+	// Shards partitions the matching engine's subscription table so one
+	// match can fan out across workers. 0 keeps the serial single-shard
+	// layout; a small multiple of MatchWorkers is a good setting.
+	Shards int
+	// MatchWorkers bounds the goroutines one Publish fans its matching out
+	// across (capped at Shards). 0 or 1 matches on the publishing
+	// goroutine. Independent of this setting, Publish may be called from
+	// many goroutines at once and the calls run concurrently.
+	MatchWorkers int
 }
 
 // Notification is one delivered event.
@@ -34,9 +43,12 @@ type Notification struct {
 // Unlike a routing broker, an Embedded instance treats every subscription
 // as prunable: matching becomes approximate once Prune is called (supersets
 // only), which is the intended trade — applications that need exact
-// matching simply never prune. It is safe for concurrent use.
+// matching simply never prune. It is safe for concurrent use: publishes
+// run concurrently with each other (and, with MatchWorkers set, each one
+// fans out internally), while subscription changes and pruning serialize
+// against the routing table inside the broker.
 type Embedded struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex // guards notify and nextID; the broker locks itself
 	b      *broker.Broker
 	notify func(Notification)
 	nextID uint64
@@ -49,6 +61,8 @@ func NewEmbedded(cfg EmbeddedConfig) (*Embedded, error) {
 		Dimension:     cfg.Dimension,
 		PruneOptions:  cfg.PruneOptions,
 		ObserveEvents: !cfg.DisableLearning,
+		MatchShards:   cfg.Shards,
+		MatchWorkers:  cfg.MatchWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -62,7 +76,8 @@ func NewEmbedded(cfg EmbeddedConfig) (*Embedded, error) {
 }
 
 // OnNotify installs the delivery callback. It must be set before Publish;
-// callbacks run synchronously on the publishing goroutine.
+// callbacks run synchronously on the publishing goroutine and may be
+// invoked concurrently when publishers are concurrent.
 func (e *Embedded) OnNotify(fn func(Notification)) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -82,9 +97,10 @@ func (e *Embedded) SubscribeText(subscriber, expr string) (uint64, error) {
 // Subscribe registers a subscription tree and returns its assigned ID.
 func (e *Embedded) Subscribe(subscriber string, root *Node) (uint64, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.nextID++
-	s, err := NewSubscription(e.nextID, subscriber, root)
+	id := e.nextID
+	e.mu.Unlock()
+	s, err := NewSubscription(id, subscriber, root)
 	if err != nil {
 		return 0, err
 	}
@@ -97,25 +113,47 @@ func (e *Embedded) Subscribe(subscriber string, root *Node) (uint64, error) {
 
 // Unsubscribe retracts a subscription.
 func (e *Embedded) Unsubscribe(id uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	_, err := e.b.HandleUnsubscribe(0, id)
 	return err
 }
 
 // Publish matches an event against all subscriptions, invoking the
-// notification callback per match, and returns the match count.
+// notification callback per match, and returns the match count. Publishes
+// run concurrently with each other.
 func (e *Embedded) Publish(m *Message) (int, error) {
 	if m == nil {
 		return 0, fmt.Errorf("dimprune: nil message")
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	notify := e.notify
+	e.mu.RUnlock()
 	matches := 0
 	e.b.MatchEntries(m, func(subID uint64, subscriber string) {
 		matches++
-		if e.notify != nil {
-			e.notify(Notification{Subscriber: subscriber, SubID: subID, Msg: m})
+		if notify != nil {
+			notify(Notification{Subscriber: subscriber, SubID: subID, Msg: m})
+		}
+	})
+	return matches, nil
+}
+
+// PublishBatch publishes a burst of events in order, returning the total
+// match count. The broker holds its shared routing lock once for the whole
+// burst, which amortizes the handoff under bursty load.
+func (e *Embedded) PublishBatch(ms []*Message) (int, error) {
+	for _, m := range ms {
+		if m == nil {
+			return 0, fmt.Errorf("dimprune: nil message")
+		}
+	}
+	e.mu.RLock()
+	notify := e.notify
+	e.mu.RUnlock()
+	matches := 0
+	e.b.MatchEntriesBatch(ms, func(i int, subID uint64, subscriber string) {
+		matches++
+		if notify != nil {
+			notify(Notification{Subscriber: subscriber, SubID: subID, Msg: ms[i]})
 		}
 	})
 	return matches, nil
@@ -124,28 +162,20 @@ func (e *Embedded) Publish(m *Message) (int, error) {
 // Prune applies up to n pruning steps and returns the number performed.
 // After pruning, Publish may over-deliver (supersets), never under-deliver.
 func (e *Embedded) Prune(n int) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.b.Prune(n)
 }
 
 // Stats snapshots the engine.
 func (e *Embedded) Stats() broker.Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.b.Stats()
 }
 
 // SetDimension switches the pruning heuristic at runtime.
 func (e *Embedded) SetDimension(d Dimension) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.b.SetDimension(d)
 }
 
 // Model exposes the selectivity model (e.g. to pre-train it).
 func (e *Embedded) Model() *selectivity.Model {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.b.Model()
 }

@@ -1,0 +1,3 @@
+module dimprune
+
+go 1.24

@@ -18,10 +18,27 @@
 //   - Events are forwarded once per link that has at least one matching
 //     routing entry whose origin is that link, never back to the link the
 //     event arrived on.
+//
+// # Concurrency model
+//
+// The broker is safe for concurrent use and splits into two planes:
+//
+//   - Data plane (shared, RLock): PublishLocal, HandlePublish, and
+//     MatchEntries route events through the filtering table. Any number may
+//     run at once — the filter engine matches with per-call scratch, route
+//     scratch comes from a pool, traffic counters are atomics, and the
+//     selectivity model locks internally.
+//   - Control plane (exclusive, Lock): subscribe, unsubscribe, prune, and
+//     snapshot restore mutate the routing table and indexes, so they drain
+//     all in-flight routing before proceeding.
+//
+// The deterministic simulation drives brokers from one goroutine; for it
+// the locks are uncontended and behavior is unchanged.
 package broker
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dimprune/internal/core"
@@ -68,6 +85,14 @@ type Config struct {
 	// ObserveEvents updates the selectivity model with every event the
 	// broker filters, so Δ≈sel ratings track the live workload.
 	ObserveEvents bool
+	// MatchShards partitions the filtering table so one match call can fan
+	// out across workers. 0 or 1 keeps the serial single-shard layout.
+	MatchShards int
+	// MatchWorkers bounds the goroutines one match call fans out across
+	// (capped at MatchShards). 0 or 1 matches on the calling goroutine.
+	// Concurrent publishes parallelize regardless of this setting; workers
+	// additionally parallelize within a single large match.
+	MatchWorkers int
 }
 
 // routeEntry is one routing-table row.
@@ -76,10 +101,16 @@ type routeEntry struct {
 	original *subscription.Subscription // as registered/received; never pruned
 }
 
-// Broker routes events among local clients and neighbor brokers.
-// It is not safe for concurrent use; transports serialize access.
+// Broker routes events among local clients and neighbor brokers. It is
+// safe for concurrent use; see the package comment for the two-plane
+// locking model.
 type Broker struct {
-	id    string
+	id string
+
+	// mu separates the planes: routing takes RLock, table mutation takes
+	// Lock. links only grows before traffic starts (acyclic overlays are
+	// wired up front), so reading it under RLock is stable.
+	mu    sync.RWMutex
 	links int
 
 	table   *filter.Engine
@@ -88,9 +119,15 @@ type Broker struct {
 	entries map[uint64]*routeEntry
 	observe bool
 
-	counters metrics.Counters
+	counters metrics.AtomicCounters
 
-	// scratch buffers reused across events.
+	// routeScratch pools per-call routing buffers so concurrent publishes
+	// neither share state nor allocate per event.
+	routeScratch sync.Pool // *routeBuffers
+}
+
+// routeBuffers is the per-call scratch of one route pass.
+type routeBuffers struct {
 	matchLinks []bool
 	deliveries []Delivery
 }
@@ -114,7 +151,7 @@ func New(cfg Config) (*Broker, error) {
 	}
 	return &Broker{
 		id:      cfg.ID,
-		table:   filter.New(),
+		table:   filter.NewSharded(cfg.MatchShards, cfg.MatchWorkers),
 		model:   model,
 		pruner:  pruner,
 		entries: make(map[uint64]*routeEntry),
@@ -131,30 +168,40 @@ func (b *Broker) Model() *selectivity.Model { return b.model }
 // AddLink registers a neighbor connection and returns its LinkID. Topology
 // is fixed before traffic starts (acyclic overlays per §2.1).
 func (b *Broker) AddLink() LinkID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	id := LinkID(b.links)
 	b.links++
-	b.matchLinks = append(b.matchLinks, false)
 	return id
 }
 
 // NumLinks returns the number of neighbor links.
-func (b *Broker) NumLinks() int { return b.links }
+func (b *Broker) NumLinks() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.links
+}
 
 // SubscribeLocal registers a subscription from a local client and returns
 // the subscribe frames to forward to every neighbor.
 func (b *Broker) SubscribeLocal(s *subscription.Subscription) ([]Outgoing, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.addSubscription(s, LocalLink)
 }
 
 // HandleSubscribe processes a subscription forwarded by a neighbor: it
 // becomes a prunable routing entry and is forwarded to all other neighbors.
 func (b *Broker) HandleSubscribe(from LinkID, s *subscription.Subscription) ([]Outgoing, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if err := b.checkLink(from); err != nil {
 		return nil, err
 	}
 	return b.addSubscription(s, from)
 }
 
+// addSubscription mutates the routing table; callers hold the write lock.
 func (b *Broker) addSubscription(s *subscription.Subscription, origin LinkID) ([]Outgoing, error) {
 	if _, dup := b.entries[s.ID]; dup {
 		return nil, fmt.Errorf("broker %s: subscription %d already present", b.id, s.ID)
@@ -173,17 +220,22 @@ func (b *Broker) addSubscription(s *subscription.Subscription, origin LinkID) ([
 
 // UnsubscribeLocal retracts a local client's subscription.
 func (b *Broker) UnsubscribeLocal(id uint64) ([]Outgoing, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.removeSubscription(id, LocalLink)
 }
 
 // HandleUnsubscribe processes a retraction forwarded by a neighbor.
 func (b *Broker) HandleUnsubscribe(from LinkID, id uint64) ([]Outgoing, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if err := b.checkLink(from); err != nil {
 		return nil, err
 	}
 	return b.removeSubscription(id, from)
 }
 
+// removeSubscription mutates the routing table; callers hold the write lock.
 func (b *Broker) removeSubscription(id uint64, origin LinkID) ([]Outgoing, error) {
 	ent, ok := b.entries[id]
 	if !ok {
@@ -212,21 +264,46 @@ func (b *Broker) forwardControl(f wire.Frame, except LinkID) []Outgoing {
 			continue
 		}
 		out = append(out, Outgoing{Link: l, Frame: f})
-		b.counters.ControlSent++
-		b.counters.BytesSent += uint64(wire.FrameSize(f))
+		b.counters.ControlSent.Add(1)
+		b.counters.BytesSent.Add(uint64(wire.FrameSize(f)))
 	}
 	return out
 }
 
 // PublishLocal routes an event injected by a local client.
 func (b *Broker) PublishLocal(m *event.Message) ([]Outgoing, []Delivery) {
-	b.counters.EventsPublished++
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.counters.EventsPublished.Add(1)
 	return b.route(m, LocalLink)
+}
+
+// PublishLocalBatch routes a burst of locally injected events under one
+// lock acquisition, concatenating the outgoing frames and deliveries in
+// batch order. Transports use it to amortize the shared-lock handoff when
+// publishers send bursts.
+func (b *Broker) PublishLocalBatch(ms []*event.Message) ([]Outgoing, []Delivery) {
+	if len(ms) == 0 {
+		return nil, nil
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Outgoing
+	var dels []Delivery
+	for _, m := range ms {
+		b.counters.EventsPublished.Add(1)
+		o, d := b.route(m, LocalLink)
+		out = append(out, o...)
+		dels = append(dels, d...)
+	}
+	return out, dels
 }
 
 // HandlePublish routes an event forwarded by a neighbor (post-filtering:
 // the event is matched again against this broker's routing table).
 func (b *Broker) HandlePublish(from LinkID, m *event.Message) ([]Outgoing, []Delivery, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	if err := b.checkLink(from); err != nil {
 		return nil, nil, err
 	}
@@ -237,14 +314,24 @@ func (b *Broker) HandlePublish(from LinkID, m *event.Message) ([]Outgoing, []Del
 // route matches the event against the routing table; matching local entries
 // produce deliveries, matching remote entries mark their origin link for one
 // forwarded copy. The link the event arrived on never gets a copy back.
+// Callers hold the read lock; scratch comes from the pool so concurrent
+// routes never share buffers.
 func (b *Broker) route(m *event.Message, arrived LinkID) ([]Outgoing, []Delivery) {
 	if b.observe {
 		b.model.Observe(m)
 	}
-	for i := range b.matchLinks {
-		b.matchLinks[i] = false
+	rb, _ := b.routeScratch.Get().(*routeBuffers)
+	if rb == nil {
+		rb = &routeBuffers{}
 	}
-	b.deliveries = b.deliveries[:0]
+	if cap(rb.matchLinks) < b.links {
+		rb.matchLinks = make([]bool, b.links)
+	}
+	rb.matchLinks = rb.matchLinks[:b.links]
+	for i := range rb.matchLinks {
+		rb.matchLinks[i] = false
+	}
+	rb.deliveries = rb.deliveries[:0]
 
 	start := time.Now()
 	matched := 0
@@ -257,7 +344,7 @@ func (b *Broker) route(m *event.Message, arrived LinkID) ([]Outgoing, []Delivery
 		if ent.origin == LocalLink {
 			// Deliver exactly: local entries are never pruned, so a table
 			// match is a true match.
-			b.deliveries = append(b.deliveries, Delivery{
+			rb.deliveries = append(rb.deliveries, Delivery{
 				Subscriber: s.Subscriber,
 				SubID:      s.ID,
 				Msg:        m,
@@ -265,28 +352,35 @@ func (b *Broker) route(m *event.Message, arrived LinkID) ([]Outgoing, []Delivery
 			return
 		}
 		if ent.origin != arrived {
-			b.matchLinks[ent.origin] = true
+			rb.matchLinks[ent.origin] = true
 		}
 	})
-	b.counters.FilterTime += time.Since(start)
-	b.counters.EventsFiltered++
-	b.counters.MatchedEntries += uint64(matched)
-	b.counters.Deliveries += uint64(len(b.deliveries))
+	b.counters.AddFilterTime(time.Since(start))
+	b.counters.EventsFiltered.Add(1)
+	b.counters.MatchedEntries.Add(uint64(matched))
+	b.counters.Deliveries.Add(uint64(len(rb.deliveries)))
 
 	var out []Outgoing
 	if b.links > 0 {
 		f := wire.PublishFrame(m)
 		size := uint64(wire.FrameSize(f))
 		for l := LinkID(0); l < LinkID(b.links); l++ {
-			if b.matchLinks[l] {
+			if rb.matchLinks[l] {
 				out = append(out, Outgoing{Link: l, Frame: f})
-				b.counters.EventsForwarded++
-				b.counters.BytesSent += size
+				b.counters.EventsForwarded.Add(1)
+				b.counters.BytesSent.Add(size)
 			}
 		}
 	}
-	dels := make([]Delivery, len(b.deliveries))
-	copy(dels, b.deliveries)
+	var dels []Delivery
+	if len(rb.deliveries) > 0 {
+		dels = make([]Delivery, len(rb.deliveries))
+		copy(dels, rb.deliveries)
+		for i := range rb.deliveries {
+			rb.deliveries[i] = Delivery{} // release message references while pooled
+		}
+	}
+	b.routeScratch.Put(rb)
 	return out, dels
 }
 
@@ -294,8 +388,11 @@ func (b *Broker) route(m *event.Message, arrived LinkID) ([]Outgoing, []Delivery
 // non-local, pruned or not — invoking fn per match with the entry's ID and
 // subscriber. It updates the filtering counters and (when configured) the
 // selectivity model, but makes no routing decision; single-broker
-// deployments use it as their dispatch primitive.
+// deployments use it as their dispatch primitive. Safe for concurrent use;
+// fn runs on the calling goroutine.
 func (b *Broker) MatchEntries(m *event.Message, fn func(subID uint64, subscriber string)) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	if b.observe {
 		b.model.Observe(m)
 	}
@@ -305,9 +402,35 @@ func (b *Broker) MatchEntries(m *event.Message, fn func(subID uint64, subscriber
 		matched++
 		fn(s.ID, s.Subscriber)
 	})
-	b.counters.FilterTime += time.Since(start)
-	b.counters.EventsFiltered++
-	b.counters.MatchedEntries += uint64(matched)
+	b.counters.AddFilterTime(time.Since(start))
+	b.counters.EventsFiltered.Add(1)
+	b.counters.MatchedEntries.Add(uint64(matched))
+}
+
+// MatchEntriesBatch runs MatchEntries for a burst of events under a single
+// shared-lock acquisition, invoking fn with the batch index of the matched
+// event. Single-broker deployments use it as their batched dispatch
+// primitive.
+func (b *Broker) MatchEntriesBatch(ms []*event.Message, fn func(i int, subID uint64, subscriber string)) {
+	if len(ms) == 0 {
+		return
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for i, m := range ms {
+		if b.observe {
+			b.model.Observe(m)
+		}
+		start := time.Now()
+		matched := 0
+		b.table.MatchVisit(m, func(s *subscription.Subscription) {
+			matched++
+			fn(i, s.ID, s.Subscriber)
+		})
+		b.counters.AddFilterTime(time.Since(start))
+		b.counters.EventsFiltered.Add(1)
+		b.counters.MatchedEntries.Add(uint64(matched))
+	}
 }
 
 // HandleFrame dispatches any protocol frame from a neighbor.
@@ -326,6 +449,7 @@ func (b *Broker) HandleFrame(from LinkID, f wire.Frame) ([]Outgoing, []Delivery,
 	}
 }
 
+// checkLink validates a neighbor link ID; callers hold either lock.
 func (b *Broker) checkLink(l LinkID) error {
 	if l < 0 || int(l) >= b.links {
 		return fmt.Errorf("broker %s: invalid link %d (have %d)", b.id, l, b.links)
@@ -335,7 +459,10 @@ func (b *Broker) checkLink(l LinkID) error {
 
 // Prune applies up to n pruning steps to the non-local routing entries,
 // updating the filtering table in place, and returns the number performed.
+// Pruning is control-plane: it drains in-flight routing and runs exclusively.
 func (b *Broker) Prune(n int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	done := 0
 	for done < n {
 		op, ok := b.pruner.Step()
@@ -353,7 +480,11 @@ func (b *Broker) Prune(n int) int {
 }
 
 // PruneRemaining reports how many subscriptions still support a pruning.
-func (b *Broker) PruneRemaining() int { return b.pruner.Remaining() }
+func (b *Broker) PruneRemaining() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.pruner.Remaining()
+}
 
 // ExhaustPrunings applies prunings until none remain and returns the count.
 func (b *Broker) ExhaustPrunings() int {
@@ -369,11 +500,17 @@ func (b *Broker) ExhaustPrunings() int {
 
 // SetDimension switches the pruning dimension at runtime (adaptive control).
 func (b *Broker) SetDimension(dim core.Dimension) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.pruner.SetDimension(dim)
 }
 
 // Dimension returns the active pruning dimension.
-func (b *Broker) Dimension() core.Dimension { return b.pruner.Dimension() }
+func (b *Broker) Dimension() core.Dimension {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.pruner.Dimension()
+}
 
 // Stats summarizes the broker's state and counters.
 type Stats struct {
@@ -387,8 +524,11 @@ type Stats struct {
 	Counters      metrics.Counters
 }
 
-// Stats returns a snapshot of state and counters.
+// Stats returns a snapshot of state and counters. It may run concurrently
+// with routing; counters land atomically per field.
 func (b *Broker) Stats() Stats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	local := 0
 	for _, ent := range b.entries {
 		if ent.origin == LocalLink {
@@ -403,17 +543,19 @@ func (b *Broker) Stats() Stats {
 		Predicates:    b.table.NumPredicates(),
 		PruningsDone:  b.pruner.Steps(),
 		PruneRemained: b.pruner.Remaining(),
-		Counters:      b.counters,
+		Counters:      b.counters.Snapshot(),
 	}
 }
 
 // ResetCounters zeroes the measurement counters (state is untouched); the
 // experiment harness calls this between the warm-up and measured phases.
-func (b *Broker) ResetCounters() { b.counters = metrics.Counters{} }
+func (b *Broker) ResetCounters() { b.counters.Reset() }
 
 // CurrentEntry returns the current (possibly pruned) routing entry and its
 // original subscription.
 func (b *Broker) CurrentEntry(id uint64) (current, original *subscription.Subscription, ok bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	ent, found := b.entries[id]
 	if !found {
 		return nil, nil, false
@@ -428,6 +570,8 @@ func (b *Broker) CurrentEntry(id uint64) (current, original *subscription.Subscr
 // NonLocalAssociations counts predicate/subscription associations of
 // non-local entries only — the ordinate of Fig 1(f).
 func (b *Broker) NonLocalAssociations() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	n := 0
 	for id, ent := range b.entries {
 		if ent.origin == LocalLink {

@@ -28,8 +28,11 @@ var ErrBadSnapshot = errors.New("broker: bad snapshot")
 
 // WriteSnapshot serializes the routing table to w. Entries are written in
 // ascending subscription-ID order so snapshots of equal state are
-// byte-identical.
+// byte-identical. It takes the shared lock: routing may continue while the
+// snapshot is written, table mutations wait.
 func (b *Broker) WriteSnapshot(w io.Writer) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return err
@@ -62,6 +65,8 @@ func (b *Broker) WriteSnapshot(w io.Writer) error {
 // snapshot references link IDs). Pruning state (anchors and applied
 // prunings) is reconstructed exactly.
 func (b *Broker) ReadSnapshot(r io.Reader) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if len(b.entries) != 0 {
 		return fmt.Errorf("broker %s: snapshot restore into non-empty broker", b.id)
 	}

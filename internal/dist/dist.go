@@ -1,0 +1,118 @@
+// Package dist provides the deterministic random streams the workload
+// generators and tests are built on: a seedable RNG with convenience
+// samplers (uniform ranges, truncated exponential and normal draws,
+// biased coins) and a Zipf sampler over integer ranks.
+//
+// Determinism contract: the same seed yields the same sequence on every
+// platform and Go release (the generator is a fixed PCG, not math/rand's
+// unspecified global source), and Split derives statistically independent
+// child streams so consuming more of one stream never perturbs another.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// RNG is one deterministic random stream. It is not safe for concurrent
+// use; give each goroutine its own stream via Split.
+type RNG struct {
+	src *rand.Rand
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *RNG {
+	// The two PCG seed words are decorrelated with splitmix64-style
+	// constants so adjacent seeds do not yield overlapping streams.
+	return &RNG{src: rand.New(rand.NewPCG(seed, seed*0x9e3779b97f4a7c15+0xda3e39cb94b95bdb))}
+}
+
+// Split derives an independent child stream from r, advancing r by two
+// draws. Splitting the same stream repeatedly yields distinct children.
+func (r *RNG) Split() *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(r.src.Uint64(), r.src.Uint64()))}
+}
+
+// Float64 returns a uniform draw from [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform draw from [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int { return r.src.IntN(n) }
+
+// IntRange returns a uniform draw from the inclusive range [lo, hi].
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + r.src.IntN(hi-lo+1)
+}
+
+// Range returns a uniform draw from [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + r.src.Float64()*(hi-lo)
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (r *RNG) Bool(p float64) bool { return r.src.Float64() < p }
+
+// Exponential returns an exponential draw with the given mean, capped at
+// max — the long-tailed shape of prices and bid counts, with the tail
+// truncated so a single draw cannot dominate a workload.
+func (r *RNG) Exponential(mean, max float64) float64 {
+	x := r.src.ExpFloat64() * mean
+	if x > max {
+		return max
+	}
+	return x
+}
+
+// Normal returns a normal draw with the given mean and standard deviation,
+// clamped to [lo, hi].
+func (r *RNG) Normal(mean, stddev, lo, hi float64) float64 {
+	x := r.src.NormFloat64()*stddev + mean
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^skew: rank 0 is the most popular. skew 0 degenerates to the
+// uniform distribution; larger skews concentrate mass on the head.
+type Zipf struct {
+	r   *RNG
+	cum []float64 // cumulative normalized weights, cum[n-1] == 1
+}
+
+// NewZipf builds a Zipf sampler over n ranks drawing from r. The skew must
+// be finite and non-negative and n must be positive.
+func NewZipf(r *RNG, skew float64, n int) (*Zipf, error) {
+	if math.IsNaN(skew) || math.IsInf(skew, 0) || skew < 0 {
+		return nil, fmt.Errorf("dist: bad zipf skew %v (want finite, >= 0)", skew)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("dist: zipf needs at least one rank, got %d", n)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -skew)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // guard against rounding drift at the top
+	return &Zipf{r: r, cum: cum}, nil
+}
+
+// Draw returns the next rank.
+func (z *Zipf) Draw() int {
+	u := z.r.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}

@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+	if New(1).Float64() == New(2).Float64() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// A child stream must not change when the parent is consumed further
+	// after the split.
+	p1 := New(7)
+	c1 := p1.Split()
+	want := make([]float64, 100)
+	for i := range want {
+		want[i] = c1.Float64()
+	}
+
+	p2 := New(7)
+	c2 := p2.Split()
+	for i := 0; i < 50; i++ {
+		p2.Float64() // consume the parent; the child must be unaffected
+	}
+	for i := range want {
+		if got := c2.Float64(); got != want[i] {
+			t.Fatalf("child stream perturbed by parent consumption at draw %d", i)
+		}
+	}
+}
+
+func TestRanges(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		if n := r.Intn(7); n < 0 || n >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", n)
+		}
+		if n := r.IntRange(2, 4); n < 2 || n > 4 {
+			t.Fatalf("IntRange(2,4) out of range: %d", n)
+		}
+		if f := r.Range(-1, 1); f < -1 || f >= 1 {
+			t.Fatalf("Range(-1,1) out of range: %v", f)
+		}
+		if f := r.Exponential(18, 400); f < 0 || f > 400 {
+			t.Fatalf("Exponential(18,400) out of range: %v", f)
+		}
+		if f := r.Normal(3.4, 1.2, 0, 5); f < 0 || f > 5 {
+			t.Fatalf("Normal out of [0,5]: %v", f)
+		}
+	}
+}
+
+func TestBoolBias(t *testing.T) {
+	r := New(11)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("Bool(0.25) frequency %v, want ~0.25", got)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	r := New(1)
+	for _, skew := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := NewZipf(r, skew, 10); err == nil {
+			t.Fatalf("NewZipf accepted bad skew %v", skew)
+		}
+	}
+	if _, err := NewZipf(r, 1, 0); err == nil {
+		t.Fatal("NewZipf accepted n=0")
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	r := New(5)
+	z, err := NewZipf(r, 1.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		k := z.Draw()
+		if k < 0 || k >= 100 {
+			t.Fatalf("Draw out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[9] || counts[9] <= counts[99] {
+		t.Fatalf("Zipf mass not decreasing: head=%d mid=%d tail=%d",
+			counts[0], counts[9], counts[99])
+	}
+	// Rank 0 of a skew-1 Zipf over 100 ranks holds ~1/H(100) ≈ 19% of the mass.
+	head := float64(counts[0]) / trials
+	if head < 0.15 || head > 0.25 {
+		t.Fatalf("Zipf head mass %v, want ~0.19", head)
+	}
+
+	// Skew 0 must degenerate to uniform.
+	u, err := NewZipf(New(6), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		uc[u.Draw()]++
+	}
+	for i, c := range uc {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("skew-0 zipf not uniform: rank %d got %d/40000", i, c)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package filter
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dimprune/internal/event"
 	"dimprune/internal/subscription"
@@ -151,11 +153,17 @@ type threshold struct {
 }
 
 // thresholdSet is a lazily sorted multiset of thresholds with tombstoned
-// removal. Sorting happens at most once per mutation batch.
+// removal. Sorting happens at most once per mutation batch: mutations (add,
+// remove, compact) require the engine's exclusive access and mark the set
+// dirty; the first query after a mutation batch sorts. The dirty flag is
+// atomic and the sort itself is serialized, so concurrent collect calls —
+// the engine's shared read path — race neither on the flag nor on the
+// in-place sort.
 type thresholdSet struct {
-	items []threshold
-	dead  map[predID]struct{}
-	dirty bool
+	items  []threshold
+	dead   map[predID]struct{}
+	dirty  atomic.Bool
+	sortMu sync.Mutex
 }
 
 func (ts *thresholdSet) add(t threshold) {
@@ -165,7 +173,7 @@ func (ts *thresholdSet) add(t threshold) {
 		ts.compact()
 	}
 	ts.items = append(ts.items, t)
-	ts.dirty = true
+	ts.dirty.Store(true)
 }
 
 func (ts *thresholdSet) remove(id predID) {
@@ -187,14 +195,19 @@ func (ts *thresholdSet) compact() {
 	}
 	ts.items = live
 	ts.dead = nil
-	ts.dirty = true
+	ts.dirty.Store(true)
 }
 
 func (ts *thresholdSet) ensure() {
-	if ts.dirty {
-		sort.Slice(ts.items, func(i, j int) bool { return ts.items[i].val < ts.items[j].val })
-		ts.dirty = false
+	if !ts.dirty.Load() {
+		return
 	}
+	ts.sortMu.Lock()
+	if ts.dirty.Load() {
+		sort.Slice(ts.items, func(i, j int) bool { return ts.items[i].val < ts.items[j].val })
+		ts.dirty.Store(false)
+	}
+	ts.sortMu.Unlock()
 }
 
 // collectGE marks predicates in a "less" set fulfilled by event value x:
@@ -246,9 +259,10 @@ type strThreshold struct {
 }
 
 type strThresholdSet struct {
-	items []strThreshold
-	dead  map[predID]struct{}
-	dirty bool
+	items  []strThreshold
+	dead   map[predID]struct{}
+	dirty  atomic.Bool
+	sortMu sync.Mutex
 }
 
 func (ts *strThresholdSet) add(t strThreshold) {
@@ -256,7 +270,7 @@ func (ts *strThresholdSet) add(t strThreshold) {
 		ts.compact() // see thresholdSet.add
 	}
 	ts.items = append(ts.items, t)
-	ts.dirty = true
+	ts.dirty.Store(true)
 }
 
 func (ts *strThresholdSet) remove(id predID) {
@@ -278,14 +292,19 @@ func (ts *strThresholdSet) compact() {
 	}
 	ts.items = live
 	ts.dead = nil
-	ts.dirty = true
+	ts.dirty.Store(true)
 }
 
 func (ts *strThresholdSet) ensure() {
-	if ts.dirty {
-		sort.Slice(ts.items, func(i, j int) bool { return ts.items[i].val < ts.items[j].val })
-		ts.dirty = false
+	if !ts.dirty.Load() {
+		return
 	}
+	ts.sortMu.Lock()
+	if ts.dirty.Load() {
+		sort.Slice(ts.items, func(i, j int) bool { return ts.items[i].val < ts.items[j].val })
+		ts.dirty.Store(false)
+	}
+	ts.sortMu.Unlock()
 }
 
 func (ts *strThresholdSet) collectGE(x string, mark func(predID)) {

@@ -1,0 +1,195 @@
+package filter
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/subscription"
+)
+
+// TestShardedMatchesSerial checks that every shard/worker layout produces
+// exactly the serial engine's match sets, across registration, update
+// (pruning's path into the table), and unregistration churn.
+func TestShardedMatchesSerial(t *testing.T) {
+	layouts := []struct{ shards, workers int }{
+		{1, 1}, {2, 2}, {4, 2}, {8, 4}, {16, 8},
+	}
+	r := dist.New(1234)
+
+	serial := New()
+	engines := make([]*Engine, len(layouts))
+	for i, l := range layouts {
+		engines[i] = NewSharded(l.shards, l.workers)
+	}
+	all := append([]*Engine{serial}, engines...)
+
+	nextID := uint64(0)
+	live := []uint64{}
+	registerOne := func() {
+		nextID++
+		s, err := subscription.New(nextID, "s", randomTree(r, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range all {
+			if err := e.Register(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		live = append(live, nextID)
+	}
+	unregisterOne := func() {
+		if len(live) == 0 {
+			return
+		}
+		i := r.Intn(len(live))
+		id := live[i]
+		live[i] = live[len(live)-1]
+		live = live[:len(live)-1]
+		for _, e := range all {
+			if !e.Unregister(id) {
+				t.Fatalf("engine lost subscription %d", id)
+			}
+		}
+	}
+	updateOne := func() {
+		if len(live) == 0 {
+			return
+		}
+		id := live[r.Intn(len(live))]
+		s, err := subscription.New(id, "s", randomTree(r, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range all {
+			if err := e.Update(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check := func(round int) {
+		for ev := 0; ev < 20; ev++ {
+			m := randomMessage(r, uint64(round*1000+ev))
+			want := serial.Match(m, nil)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for li, e := range engines {
+				got := e.Match(m, nil)
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if len(got) != len(want) {
+					t.Fatalf("round %d layout %+v: %d matches, serial %d",
+						round, layouts[li], len(got), len(want))
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("round %d layout %+v: match set diverges at %d: %d vs %d",
+							round, layouts[li], k, got[k], want[k])
+					}
+				}
+			}
+		}
+	}
+
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 150; i++ {
+			registerOne()
+		}
+		check(round)
+		for i := 0; i < 40; i++ {
+			unregisterOne()
+		}
+		for i := 0; i < 30; i++ {
+			updateOne()
+		}
+		check(round + 100)
+	}
+}
+
+// TestConcurrentMatchers hammers one sharded engine with concurrent match
+// calls (the data plane) interleaved with mutations under an RWMutex (the
+// control plane) — the exact discipline the broker applies — and checks
+// every concurrent result against a serial oracle under the read lock.
+func TestConcurrentMatchers(t *testing.T) {
+	r := dist.New(77)
+	e := NewSharded(8, 4)
+	oracle := New()
+
+	var mu sync.RWMutex // the caller-owned discipline the engine documents
+	nextID := uint64(0)
+	for i := 0; i < 400; i++ {
+		nextID++
+		s, err := subscription.New(nextID, "s", randomTree(r, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Register(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const matchers = 8
+	const eventsPerMatcher = 300
+
+	var wg sync.WaitGroup
+	errs := make(chan string, matchers)
+	for g := 0; g < matchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gr := dist.New(uint64(1000 + g))
+			for i := 0; i < eventsPerMatcher; i++ {
+				m := randomMessage(gr, uint64(g*eventsPerMatcher+i))
+				mu.RLock()
+				got := e.Match(m, nil)
+				want := oracle.Match(m, nil)
+				mu.RUnlock()
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				if len(got) != len(want) {
+					errs <- "match count diverged from serial oracle"
+					return
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						errs <- "match set diverged from serial oracle"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Control plane: churn subscriptions under the write lock while the
+	// matchers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cr := dist.New(4242)
+		for i := 0; i < 200; i++ {
+			nextID++
+			s, err := subscription.New(nextID, "churn", randomTree(cr, 2))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			mu.Lock()
+			_ = e.Register(s)
+			_ = oracle.Register(s)
+			if cr.Bool(0.5) {
+				e.Unregister(s.ID)
+				oracle.Unregister(s.ID)
+			}
+			mu.Unlock()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

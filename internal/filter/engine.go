@@ -17,18 +17,52 @@
 //
 // The pmin gate is exactly what throughput-based pruning preserves: pruning
 // that keeps pmin high keeps tree evaluations rare.
+//
+// # Concurrency model
+//
+// The engine splits into an immutable read path and a mutation path.
+// Register, Unregister, and Update mutate the registry, the attribute
+// indexes, and the dense subscription table; they require exclusive access.
+// Match, MatchVisit, and MatchCount only read that shared state — all
+// per-event scratch (the fulfilled-predicate stamps and the per-shard
+// counters) lives in pooled per-call buffers — so any number of match calls
+// may run concurrently with each other, as long as no mutation runs at the
+// same time. Callers enforce the discipline with an RWMutex: matches under
+// RLock, mutations under Lock (see internal/broker).
+//
+// Independently of cross-call concurrency, one match call can fan its
+// counting phase out across a pool of workers: subscriptions are bucketed
+// into shards (dense index mod shard count) and each worker processes a
+// disjoint set of shards with shard-private counters, so the fan-out needs
+// no synchronization beyond a single join. NewSharded picks the layout;
+// New() is the serial single-shard engine.
 package filter
 
 import (
 	"fmt"
+	"sync"
 
 	"dimprune/internal/event"
 	"dimprune/internal/subscription"
 )
 
+// minParallelSubs gates the worker fan-out: below this many registered
+// subscriptions the counting phase is too small for goroutine handoff to
+// pay, so matches stay on the calling goroutine.
+const minParallelSubs = 256
+
+// minParallelPreds gates the fan-out on the other axis: an event that
+// fulfills almost no predicates credits almost no counters regardless of
+// table size.
+const minParallelPreds = 4
+
 // Engine filters events against a dynamic set of Boolean subscriptions.
-// It is not safe for concurrent use; each broker owns one.
+// Mutations require exclusive access; match calls may run concurrently
+// with each other (see the package comment for the full contract).
 type Engine struct {
+	shards  int // subscription buckets (dense index mod shards)
+	workers int // max goroutines per match call, <= shards
+
 	registry registry
 	attrs    map[string]*attrIndex
 
@@ -41,12 +75,9 @@ type Engine struct {
 	dense    []*subEntry // dense index -> entry (nil for free slots)
 	freeSubs []int32
 
-	epoch     uint64
-	fulfilled []uint64 // predID -> epoch stamp
-	counts    []int32  // dense sub index -> fulfilled-predicate count
-	touched   []int32  // dense sub indexes with counts > 0 this epoch
-
 	assocs int // current predicate/subscription associations
+
+	scratch sync.Pool // *matchScratch
 }
 
 // subEntry is the engine's view of one registered subscription.
@@ -57,15 +88,65 @@ type subEntry struct {
 	leafs []predID // leaf predicates in pre-order (with duplicates)
 }
 
-// New returns an empty engine.
-func New() *Engine {
+// matchScratch is the per-call state of one match: epoch-stamped fulfilled
+// predicates plus per-shard counters, touched lists, and result buffers.
+// Scratch is pooled and reused; buffers grow to the engine's current sizes
+// on acquisition and results merge without allocation.
+type matchScratch struct {
+	epoch     uint64
+	fulfilled []uint64 // predID -> epoch stamp
+	fullList  []predID // predicates fulfilled this epoch
+	shards    []shardScratch
+}
+
+// shardScratch is one shard's counting-phase state within one match call.
+// Workers own disjoint shards, so no field needs synchronization; the pad
+// keeps neighboring shards' hot slice headers off each other's cache lines.
+type shardScratch struct {
+	counts  []int32 // local slot (dense index / shards) -> credit count
+	touched []int32 // local slots with counts > 0 this epoch
+	matched []*subscription.Subscription
+
+	_ [56]byte // pad to 128 bytes
+}
+
+// New returns an empty serial engine: one shard, no worker fan-out.
+func New() *Engine { return NewSharded(1, 1) }
+
+// NewSharded returns an empty engine with the given shard and worker
+// layout. Shards partition the subscription table; workers bound the
+// goroutines one match call fans out across (capped at the shard count).
+// Values below 1 are treated as 1; shards are capped at 64 (the occupancy
+// mask width). Useful layouts set shards to the worker count or a small
+// multiple of it.
+func NewSharded(shards, workers int) *Engine {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
 	return &Engine{
-		registry: newRegistry(),
+		shards:   shards,
+		workers:  workers,
+		registry: newRegistry(shards),
 		attrs:    make(map[string]*attrIndex),
 		negScan:  make(map[predID]struct{}),
 		subs:     make(map[uint64]*subEntry),
 	}
 }
+
+// Shards returns the number of subscription shards.
+func (e *Engine) Shards() int { return e.shards }
+
+// Workers returns the maximum worker fan-out per match call.
+func (e *Engine) Workers() int { return e.workers }
 
 // NumSubscriptions returns the number of registered subscriptions.
 func (e *Engine) NumSubscriptions() int { return len(e.subs) }
@@ -101,7 +182,6 @@ func (e *Engine) Register(s *subscription.Subscription) error {
 	} else {
 		se.idx = int32(len(e.dense))
 		e.dense = append(e.dense, se)
-		e.counts = append(e.counts, 0)
 	}
 	e.subs[s.ID] = se
 	e.attach(se)
@@ -117,7 +197,6 @@ func (e *Engine) Unregister(id uint64) bool {
 	}
 	e.detach(se)
 	e.dense[se.idx] = nil
-	e.counts[se.idx] = 0
 	e.freeSubs = append(e.freeSubs, se.idx)
 	delete(e.subs, id)
 	return true
@@ -148,7 +227,6 @@ func (e *Engine) attach(se *subEntry) {
 		se.leafs[i] = id
 		if isNew {
 			e.indexAdd(id, p)
-			e.growPredTables()
 		}
 		e.registry.associate(id, se.idx)
 	}
@@ -165,14 +243,6 @@ func (e *Engine) detach(se *subEntry) {
 	}
 	e.assocs -= len(se.leafs)
 	se.leafs = nil
-}
-
-func (e *Engine) growPredTables() {
-	if n := e.registry.capacity(); n > len(e.fulfilled) {
-		grown := make([]uint64, n+n/2+8)
-		copy(grown, e.fulfilled)
-		e.fulfilled = grown
-	}
 }
 
 // indexAdd routes a new predicate into the right per-attribute structure.
@@ -199,6 +269,31 @@ func (e *Engine) indexRemove(id predID, p subscription.Predicate) {
 	}
 }
 
+// getScratch acquires a pooled scratch and grows its buffers to the
+// engine's current predicate and subscription capacities. Counters are zero
+// whenever a scratch sits in the pool (the counting phase resets the slots
+// it touched), so growth only needs to preserve that invariant.
+func (e *Engine) getScratch() *matchScratch {
+	sc, _ := e.scratch.Get().(*matchScratch)
+	if sc == nil {
+		sc = &matchScratch{shards: make([]shardScratch, e.shards)}
+	}
+	if n := e.registry.capacity(); n > len(sc.fulfilled) {
+		grown := make([]uint64, n+n/2+8)
+		copy(grown, sc.fulfilled)
+		sc.fulfilled = grown
+	}
+	need := (len(e.dense) + e.shards - 1) / e.shards
+	for i := range sc.shards {
+		if ss := &sc.shards[i]; need > len(ss.counts) {
+			grown := make([]int32, need+need/2+8)
+			copy(grown, ss.counts)
+			ss.counts = grown
+		}
+	}
+	return sc
+}
+
 // Match appends the IDs of all subscriptions matching m to dst and returns
 // it. The result set is deterministic; its order is unspecified.
 func (e *Engine) Match(m *event.Message, dst []uint64) []uint64 {
@@ -216,67 +311,123 @@ func (e *Engine) MatchCount(m *event.Message) int {
 }
 
 // MatchVisit invokes fn for every subscription whose tree matches m.
-// fn must not mutate the engine.
+// fn runs on the calling goroutine and must not mutate the engine.
 func (e *Engine) MatchVisit(m *event.Message, fn func(*subscription.Subscription)) {
-	e.epoch++
+	sc := e.getScratch()
+	sc.epoch++
+	sc.fullList = sc.fullList[:0]
 
 	// Phase 1: determine fulfilled predicates.
+	mark := func(id predID) {
+		if sc.fulfilled[id] != sc.epoch {
+			sc.fulfilled[id] = sc.epoch
+			sc.fullList = append(sc.fullList, id)
+		}
+	}
 	for _, a := range m.Attrs {
 		if ai := e.attrs[a.Name]; ai != nil {
-			ai.collect(a.Value, e.mark)
+			ai.collect(a.Value, mark)
 		}
 	}
 	for id := range e.negScan {
 		if e.registry.pred(id).Matches(m) {
-			e.mark(id)
+			mark(id)
 		}
 	}
 
-	// Phase 2: count and evaluate gated subscriptions.
-	for _, idx := range e.touched {
-		se := e.dense[idx]
-		if se != nil && e.counts[idx] >= se.pmin && e.evalTree(se) {
-			fn(se.sub)
+	// Phase 2: count and evaluate gated subscriptions, per shard. Workers
+	// own disjoint shards; results merge on the calling goroutine.
+	if len(sc.fullList) > 0 {
+		if nw := e.matchWorkers(len(sc.fullList)); nw <= 1 {
+			for s := 0; s < e.shards; s++ {
+				e.matchShard(sc, s)
+			}
+		} else {
+			var wg sync.WaitGroup
+			wg.Add(nw)
+			for w := 0; w < nw; w++ {
+				go func(w int) {
+					defer wg.Done()
+					for s := w; s < e.shards; s += nw {
+						e.matchShard(sc, s)
+					}
+				}(w)
+			}
+			wg.Wait()
 		}
-		e.counts[idx] = 0
+		for i := range sc.shards {
+			ss := &sc.shards[i]
+			for j, sub := range ss.matched {
+				fn(sub)
+				ss.matched[j] = nil // release the reference while pooled
+			}
+			ss.matched = ss.matched[:0]
+		}
 	}
-	e.touched = e.touched[:0]
+	e.scratch.Put(sc)
 }
 
-// mark stamps a predicate as fulfilled for the current epoch and credits its
-// associated subscriptions.
-func (e *Engine) mark(id predID) {
-	if e.fulfilled[id] == e.epoch {
-		return
+// matchWorkers decides the fan-out for one call: 1 unless the engine is
+// configured for parallelism and the event generates enough counting work.
+func (e *Engine) matchWorkers(fulfilled int) int {
+	if e.workers <= 1 || len(e.dense) < minParallelSubs || fulfilled < minParallelPreds {
+		return 1
 	}
-	e.fulfilled[id] = e.epoch
-	for _, idx := range e.registry.subsOf(id) {
-		if e.counts[idx] == 0 {
-			e.touched = append(e.touched, idx)
+	return e.workers
+}
+
+// matchShard runs the counting phase for one shard: credit subscriptions
+// associated with this epoch's fulfilled predicates, then evaluate the
+// trees of those that reached their pmin gate. The occupancy mask skips
+// predicates with no association in this shard (the common case once
+// shards are fine-grained) with one contiguous load. Counters are reset on
+// the way out so the scratch returns to its all-zero pool state.
+func (e *Engine) matchShard(sc *matchScratch, s int) {
+	ss := &sc.shards[s]
+	table := e.registry.assoc[s]
+	masks := e.registry.masks
+	bit := uint64(1) << uint(s)
+	for _, id := range sc.fullList {
+		if masks[id]&bit == 0 {
+			continue
 		}
-		e.counts[idx]++
+		for _, local := range table[id] {
+			if ss.counts[local] == 0 {
+				ss.touched = append(ss.touched, local)
+			}
+			ss.counts[local]++
+		}
 	}
+	shards := int32(e.shards)
+	for _, local := range ss.touched {
+		se := e.dense[local*shards+int32(s)]
+		if se != nil && ss.counts[local] >= se.pmin && e.evalTree(sc, se) {
+			ss.matched = append(ss.matched, se.sub)
+		}
+		ss.counts[local] = 0
+	}
+	ss.touched = ss.touched[:0]
 }
 
 // evalTree evaluates the Boolean tree of se using the epoch-stamped
 // fulfilled set; leaves are consumed in pre-order, mirroring attach.
-func (e *Engine) evalTree(se *subEntry) bool {
+func (e *Engine) evalTree(sc *matchScratch, se *subEntry) bool {
 	pos := 0
-	return e.evalNode(se.sub.Root, se.leafs, &pos)
+	return evalNode(sc, se.sub.Root, se.leafs, &pos)
 }
 
-func (e *Engine) evalNode(n *subscription.Node, leafs []predID, pos *int) bool {
+func evalNode(sc *matchScratch, n *subscription.Node, leafs []predID, pos *int) bool {
 	switch n.Kind {
 	case subscription.NodeLeaf:
 		id := leafs[*pos]
 		*pos++
-		return e.fulfilled[id] == e.epoch
+		return sc.fulfilled[id] == sc.epoch
 	case subscription.NodeAnd:
 		ok := true
 		for _, c := range n.Children {
 			// No short-circuit: the leaf cursor must advance through every
 			// child regardless of the outcome.
-			if !e.evalNode(c, leafs, pos) {
+			if !evalNode(sc, c, leafs, pos) {
 				ok = false
 			}
 		}
@@ -284,7 +435,7 @@ func (e *Engine) evalNode(n *subscription.Node, leafs []predID, pos *int) bool {
 	case subscription.NodeOr:
 		ok := false
 		for _, c := range n.Children {
-			if e.evalNode(c, leafs, pos) {
+			if evalNode(sc, c, leafs, pos) {
 				ok = true
 			}
 		}

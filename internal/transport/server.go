@@ -12,12 +12,29 @@ import (
 	"dimprune/internal/wire"
 )
 
-// Server runs one broker over real connections. All broker access is
-// serialized through the server's mutex; connection readers and outbox
-// writers are the only goroutines, and Shutdown stops and awaits them.
+// Server runs one broker over real connections as a concurrent pipeline:
+// connection readers decode frames and hand them to the broker, whose
+// data plane (publishes) runs shared so many events match at once while
+// its control plane (subscribe/unsubscribe/prune/snapshot) runs exclusive;
+// resulting frames land in per-peer outboxes drained by writer goroutines.
+// Slow peers therefore only stall their own outbox, and publish throughput
+// scales with cores instead of serializing behind one server mutex.
+//
+// The server's own mutex only guards its connection registry (links,
+// clients, listener, closed); it is never held across broker calls or
+// socket writes.
 type Server struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	b  *broker.Broker
+
+	// ctl makes a control-plane broker mutation and the dispatch of its
+	// resulting frames one atomic step. Without it, two concurrent
+	// subscribe/unsubscribe calls could enqueue their neighbor frames in
+	// the opposite order of their (correctly serialized) table mutations —
+	// and a neighbor receiving an unsubscribe before its subscribe treats
+	// it as a protocol error and drops the link. The data plane never
+	// takes ctl: publish frames carry no such ordering obligation.
+	ctl sync.Mutex
 
 	links   map[broker.LinkID]*peerConn
 	clients map[string]*peerConn
@@ -36,7 +53,8 @@ type peerConn struct {
 }
 
 // NewServer wraps a broker. onDeliver (optional) receives notifications for
-// local subscribers that are not attached client sessions.
+// local subscribers that are not attached client sessions; it may be called
+// concurrently from publishing goroutines.
 func NewServer(b *broker.Broker, onDeliver func(broker.Delivery)) *Server {
 	return &Server{
 		b:         b,
@@ -46,8 +64,8 @@ func NewServer(b *broker.Broker, onDeliver func(broker.Delivery)) *Server {
 	}
 }
 
-// Broker exposes the underlying broker for stats. Callers must not mutate
-// it concurrently with the server; use the server's methods for traffic.
+// Broker exposes the underlying broker for stats; the broker is safe for
+// concurrent use.
 func (s *Server) Broker() *broker.Broker { return s.b }
 
 // AttachLink registers conn as a neighbor-broker connection and starts its
@@ -113,11 +131,16 @@ func (s *Server) startPeer(p *peerConn, handle func(wire.Frame) error) {
 	}()
 }
 
+// handleLinkFrame runs on the link's reader goroutine. The broker picks the
+// plane per frame type: publishes route shared, control frames exclusive
+// (and atomic with their forwarded frames, see Server.ctl).
 func (s *Server) handleLinkFrame(from broker.LinkID, f wire.Frame) error {
-	s.mu.Lock()
+	if f.Type != wire.FramePublish {
+		s.ctl.Lock()
+		defer s.ctl.Unlock()
+	}
 	out, dels, err := s.b.HandleFrame(from, f)
-	s.dispatchLocked(out, dels)
-	s.mu.Unlock()
+	s.dispatch(out, dels)
 	return err
 }
 
@@ -144,81 +167,99 @@ func (s *Server) handleClientFrame(subscriber string, f wire.Frame) error {
 	}
 }
 
-// Subscribe registers a local subscription and forwards it to neighbors.
+// Subscribe registers a local subscription and forwards it to neighbors
+// (control plane: exclusive in the broker, atomic with its dispatch).
 func (s *Server) Subscribe(sub *subscription.Subscription) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.isClosed() {
 		return 0, ErrClosed
 	}
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
 	out, err := s.b.SubscribeLocal(sub)
 	if err != nil {
 		return 0, err
 	}
-	s.dispatchLocked(out, nil)
+	s.dispatch(out, nil)
 	return sub.ID, nil
 }
 
-// Unsubscribe retracts a local subscription.
+// Unsubscribe retracts a local subscription (control plane).
 func (s *Server) Unsubscribe(id uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.isClosed() {
 		return ErrClosed
 	}
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
 	out, err := s.b.UnsubscribeLocal(id)
 	if err != nil {
 		return err
 	}
-	s.dispatchLocked(out, nil)
+	s.dispatch(out, nil)
 	return nil
 }
 
-// Publish injects a local event.
+// Publish injects a local event. Publishes run concurrently: the broker
+// routes under its shared lock and per-peer outboxes order the frames.
 func (s *Server) Publish(m *event.Message) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.isClosed() {
 		return
 	}
 	out, dels := s.b.PublishLocal(m)
-	s.dispatchLocked(out, dels)
+	s.dispatch(out, dels)
 }
 
-// Prune applies up to n pruning steps (serialized with traffic).
+// PublishBatch injects a burst of local events under one broker lock
+// acquisition and one dispatch pass, amortizing the per-event handoff costs
+// for bursty publishers. Deliveries and forwards preserve batch order.
+func (s *Server) PublishBatch(ms []*event.Message) {
+	if len(ms) == 0 || s.isClosed() {
+		return
+	}
+	out, dels := s.b.PublishLocalBatch(ms)
+	s.dispatch(out, dels)
+}
+
+// Prune applies up to n pruning steps (exclusive with routing, inside the
+// broker).
 func (s *Server) Prune(n int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.b.Prune(n)
 }
 
-// WriteSnapshot serializes the routing table (serialized with traffic).
+// WriteSnapshot serializes the routing table (routing may continue).
 func (s *Server) WriteSnapshot(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.b.WriteSnapshot(w)
 }
 
 // ReadSnapshot restores the routing table. Links referenced by the snapshot
 // must already be attached, and no subscription may have arrived yet; call
-// it between dialing static peers and opening listeners. Serialized with
-// traffic, so a frame that slips in first fails the restore cleanly rather
-// than corrupting it.
+// it between dialing static peers and opening listeners. The broker runs it
+// exclusively, so a frame that slips in first fails the restore cleanly
+// rather than corrupting it.
 func (s *Server) ReadSnapshot(r io.Reader) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.b.ReadSnapshot(r)
 }
 
-// Stats snapshots the broker (serialized with traffic).
+// Stats snapshots the broker (concurrent with traffic).
 func (s *Server) Stats() broker.Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.b.Stats()
 }
 
-// dispatchLocked queues outgoing frames and deliveries. Callers hold s.mu.
-func (s *Server) dispatchLocked(out []broker.Outgoing, dels []broker.Delivery) {
+func (s *Server) isClosed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// dispatch queues outgoing frames and deliveries onto the per-peer
+// outboxes. It holds the connection registry's read lock only — many
+// dispatches run concurrently, and outboxes serialize per peer. A peer that
+// detaches concurrently just misses the frames (its outbox is closed).
+func (s *Server) dispatch(out []broker.Outgoing, dels []broker.Delivery) {
+	if len(out) == 0 && len(dels) == 0 {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, o := range out {
 		p := s.links[o.Link]
 		if p == nil {

@@ -38,7 +38,10 @@ type Delivery = broker.Delivery
 func NewBroker(cfg BrokerConfig) (*Broker, error) { return broker.New(cfg) }
 
 // NewLineOverlay builds n brokers connected as a line (the paper's
-// distributed topology), all pruning with the given dimension.
+// distributed topology), all pruning with the given dimension. Simulated
+// brokers match serially so overlay runs stay deterministic; use
+// BrokerConfig's MatchWorkers/MatchShards with NewBroker + NewServer for
+// parallel matching over real connections.
 func NewLineOverlay(n int, dim Dimension) (*Overlay, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("dimprune: line network needs >= 2 brokers, got %d", n)
@@ -60,7 +63,13 @@ func NewLineOverlay(n int, dim Dimension) (*Overlay, error) {
 
 // Networked re-exports: real transports for broker deployments.
 
-// Server runs one broker over real connections (TCP or in-memory pipes).
+// Server runs one broker over real connections (TCP or in-memory pipes) as
+// a concurrent pipeline: connection readers decode frames, publishes route
+// concurrently through the broker's shared data plane (fanning each match
+// out across the broker's configured workers), and per-peer outboxes drain
+// in order. Configure parallelism via BrokerConfig.MatchWorkers and
+// BrokerConfig.MatchShards on the wrapped broker; use Server.PublishBatch
+// to amortize lock handoff under bursty load.
 type Server = transport.Server
 
 // Conn is a frame-oriented bidirectional connection.
