@@ -40,9 +40,11 @@ var (
 )
 
 // Dimension returns the embedded engine's active pruning dimension,
-// satisfying PruneTarget.
+// satisfying PruneTarget. Reading takes only the shared lock — the broker
+// serializes against SetDimension itself, so the engine's read path stays
+// unblocked.
 func (e *Embedded) Dimension() Dimension {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.b.Dimension()
 }

@@ -166,7 +166,32 @@ func run(args []string, stop <-chan os.Signal) error {
 			st := srv.Stats()
 			logger.Printf("stats: local=%d remote=%d assoc=%d preds=%d %s",
 				st.LocalSubs, st.RemoteSubs, st.Associations, st.Predicates, st.Counters)
+			logDeliveryHotspots(st, logger)
 		}
+	}
+}
+
+// logDeliveryHotspots surfaces the per-entry delivery metadata in Stats:
+// the busiest subscriber and, separately, the entry shedding the most to
+// its backpressure policy — the two an operator acts on first.
+func logDeliveryHotspots(st broker.Stats, logger *log.Logger) {
+	var busiest, loss *broker.EntryDelivery
+	for i := range st.Delivery {
+		ed := &st.Delivery[i]
+		if ed.Delivered > 0 && (busiest == nil || ed.Delivered > busiest.Delivered) {
+			busiest = ed
+		}
+		if ed.Dropped > 0 && (loss == nil || ed.Dropped > loss.Dropped) {
+			loss = ed
+		}
+	}
+	if busiest != nil {
+		logger.Printf("delivery: busiest sub %d (%q): delivered=%d dropped=%d",
+			busiest.SubID, busiest.Subscriber, busiest.Delivered, busiest.Dropped)
+	}
+	if loss != nil && loss != busiest {
+		logger.Printf("delivery: lossiest sub %d (%q): delivered=%d dropped=%d",
+			loss.SubID, loss.Subscriber, loss.Delivered, loss.Dropped)
 	}
 }
 

@@ -18,34 +18,52 @@
 // phase out across a worker pool over a sharded subscription table
 // (EmbeddedConfig.MatchWorkers / Shards, BrokerConfig.MatchWorkers /
 // MatchShards). Subscribing, unsubscribing, pruning, and snapshot restore
-// are the control plane and run exclusively. See ARCHITECTURE.md for the
-// full model.
+// are the control plane and run exclusively.
+//
+// Delivery is its own plane: every subscription owns a bounded queue
+// between the match path and its consumer, so a consumer that stops
+// reading never stalls publishers, other subscribers, or the control
+// plane. The queue's overflow behavior is the subscription's backpressure
+// policy — Block, DropOldest, or DropNewest, with drops counted on the
+// Handle and in Stats. See ARCHITECTURE.md for the full model.
 //
 // # Quick start
 //
 //	ps, _ := dimprune.NewEmbedded(dimprune.EmbeddedConfig{})
-//	id, _ := ps.SubscribeText("alice", `category = "scifi" and price <= 25`)
-//	ps.OnNotify(func(n dimprune.Notification) {
-//	    fmt.Println(n.Subscriber, "got", n.Msg)
-//	})
-//	ps.Publish(dimprune.NewEvent(1).Str("category", "scifi").Num("price", 19.5))
-//	_ = id
+//	defer ps.Close()
+//	h, _ := ps.SubscribeExpr(`category = "scifi" and price <= 25`,
+//	    dimprune.WithSubscriber("alice"),
+//	    dimprune.WithBuffer(128),
+//	    dimprune.WithPolicy(dimprune.DropOldest))
+//	go func() {
+//	    for n := range h.C() {
+//	        fmt.Println(n.Subscriber, "got", n.Msg)
+//	    }
+//	}()
+//	ps.Publish(dimprune.NewEvent(1).Str("category", "scifi").Num("price", 19.5).Msg())
+//
+// Handles deliver on a channel (h.C()) or, with WithCallback, from a
+// dedicated goroutine per subscription; h.Unsubscribe retires the
+// subscription and h.Dropped reports backpressure losses. The earlier
+// OnNotify/uint64-ID API remains as deprecated wrappers with its original
+// synchronous semantics.
 //
 // # Layers
 //
 //   - Subscriptions and events: Parse / builders (Eq, And, Or …), NewEvent.
 //   - Embedded: single-process concurrent matcher for applications
 //     (NewEmbedded); Publish and PublishBatch are safe from any number of
-//     goroutines.
+//     goroutines, and each subscription's Handle owns its delivery.
 //   - Simulation: deterministic broker overlays (NewLineOverlay) used by the
 //     paper's experiments (RunCentralized / RunDistributed).
 //   - Networked: TCP broker servers and clients (NewServer, DialBroker),
-//     run as a concurrent decode → match → per-peer-outbox pipeline; see
-//     cmd/brokerd for the daemon with -match-workers / -match-shards.
+//     run as a concurrent decode → match → per-peer-outbox pipeline; client
+//     sessions mirror the handle API (Client.SubscribeExpr → ClientHandle).
+//     See cmd/brokerd for the daemon with -match-workers / -match-shards.
 //
 // The experiment harness regenerating the paper's figures lives behind
 // RunCentralized/RunDistributed; see cmd/prunesim for the command-line
-// front end and EXPERIMENTS.md for measured results.
+// front end and EXPERIMENTS.md for how to regenerate measured results.
 package dimprune
 
 import (

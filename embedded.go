@@ -43,15 +43,44 @@ type Notification struct {
 // Unlike a routing broker, an Embedded instance treats every subscription
 // as prunable: matching becomes approximate once Prune is called (supersets
 // only), which is the intended trade — applications that need exact
-// matching simply never prune. It is safe for concurrent use: publishes
-// run concurrently with each other (and, with MatchWorkers set, each one
-// fans out internally), while subscription changes and pruning serialize
-// against the routing table inside the broker.
+// matching simply never prune.
+//
+// Subscriptions are registered with SubscribeExpr/SubscribeTree and owned
+// by the returned Handle, which carries the subscription's delivery queue,
+// backpressure policy, and lifecycle (see Handle). The engine is safe for
+// concurrent use: publishes run concurrently with each other (and, with
+// MatchWorkers set, each one fans out internally), subscription changes
+// and pruning serialize against the routing table inside the broker, and
+// delivery decouples through per-subscription queues so one slow consumer
+// never stalls the match path. Close retires the engine: queued
+// notifications drain and further operations return ErrClosed.
 type Embedded struct {
-	mu     sync.RWMutex // guards notify and nextID; the broker locks itself
+	// mu guards notify, nextID, subs, and closed; the broker locks itself.
+	// It is never held across broker calls or queue operations.
+	mu     sync.RWMutex
 	b      *broker.Broker
 	notify func(Notification)
 	nextID uint64
+	subs   map[uint64]*Handle
+	closed bool
+
+	// pubScratch pools per-publish buffers: match refs collected under the
+	// broker's shared lock, then resolved handles, so concurrent publishes
+	// neither share state nor allocate per event.
+	pubScratch sync.Pool // *publishBuffers
+}
+
+// publishBuffers is the per-call scratch of one publish.
+type publishBuffers struct {
+	refs    []matchRef
+	targets []*Handle
+}
+
+// matchRef is one match collected under the broker's routing lock.
+type matchRef struct {
+	batchIdx   int
+	subID      uint64
+	subscriber string
 }
 
 // NewEmbedded creates an embedded pub/sub instance.
@@ -67,7 +96,7 @@ func NewEmbedded(cfg EmbeddedConfig) (*Embedded, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Embedded{b: b}
+	e := &Embedded{b: b, subs: make(map[uint64]*Handle)}
 	// A virtual neighbor link makes every subscription a non-local routing
 	// entry, i.e. eligible for pruning; deliveries are synthesized from the
 	// link's forwarding decision.
@@ -75,88 +104,258 @@ func NewEmbedded(cfg EmbeddedConfig) (*Embedded, error) {
 	return e, nil
 }
 
-// OnNotify installs the delivery callback. It must be set before Publish;
-// callbacks run synchronously on the publishing goroutine and may be
-// invoked concurrently when publishers are concurrent.
+// SubscribeExpr registers a subscription given in text syntax and returns
+// its Handle. By default notifications arrive on the handle's channel
+// (Handle.C) with a DefaultBuffer-deep queue and the Block policy; see
+// WithCallback, WithBuffer, and WithPolicy.
+func (e *Embedded) SubscribeExpr(expr string, opts ...SubOption) (*Handle, error) {
+	root, err := Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return e.SubscribeTree(root, opts...)
+}
+
+// SubscribeTree registers a subscription tree and returns its Handle; see
+// SubscribeExpr.
+func (e *Embedded) SubscribeTree(root *Node, opts ...SubOption) (*Handle, error) {
+	o := defaultSubOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return e.register(root, o, false)
+}
+
+// register creates the handle, installs the subscription in the broker's
+// routing table, and only then makes the handle discoverable to
+// publishers — so a publisher that finds a handle always finds it fully
+// wired (queue, meter). A subscription is live no later than the moment
+// its registration returns; an event published concurrently with
+// registration may or may not be delivered.
+func (e *Embedded) register(root *Node, o subOptions, legacy bool) (*Handle, error) {
+	if !o.policy.Valid() {
+		return nil, fmt.Errorf("dimprune: invalid backpressure policy %d", o.policy)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.nextID++
+	id := e.nextID
+	e.mu.Unlock()
+
+	s, err := NewSubscription(id, o.subscriber, root)
+	if err != nil {
+		return nil, err
+	}
+	h := newHandle(e, id, o, legacy)
+	// Registered via the virtual link so the entry is prunable.
+	if _, err := e.b.HandleSubscribe(0, s); err != nil {
+		h.retire(true, false)
+		return nil, err
+	}
+	h.meter = e.b.DeliveryMeter(id)
+
+	e.mu.Lock()
+	if e.closed {
+		// Close raced the registration; unwind as if it never happened.
+		e.mu.Unlock()
+		_, _ = e.b.HandleUnsubscribe(0, id)
+		h.retire(true, false)
+		return nil, ErrClosed
+	}
+	e.subs[id] = h
+	e.mu.Unlock()
+	return h, nil
+}
+
+// forget is the handle-retirement half of unsubscription: it removes the
+// handle from the engine and the subscription from the routing table.
+// Publishes that already hold the handle finish against its queue, which
+// the caller (Handle.retire) closes next.
+func (e *Embedded) forget(id uint64) error {
+	e.mu.Lock()
+	_, known := e.subs[id]
+	delete(e.subs, id)
+	e.mu.Unlock()
+	if !known {
+		return fmt.Errorf("dimprune: unknown subscription %d", id)
+	}
+	_, err := e.b.HandleUnsubscribe(0, id)
+	return err
+}
+
+// OnNotify installs the delivery callback for subscriptions made through
+// the deprecated Subscribe/SubscribeText API. Those callbacks run
+// synchronously on the publishing goroutine and may be invoked
+// concurrently when publishers are concurrent.
+//
+// Deprecated: use SubscribeExpr or SubscribeTree, whose Handle owns
+// delivery per subscription (WithCallback for the callback form).
 func (e *Embedded) OnNotify(fn func(Notification)) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.notify = fn
 }
 
-// SubscribeText registers a subscription given in text syntax and returns
-// its assigned ID.
+// SubscribeText registers a subscription in text syntax for the OnNotify
+// callback and returns its assigned ID.
+//
+// Deprecated: use SubscribeExpr, which returns a Handle owning its own
+// delivery queue and lifecycle.
 func (e *Embedded) SubscribeText(subscriber, expr string) (uint64, error) {
-	n, err := Parse(expr)
+	root, err := Parse(expr)
 	if err != nil {
 		return 0, err
 	}
-	return e.Subscribe(subscriber, n)
+	return e.Subscribe(subscriber, root)
 }
 
-// Subscribe registers a subscription tree and returns its assigned ID.
+// Subscribe registers a subscription tree for the OnNotify callback and
+// returns its assigned ID.
+//
+// Deprecated: use SubscribeTree, which returns a Handle owning its own
+// delivery queue and lifecycle.
 func (e *Embedded) Subscribe(subscriber string, root *Node) (uint64, error) {
-	e.mu.Lock()
-	e.nextID++
-	id := e.nextID
-	e.mu.Unlock()
-	s, err := NewSubscription(id, subscriber, root)
+	o := defaultSubOptions()
+	o.subscriber = subscriber
+	h, err := e.register(root, o, true)
 	if err != nil {
 		return 0, err
 	}
-	// Registered via the virtual link so the entry is prunable.
-	if _, err := e.b.HandleSubscribe(0, s); err != nil {
-		return 0, err
-	}
-	return s.ID, nil
+	return h.ID(), nil
 }
 
-// Unsubscribe retracts a subscription.
+// Unsubscribe retracts a subscription by ID.
+//
+// Deprecated: use Handle.Unsubscribe.
 func (e *Embedded) Unsubscribe(id uint64) error {
-	_, err := e.b.HandleUnsubscribe(0, id)
-	return err
+	e.mu.RLock()
+	h := e.subs[id]
+	e.mu.RUnlock()
+	if h == nil {
+		return fmt.Errorf("dimprune: unknown subscription %d", id)
+	}
+	return h.Unsubscribe()
 }
 
-// Publish matches an event against all subscriptions, invoking the
-// notification callback per match, and returns the match count. Publishes
-// run concurrently with each other.
+// Publish matches an event against all subscriptions, enqueues a
+// notification onto each matching subscription's delivery queue, and
+// returns the match count. Publishes run concurrently with each other;
+// matching never waits on consumers. Enqueueing honors each handle's
+// backpressure policy — under Block a full queue makes Publish wait for
+// that consumer (after matching, affecting only this publisher), under
+// DropOldest/DropNewest it never waits.
 func (e *Embedded) Publish(m *Message) (int, error) {
 	if m == nil {
-		return 0, fmt.Errorf("dimprune: nil message")
+		return 0, ErrNilMessage
 	}
-	e.mu.RLock()
-	notify := e.notify
-	e.mu.RUnlock()
-	matches := 0
+	pb := e.scratch()
+	defer e.release(pb)
 	e.b.MatchEntries(m, func(subID uint64, subscriber string) {
-		matches++
-		if notify != nil {
-			notify(Notification{Subscriber: subscriber, SubID: subID, Msg: m})
-		}
+		pb.refs = append(pb.refs, matchRef{subID: subID, subscriber: subscriber})
 	})
+	matches := len(pb.refs)
+	notify, err := e.resolve(pb)
+	if err != nil {
+		return 0, err
+	}
+	for i, h := range pb.targets {
+		h.deliver(Notification{Subscriber: pb.refs[i].subscriber, SubID: pb.refs[i].subID, Msg: m}, notify)
+	}
 	return matches, nil
 }
 
 // PublishBatch publishes a burst of events in order, returning the total
 // match count. The broker holds its shared routing lock once for the whole
-// burst, which amortizes the handoff under bursty load.
+// burst, which amortizes the handoff under bursty load; delivery then
+// proceeds per event in batch order.
 func (e *Embedded) PublishBatch(ms []*Message) (int, error) {
 	for _, m := range ms {
 		if m == nil {
-			return 0, fmt.Errorf("dimprune: nil message")
+			return 0, ErrNilMessage
 		}
 	}
-	e.mu.RLock()
-	notify := e.notify
-	e.mu.RUnlock()
-	matches := 0
+	pb := e.scratch()
+	defer e.release(pb)
 	e.b.MatchEntriesBatch(ms, func(i int, subID uint64, subscriber string) {
-		matches++
-		if notify != nil {
-			notify(Notification{Subscriber: subscriber, SubID: subID, Msg: ms[i]})
-		}
+		pb.refs = append(pb.refs, matchRef{batchIdx: i, subID: subID, subscriber: subscriber})
 	})
+	matches := len(pb.refs)
+	notify, err := e.resolve(pb)
+	if err != nil {
+		return 0, err
+	}
+	for i, h := range pb.targets {
+		r := pb.refs[i]
+		h.deliver(Notification{Subscriber: r.subscriber, SubID: r.subID, Msg: ms[r.batchIdx]}, notify)
+	}
 	return matches, nil
+}
+
+// scratch fetches pooled publish buffers.
+func (e *Embedded) scratch() *publishBuffers {
+	pb, _ := e.pubScratch.Get().(*publishBuffers)
+	if pb == nil {
+		pb = &publishBuffers{}
+	}
+	return pb
+}
+
+// release clears handle references and returns the buffers to the pool.
+func (e *Embedded) release(pb *publishBuffers) {
+	pb.refs = pb.refs[:0]
+	for i := range pb.targets {
+		pb.targets[i] = nil
+	}
+	pb.targets = pb.targets[:0]
+	e.pubScratch.Put(pb)
+}
+
+// resolve maps collected match refs to live handles (dropping entries
+// unsubscribed since the match) and captures the legacy callback. refs and
+// targets stay index-aligned: refs is compacted to the resolved matches.
+func (e *Embedded) resolve(pb *publishBuffers) (func(Notification), error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	kept := 0
+	for _, r := range pb.refs {
+		if h := e.subs[r.subID]; h != nil {
+			pb.refs[kept] = r
+			pb.targets = append(pb.targets, h)
+			kept++
+		}
+	}
+	pb.refs = pb.refs[:kept]
+	return e.notify, nil
+}
+
+// Close retires the engine: subsequent Publish and Subscribe calls return
+// ErrClosed, every handle's queue is drained (channel handles close after
+// their buffered notifications, callback handles finish their backlog),
+// and their delivery goroutines exit. Close is idempotent and must not be
+// called from a WithCallback callback.
+func (e *Embedded) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	handles := make([]*Handle, 0, len(e.subs))
+	for _, h := range e.subs {
+		handles = append(handles, h)
+	}
+	e.subs = make(map[uint64]*Handle)
+	e.mu.Unlock()
+	for _, h := range handles {
+		h.retire(false, false)
+	}
+	return nil
 }
 
 // Prune applies up to n pruning steps and returns the number performed.
@@ -165,7 +364,8 @@ func (e *Embedded) Prune(n int) int {
 	return e.b.Prune(n)
 }
 
-// Stats snapshots the engine.
+// Stats snapshots the engine, including per-subscription delivery
+// metadata (Stats.Delivery).
 func (e *Embedded) Stats() broker.Stats {
 	return e.b.Stats()
 }

@@ -1,0 +1,113 @@
+// Handles: the subscription-handle API — per-subscription delivery
+// queues, backpressure policies, and lifecycle.
+//
+// A slow consumer is the normal case at scale, so each subscription owns
+// its delivery: a fast channel subscriber, a callback subscriber, and a
+// deliberately stuck subscriber run side by side, and only the stuck one
+// pays for being stuck.
+//
+//	go run ./examples/handles
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"dimprune"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ps, err := dimprune.NewEmbedded(dimprune.EmbeddedConfig{})
+	if err != nil {
+		return err
+	}
+	defer ps.Close()
+
+	// A channel subscriber: notifications arrive on fast.C() in publish
+	// order, buffered up to WithBuffer.
+	fast, err := ps.SubscribeExpr(`category = "scifi"`,
+		dimprune.WithSubscriber("fast-reader"),
+		dimprune.WithBuffer(16))
+	if err != nil {
+		return err
+	}
+
+	// A callback subscriber: its own goroutine drains the queue and runs
+	// the function — publishers never execute subscriber code.
+	var callbackSeen atomic.Uint64
+	_, err = ps.SubscribeExpr(`price <= 20`,
+		dimprune.WithSubscriber("callback-reader"),
+		dimprune.WithCallback(func(n dimprune.Notification) {
+			callbackSeen.Add(1)
+		}))
+	if err != nil {
+		return err
+	}
+
+	// A stuck subscriber: nobody ever reads stuck.C(). With DropOldest
+	// and a tiny buffer it sheds its backlog instead of stalling Publish.
+	stuck, err := ps.SubscribeExpr(`category = "scifi" or category = "crime"`,
+		dimprune.WithSubscriber("stuck-reader"),
+		dimprune.WithBuffer(2),
+		dimprune.WithPolicy(dimprune.DropOldest))
+	if err != nil {
+		return err
+	}
+
+	const events = 100
+	for i := 1; i <= events; i++ {
+		cat := "scifi"
+		if i%2 == 0 {
+			cat = "crime"
+		}
+		m := dimprune.NewEvent(uint64(i)).Str("category", cat).Num("price", float64(i%40)).Msg()
+		if _, err := ps.Publish(m); err != nil {
+			return err
+		}
+		// The fast reader keeps up inline for the demo.
+		for len(fast.C()) > 0 {
+			n := <-fast.C()
+			if n.Msg.ID != uint64(i) {
+				return fmt.Errorf("fast reader out of order: %d", n.Msg.ID)
+			}
+		}
+	}
+
+	fmt.Printf("published %d events with one permanently stuck subscriber\n\n", events)
+	fmt.Printf("fast-reader:  delivered=%d dropped=%d (kept up)\n", fast.Delivered(), fast.Dropped())
+	fmt.Printf("stuck-reader: delivered=%d dropped=%d (buffer 2, DropOldest)\n\n",
+		stuck.Delivered(), stuck.Dropped())
+
+	// The engine's stats carry the same per-subscription accounting.
+	for _, ed := range ps.Stats().Delivery {
+		fmt.Printf("  sub %d (%s): delivered=%d dropped=%d\n",
+			ed.SubID, ed.Subscriber, ed.Delivered, ed.Dropped)
+	}
+
+	// Lifecycle: Unsubscribe guarantees no delivery after it returns.
+	if err := stuck.Unsubscribe(); err != nil {
+		return err
+	}
+	if _, err := ps.Publish(dimprune.NewEvent(999).Str("category", "crime").Msg()); err != nil {
+		return err
+	}
+	fmt.Printf("\nafter Unsubscribe: stuck-reader delivered=%d (unchanged)\n", stuck.Delivered())
+
+	// Close drains: the callback subscriber's queue finishes delivering
+	// before Close returns, and further publishes are rejected.
+	if err := ps.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("after Close: callback-reader saw %d notifications (queue drained)\n", callbackSeen.Load())
+	if _, err := ps.Publish(dimprune.NewEvent(1000).Str("category", "scifi").Msg()); err != nil {
+		fmt.Println("publish after Close:", err)
+	}
+	return nil
+}

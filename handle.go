@@ -1,0 +1,171 @@
+package dimprune
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/delivery"
+)
+
+// Handle is one registered subscription and the owner of its delivery.
+// SubscribeExpr and SubscribeTree return a handle per subscription; the
+// handle delivers either on a buffered channel (C, the default) or by a
+// dedicated-goroutine callback (WithCallback), with a per-subscription
+// queue between the match path and the consumer.
+//
+// Publish enqueues matches onto that queue and moves on, so a consumer
+// that falls behind affects only its own subscription: under DropOldest
+// or DropNewest the overflow is shed (counted by Dropped), and under
+// Block only the publishing goroutine waits — never the matching lock,
+// other subscribers, or the control plane.
+//
+// Handles are safe for concurrent use. Unsubscribe retires the handle;
+// Embedded.Close retires all handles after draining their queues.
+type Handle struct {
+	id         uint64
+	subscriber string
+	e          *Embedded
+	meter      *broker.DeliveryMeter
+
+	// q is the delivery queue; nil only for legacy subscriptions made
+	// through the deprecated uint64-ID API, which deliver synchronously
+	// via the OnNotify callback.
+	q  *delivery.Queue[Notification]
+	cb func(Notification) // callback mode: invoked by the drain goroutine
+
+	// discard, set by Unsubscribe before the queue closes, tells the
+	// drain goroutine to stop delivering: unsubscription means "no more
+	// notifications", while Close (which leaves discard unset) means
+	// "finish the backlog".
+	discard   atomic.Bool
+	drainDone chan struct{} // closed when the callback drainer exits; nil otherwise
+
+	retireOnce sync.Once
+	retireErr  error
+}
+
+// newHandle wires a handle for the given options; legacy is true for the
+// deprecated uint64-ID API (synchronous OnNotify delivery, no queue).
+func newHandle(e *Embedded, id uint64, o subOptions, legacy bool) *Handle {
+	h := &Handle{id: id, subscriber: o.subscriber, e: e, cb: o.callback}
+	if legacy {
+		return h
+	}
+	h.q = delivery.New[Notification](o.buffer, o.policy)
+	if h.cb != nil {
+		h.drainDone = make(chan struct{})
+		go h.drainLoop()
+	}
+	return h
+}
+
+// drainLoop is the dedicated delivery goroutine of a callback handle.
+func (h *Handle) drainLoop() {
+	defer close(h.drainDone)
+	for n := range h.q.C() {
+		if h.discard.Load() {
+			continue
+		}
+		h.cb(n)
+	}
+}
+
+// ID returns the subscription's identifier (also usable with the
+// deprecated Embedded.Unsubscribe).
+func (h *Handle) ID() uint64 { return h.id }
+
+// Subscriber returns the subscriber name given via WithSubscriber.
+func (h *Handle) Subscriber() string { return h.subscriber }
+
+// C returns the delivery channel. It carries notifications in
+// per-subscription publish order, holds up to the configured buffer, and
+// is closed when the handle retires (buffered notifications stay
+// receivable after Unsubscribe/Close). C returns nil for callback-mode
+// and legacy subscriptions.
+func (h *Handle) C() <-chan Notification {
+	if h.cb != nil || h.q == nil {
+		return nil
+	}
+	return h.q.C()
+}
+
+// Policy returns the handle's backpressure policy.
+func (h *Handle) Policy() Policy {
+	if h.q == nil {
+		return Block
+	}
+	return h.q.Policy()
+}
+
+// Delivered returns how many notifications the subscription has accepted
+// for delivery.
+func (h *Handle) Delivered() uint64 {
+	if h.q == nil {
+		return h.meter.Delivered()
+	}
+	return h.q.Enqueued()
+}
+
+// Dropped returns how many notifications the backpressure policy has shed
+// (always 0 under Block).
+func (h *Handle) Dropped() uint64 {
+	if h.q == nil {
+		return 0
+	}
+	return h.q.Dropped()
+}
+
+// Unsubscribe retracts the subscription and retires the handle: once it
+// returns, no new notification is enqueued. In callback mode the queued
+// backlog is discarded and a pending callback invocation has completed —
+// the callback never runs after Unsubscribe returns. In channel mode the
+// channel is closed; notifications already buffered remain receivable
+// (channel semantics), so a consumer that must ignore them should stop
+// reading before unsubscribing. It is idempotent; calling it from a
+// WithCallback callback deadlocks (the callback goroutine would wait on
+// itself).
+func (h *Handle) Unsubscribe() error {
+	return h.retire(true, true)
+}
+
+// retire tears the handle down. discard controls whether queued items are
+// delivered (Close) or dropped (Unsubscribe); unregister removes the
+// subscription from the engine and its routing table.
+func (h *Handle) retire(discard, unregister bool) error {
+	h.retireOnce.Do(func() {
+		if unregister {
+			h.retireErr = h.e.forget(h.id)
+		}
+		h.discard.Store(discard)
+		if h.q != nil {
+			h.q.Close()
+		}
+		if h.drainDone != nil {
+			<-h.drainDone
+		}
+	})
+	return h.retireErr
+}
+
+// deliver hands one notification to the handle's consumer. It runs after
+// the matching lock is released; notify is the engine's legacy OnNotify
+// callback captured by the publisher.
+func (h *Handle) deliver(n Notification, notify func(Notification)) {
+	if h.q == nil {
+		// Legacy subscription: synchronous callback on the publishing
+		// goroutine, exactly the pre-handle contract.
+		if notify != nil {
+			notify(n)
+			h.meter.NoteDelivered(1)
+		}
+		return
+	}
+	accepted, dropped := h.q.Enqueue(n)
+	if accepted {
+		h.meter.NoteDelivered(1)
+	}
+	if dropped > 0 {
+		h.meter.NoteDropped(uint64(dropped))
+	}
+}

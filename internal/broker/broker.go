@@ -38,7 +38,9 @@ package broker
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dimprune/internal/core"
@@ -95,10 +97,47 @@ type Config struct {
 	MatchWorkers int
 }
 
+// DeliveryMeter counts one routing entry's delivery outcomes: how many
+// notifications its subscriber accepted and how many its backpressure
+// policy shed. The broker's own routing meters local deliveries itself;
+// queue-based delivery planes (Embedded handles, networked client
+// sessions) obtain the meter once via Broker.DeliveryMeter and report
+// through it lock-free on every delivery. A meter outlives its entry —
+// reports after unsubscribe still land broker-wide but are no longer
+// visible in Stats.
+type DeliveryMeter struct {
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	counters  *metrics.AtomicCounters
+}
+
+// NoteDelivered records n notifications accepted by the subscriber.
+func (dm *DeliveryMeter) NoteDelivered(n uint64) {
+	if n != 0 {
+		dm.delivered.Add(n)
+		dm.counters.Deliveries.Add(n)
+	}
+}
+
+// NoteDropped records n notifications shed by the backpressure policy.
+func (dm *DeliveryMeter) NoteDropped(n uint64) {
+	if n != 0 {
+		dm.dropped.Add(n)
+		dm.counters.DeliveriesDropped.Add(n)
+	}
+}
+
+// Delivered returns the accepted-notification count.
+func (dm *DeliveryMeter) Delivered() uint64 { return dm.delivered.Load() }
+
+// Dropped returns the shed-notification count.
+func (dm *DeliveryMeter) Dropped() uint64 { return dm.dropped.Load() }
+
 // routeEntry is one routing-table row.
 type routeEntry struct {
 	origin   LinkID
 	original *subscription.Subscription // as registered/received; never pruned
+	meter    *DeliveryMeter
 }
 
 // Broker routes events among local clients and neighbor brokers. It is
@@ -209,7 +248,11 @@ func (b *Broker) addSubscription(s *subscription.Subscription, origin LinkID) ([
 	if err := b.table.Register(s); err != nil {
 		return nil, fmt.Errorf("broker %s: %w", b.id, err)
 	}
-	b.entries[s.ID] = &routeEntry{origin: origin, original: s}
+	b.entries[s.ID] = &routeEntry{
+		origin:   origin,
+		original: s,
+		meter:    &DeliveryMeter{counters: &b.counters},
+	}
 	if origin != LocalLink {
 		if err := b.pruner.Register(s); err != nil {
 			return nil, fmt.Errorf("broker %s: pruner: %w", b.id, err)
@@ -343,7 +386,9 @@ func (b *Broker) route(m *event.Message, arrived LinkID) ([]Outgoing, []Delivery
 		}
 		if ent.origin == LocalLink {
 			// Deliver exactly: local entries are never pruned, so a table
-			// match is a true match.
+			// match is a true match. (Deliveries lands via the counter
+			// batch below, so only the per-entry meter is touched here.)
+			ent.meter.delivered.Add(1)
 			rb.deliveries = append(rb.deliveries, Delivery{
 				Subscriber: s.Subscriber,
 				SubID:      s.ID,
@@ -433,6 +478,29 @@ func (b *Broker) MatchEntriesBatch(ms []*event.Message, fn func(i int, subID uin
 	}
 }
 
+// DeliveryMeter returns entry id's delivery meter, or nil for an unknown
+// entry. Delivery planes fetch it once at subscribe time and report
+// per-delivery outcomes without further table lookups.
+func (b *Broker) DeliveryMeter(id uint64) *DeliveryMeter {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if ent := b.entries[id]; ent != nil {
+		return ent.meter
+	}
+	return nil
+}
+
+// EntryDelivery reads one entry's delivery meter.
+func (b *Broker) EntryDelivery(id uint64) (delivered, dropped uint64, ok bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ent, found := b.entries[id]
+	if !found {
+		return 0, 0, false
+	}
+	return ent.meter.delivered.Load(), ent.meter.dropped.Load(), true
+}
+
 // HandleFrame dispatches any protocol frame from a neighbor.
 func (b *Broker) HandleFrame(from LinkID, f wire.Frame) ([]Outgoing, []Delivery, error) {
 	switch f.Type {
@@ -512,6 +580,16 @@ func (b *Broker) Dimension() core.Dimension {
 	return b.pruner.Dimension()
 }
 
+// EntryDelivery is one routing entry's delivery metadata in a Stats
+// snapshot.
+type EntryDelivery struct {
+	SubID      uint64
+	Subscriber string
+	Local      bool
+	Delivered  uint64
+	Dropped    uint64
+}
+
 // Stats summarizes the broker's state and counters.
 type Stats struct {
 	ID            string
@@ -522,20 +600,30 @@ type Stats struct {
 	PruningsDone  int
 	PruneRemained int
 	Counters      metrics.Counters
+	// Delivery holds per-entry delivery metadata, ordered by SubID.
+	Delivery []EntryDelivery
 }
 
 // Stats returns a snapshot of state and counters. It may run concurrently
-// with routing; counters land atomically per field.
+// with routing; counters land atomically per field. Only the entry-map
+// walk happens under the routing lock — the per-entry delivery rows are
+// built and sorted after it is released (routeEntry's fields are
+// immutable and its meter is atomic, so holding the lock buys nothing).
 func (b *Broker) Stats() Stats {
 	b.mu.RLock()
-	defer b.mu.RUnlock()
 	local := 0
-	for _, ent := range b.entries {
+	type entryRef struct {
+		id  uint64
+		ent *routeEntry
+	}
+	refs := make([]entryRef, 0, len(b.entries))
+	for id, ent := range b.entries {
 		if ent.origin == LocalLink {
 			local++
 		}
+		refs = append(refs, entryRef{id: id, ent: ent})
 	}
-	return Stats{
+	st := Stats{
 		ID:            b.id,
 		LocalSubs:     local,
 		RemoteSubs:    len(b.entries) - local,
@@ -545,6 +633,20 @@ func (b *Broker) Stats() Stats {
 		PruneRemained: b.pruner.Remaining(),
 		Counters:      b.counters.Snapshot(),
 	}
+	b.mu.RUnlock()
+
+	st.Delivery = make([]EntryDelivery, 0, len(refs))
+	for _, r := range refs {
+		st.Delivery = append(st.Delivery, EntryDelivery{
+			SubID:      r.id,
+			Subscriber: r.ent.original.Subscriber,
+			Local:      r.ent.origin == LocalLink,
+			Delivered:  r.ent.meter.delivered.Load(),
+			Dropped:    r.ent.meter.dropped.Load(),
+		})
+	}
+	sort.Slice(st.Delivery, func(i, j int) bool { return st.Delivery[i].SubID < st.Delivery[j].SubID })
+	return st
 }
 
 // ResetCounters zeroes the measurement counters (state is untouched); the

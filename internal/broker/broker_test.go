@@ -319,3 +319,64 @@ func TestSetDimension(t *testing.T) {
 		t.Error("invalid dimension accepted")
 	}
 }
+
+func TestDeliveryMetadata(t *testing.T) {
+	b := newBroker(t, "b0")
+	b.AddLink()
+	if _, err := b.SubscribeLocal(mustSub(t, 1, "alice", `x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(0, mustSub(t, 2, "remote", `x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Local routing meters its own deliveries.
+	b.PublishLocal(event.Build(1).Int("x", 1).Msg())
+	if d, drop, ok := b.EntryDelivery(1); !ok || d != 1 || drop != 0 {
+		t.Errorf("local entry delivery = %d/%d/%v, want 1/0/true", d, drop, ok)
+	}
+
+	// External delivery planes report through the entry's meter.
+	m := b.DeliveryMeter(2)
+	if m == nil {
+		t.Fatal("no meter for entry 2")
+	}
+	m.NoteDelivered(3)
+	m.NoteDropped(2)
+	if d, drop, ok := b.EntryDelivery(2); !ok || d != 3 || drop != 2 {
+		t.Errorf("remote entry delivery = %d/%d/%v, want 3/2/true", d, drop, ok)
+	}
+	if m.Delivered() != 3 || m.Dropped() != 2 {
+		t.Errorf("meter reads %d/%d", m.Delivered(), m.Dropped())
+	}
+
+	st := b.Stats()
+	if st.Counters.DeliveriesDropped != 2 {
+		t.Errorf("DeliveriesDropped = %d, want 2", st.Counters.DeliveriesDropped)
+	}
+	if len(st.Delivery) != 2 || st.Delivery[0].SubID != 1 || st.Delivery[1].SubID != 2 {
+		t.Fatalf("Stats.Delivery = %+v", st.Delivery)
+	}
+	if !st.Delivery[0].Local || st.Delivery[1].Local {
+		t.Errorf("Local flags wrong: %+v", st.Delivery)
+	}
+	if st.Delivery[1].Delivered != 3 || st.Delivery[1].Dropped != 2 {
+		t.Errorf("per-entry stats = %+v", st.Delivery[1])
+	}
+
+	// Unknown entries have no meter; reports to a stale meter still land
+	// broker-wide.
+	if b.DeliveryMeter(99) != nil {
+		t.Error("meter for unknown entry")
+	}
+	if _, err := b.HandleUnsubscribe(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	m.NoteDropped(1)
+	if b.Stats().Counters.DeliveriesDropped != 3 {
+		t.Error("stale meter report lost")
+	}
+	if _, _, ok := b.EntryDelivery(2); ok {
+		t.Error("EntryDelivery reports a removed entry")
+	}
+}

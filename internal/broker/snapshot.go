@@ -116,7 +116,11 @@ func (b *Broker) ReadSnapshot(r io.Reader) error {
 		if err := b.table.Register(current); err != nil {
 			return fmt.Errorf("broker %s: restore: %w", b.id, err)
 		}
-		b.entries[current.ID] = &routeEntry{origin: origin, original: original}
+		b.entries[current.ID] = &routeEntry{
+			origin:   origin,
+			original: original,
+			meter:    &DeliveryMeter{counters: &b.counters},
+		}
 		if origin != LocalLink {
 			if err := b.pruner.RegisterAt(original, current); err != nil {
 				return fmt.Errorf("broker %s: restore pruner: %w", b.id, err)

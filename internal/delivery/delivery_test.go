@@ -1,0 +1,173 @@
+package delivery
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBlockWaitsForConsumer(t *testing.T) {
+	q := New[int](1, Block)
+	if ok, ev := q.Enqueue(1); !ok || ev != 0 {
+		t.Fatalf("first enqueue = %v, %d", ok, ev)
+	}
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(2) // full: must wait for the receive below
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("blocked enqueue returned before consumer made room")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := <-q.C(); got != 1 {
+		t.Fatalf("received %d, want 1", got)
+	}
+	<-done
+	if got := <-q.C(); got != 2 {
+		t.Fatalf("received %d, want 2", got)
+	}
+	if q.Dropped() != 0 || q.Enqueued() != 2 {
+		t.Errorf("dropped=%d enqueued=%d", q.Dropped(), q.Enqueued())
+	}
+}
+
+func TestDropOldestKeepsNewestWindow(t *testing.T) {
+	q := New[int](3, DropOldest)
+	for i := 1; i <= 10; i++ {
+		if ok, _ := q.Enqueue(i); !ok {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if q.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", q.Dropped())
+	}
+	q.Close()
+	var got []int
+	for v := range q.C() {
+		got = append(got, v)
+	}
+	want := []int{8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDropNewestKeepsOldest(t *testing.T) {
+	q := New[int](2, DropNewest)
+	accepted := 0
+	for i := 1; i <= 5; i++ {
+		if ok, _ := q.Enqueue(i); ok {
+			accepted++
+		}
+	}
+	if accepted != 2 || q.Dropped() != 3 {
+		t.Errorf("accepted=%d dropped=%d, want 2/3", accepted, q.Dropped())
+	}
+	if got := <-q.C(); got != 1 {
+		t.Errorf("head = %d, want 1", got)
+	}
+}
+
+func TestCloseUnblocksAndRejects(t *testing.T) {
+	q := New[int](1, Block)
+	q.Enqueue(1)
+	unblocked := make(chan bool)
+	go func() {
+		ok, _ := q.Enqueue(2)
+		unblocked <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	if ok := <-unblocked; ok {
+		t.Error("enqueue accepted during close")
+	}
+	if ok, _ := q.Enqueue(3); ok {
+		t.Error("enqueue accepted after close")
+	}
+	// The buffered item survives; the channel then reports closure.
+	if got := <-q.C(); got != 1 {
+		t.Errorf("buffered item = %d, want 1", got)
+	}
+	if _, open := <-q.C(); open {
+		t.Error("channel still open after close and drain")
+	}
+	q.Close() // idempotent
+}
+
+func TestMinimumBuffer(t *testing.T) {
+	q := New[int](0, DropNewest)
+	if q.Cap() != 1 {
+		t.Errorf("Cap = %d, want 1", q.Cap())
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	cases := map[Policy]string{Block: "block", DropOldest: "drop-oldest", DropNewest: "drop-newest", Policy(9): "invalid"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+	if Policy(9).Valid() || !DropOldest.Valid() {
+		t.Error("Valid misclassifies")
+	}
+}
+
+// TestConcurrentEnqueueCloseRace hammers every policy with concurrent
+// enqueuers, one consumer, and a racing Close; the race detector and the
+// absence of a send-on-closed panic are the assertions.
+func TestConcurrentEnqueueCloseRace(t *testing.T) {
+	for _, p := range []Policy{Block, DropOldest, DropNewest} {
+		t.Run(p.String(), func(t *testing.T) {
+			q := New[int](4, p)
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						q.Enqueue(g*1000 + i)
+					}
+				}(g)
+			}
+			consumed := make(chan struct{})
+			go func() {
+				defer close(consumed)
+				for range q.C() {
+				}
+			}()
+			time.Sleep(time.Millisecond)
+			q.Close()
+			wg.Wait()
+			<-consumed
+		})
+	}
+}
+
+// TestDropOldestAccounting checks exact bookkeeping with a sequential
+// producer and no consumer: accepted - capacity items must be evicted.
+func TestDropOldestAccounting(t *testing.T) {
+	const n, buf = 100, 8
+	q := New[int](buf, DropOldest)
+	evictions := 0
+	for i := 0; i < n; i++ {
+		ok, ev := q.Enqueue(i)
+		if !ok {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+		evictions += ev
+	}
+	if q.Enqueued() != n {
+		t.Errorf("Enqueued = %d, want %d", q.Enqueued(), n)
+	}
+	if q.Dropped() != n-buf || evictions != n-buf {
+		t.Errorf("Dropped = %d, evictions = %d, want %d", q.Dropped(), evictions, n-buf)
+	}
+}

@@ -34,6 +34,9 @@ type Counters struct {
 	BytesSent uint64
 	// Deliveries counts notifications handed to local subscribers.
 	Deliveries uint64
+	// DeliveriesDropped counts notifications lost to per-subscriber
+	// backpressure policies (DropOldest/DropNewest queue overflow).
+	DeliveriesDropped uint64
 }
 
 // Add folds o into c.
@@ -46,6 +49,7 @@ func (c *Counters) Add(o Counters) {
 	c.ControlSent += o.ControlSent
 	c.BytesSent += o.BytesSent
 	c.Deliveries += o.Deliveries
+	c.DeliveriesDropped += o.DeliveriesDropped
 }
 
 // FilterTimePerEvent returns the average filtering time per filtered event,
@@ -60,9 +64,9 @@ func (c Counters) FilterTimePerEvent() time.Duration {
 // String renders the counters compactly for logs and tools.
 func (c Counters) String() string {
 	return fmt.Sprintf(
-		"filtered=%d filterTime=%v matched=%d published=%d forwarded=%d control=%d bytes=%d delivered=%d",
+		"filtered=%d filterTime=%v matched=%d published=%d forwarded=%d control=%d bytes=%d delivered=%d dropped=%d",
 		c.EventsFiltered, c.FilterTime, c.MatchedEntries, c.EventsPublished,
-		c.EventsForwarded, c.ControlSent, c.BytesSent, c.Deliveries)
+		c.EventsForwarded, c.ControlSent, c.BytesSent, c.Deliveries, c.DeliveriesDropped)
 }
 
 // AtomicCounters accumulates the same measurements as Counters but is safe
@@ -70,14 +74,15 @@ func (c Counters) String() string {
 // data plane while stats readers snapshot it at any time. Field meanings
 // mirror Counters exactly; FilterTime is tracked in nanoseconds.
 type AtomicCounters struct {
-	EventsFiltered  atomic.Uint64
-	FilterTimeNanos atomic.Int64
-	MatchedEntries  atomic.Uint64
-	EventsPublished atomic.Uint64
-	EventsForwarded atomic.Uint64
-	ControlSent     atomic.Uint64
-	BytesSent       atomic.Uint64
-	Deliveries      atomic.Uint64
+	EventsFiltered    atomic.Uint64
+	FilterTimeNanos   atomic.Int64
+	MatchedEntries    atomic.Uint64
+	EventsPublished   atomic.Uint64
+	EventsForwarded   atomic.Uint64
+	ControlSent       atomic.Uint64
+	BytesSent         atomic.Uint64
+	Deliveries        atomic.Uint64
+	DeliveriesDropped atomic.Uint64
 }
 
 // AddFilterTime accumulates filtering wall time.
@@ -89,14 +94,15 @@ func (a *AtomicCounters) AddFilterTime(d time.Duration) {
 // updates may land between field loads; each individual counter is exact.
 func (a *AtomicCounters) Snapshot() Counters {
 	return Counters{
-		EventsFiltered:  a.EventsFiltered.Load(),
-		FilterTime:      time.Duration(a.FilterTimeNanos.Load()),
-		MatchedEntries:  a.MatchedEntries.Load(),
-		EventsPublished: a.EventsPublished.Load(),
-		EventsForwarded: a.EventsForwarded.Load(),
-		ControlSent:     a.ControlSent.Load(),
-		BytesSent:       a.BytesSent.Load(),
-		Deliveries:      a.Deliveries.Load(),
+		EventsFiltered:    a.EventsFiltered.Load(),
+		FilterTime:        time.Duration(a.FilterTimeNanos.Load()),
+		MatchedEntries:    a.MatchedEntries.Load(),
+		EventsPublished:   a.EventsPublished.Load(),
+		EventsForwarded:   a.EventsForwarded.Load(),
+		ControlSent:       a.ControlSent.Load(),
+		BytesSent:         a.BytesSent.Load(),
+		Deliveries:        a.Deliveries.Load(),
+		DeliveriesDropped: a.DeliveriesDropped.Load(),
 	}
 }
 
@@ -110,6 +116,7 @@ func (a *AtomicCounters) Reset() {
 	a.ControlSent.Store(0)
 	a.BytesSent.Store(0)
 	a.Deliveries.Store(0)
+	a.DeliveriesDropped.Store(0)
 }
 
 // Timer measures one timed region; start with Start, stop with Stop.

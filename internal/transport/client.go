@@ -1,17 +1,33 @@
 package transport
 
 import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"dimprune/internal/delivery"
 	"dimprune/internal/event"
 	"dimprune/internal/subscription"
 	"dimprune/internal/wire"
 )
 
+// ErrNilMessage reports a nil *event.Message passed to Publish.
+var ErrNilMessage = errors.New("transport: nil message")
+
 // Client is a subscriber/publisher session against a broker server reached
-// over a Conn (typically TCP via Dial). Notifications arrive on the channel
-// returned by Notifications until the connection closes.
+// over a Conn (typically TCP via Dial).
+//
+// Subscriptions made with SubscribeExpr/SubscribeNode return a *Handle
+// mirroring the embedded engine's handle API: each handle owns a delivery
+// queue with a backpressure policy and demultiplexes the session's
+// incoming events by re-evaluating its subscription tree (the broker
+// post-filters local subscriptions exactly, so every event on the wire
+// matches at least one of the session's subscriptions). The deprecated
+// Subscribe/Unsubscribe-by-ID API delivers on the shared channel returned
+// by Notifications instead.
 type Client struct {
 	subscriber string
 	conn       Conn
@@ -19,18 +35,40 @@ type Client struct {
 	notifications chan *event.Message
 	closeOnce     sync.Once
 	done          chan struct{}
+
+	// mu guards handles and the usage flags; idSeq is the per-session
+	// subscription counter behind idBase, a random 40-bit prefix drawn at
+	// session start. The broker rejects duplicate subscription IDs by
+	// dropping the offending session, so auto-assigned IDs must not
+	// collide across sessions: a random prefix keeps the collision odds
+	// at birthday-bound-over-2^40 (~50% only past a million concurrent
+	// sessions) and, unlike deriving the prefix from the subscriber name,
+	// cannot collide with a previous session of the same subscriber.
+	mu          sync.RWMutex
+	handles     map[uint64]*Handle
+	usedLegacy  bool // deprecated Subscribe was called
+	usedHandles bool // SubscribeNode/SubscribeExpr was called
+	idBase      uint64
+	idSeq       atomic.Uint64
 }
+
+// idSeqBits is the per-session subscription counter width below idBase.
+const idSeqBits = 24
 
 // NewClient starts a client session over conn, introducing itself with a
 // hello frame. Servers reached through ListenClients use the hello to name
 // the session; servers that attached the connection explicitly just verify
 // the name matches.
 func NewClient(subscriber string, conn Conn) *Client {
+	var seed [8]byte
+	_, _ = rand.Read(seed[:])
 	c := &Client{
 		subscriber:    subscriber,
 		conn:          conn,
 		notifications: make(chan *event.Message, 64),
 		done:          make(chan struct{}),
+		handles:       make(map[uint64]*Handle),
+		idBase:        binary.BigEndian.Uint64(seed[:]) &^ (1<<idSeqBits - 1),
 	}
 	// A hello failure surfaces on the first real operation; the read loop
 	// observes the broken connection either way.
@@ -40,7 +78,11 @@ func NewClient(subscriber string, conn Conn) *Client {
 }
 
 func (c *Client) readLoop() {
-	defer close(c.notifications)
+	defer func() {
+		close(c.notifications)
+		c.retireHandles(false)
+	}()
+	var targets []*Handle
 	for {
 		f, err := c.conn.Recv()
 		if err != nil {
@@ -48,6 +90,31 @@ func (c *Client) readLoop() {
 		}
 		if f.Type != wire.FramePublish {
 			continue // tolerate unknown server frames
+		}
+		// Demultiplex: events matching a handle go to that handle's
+		// queue. The deprecated shared channel keeps its historical
+		// every-frame feed for any session that is not handle-only —
+		// sessions that used the legacy Subscribe (even mixed with
+		// handles: their legacy subscriptions may overlap the handles'),
+		// and sessions that never subscribed either way (e.g. server-side
+		// state restored from a snapshot). A handle-only session skips
+		// the channel entirely: an unmatched frame there is a stale
+		// in-flight delivery right after an unsubscribe, and queueing it
+		// behind a channel nobody reads would wedge the session's reader.
+		targets = targets[:0]
+		c.mu.RLock()
+		for _, h := range c.handles {
+			if h.root.Matches(f.Msg) {
+				targets = append(targets, h)
+			}
+		}
+		handleOnly := c.usedHandles && !c.usedLegacy
+		c.mu.RUnlock()
+		for _, h := range targets {
+			h.deliver(f.Msg)
+		}
+		if handleOnly {
+			continue
 		}
 		select {
 		case c.notifications <- f.Msg:
@@ -57,28 +124,240 @@ func (c *Client) readLoop() {
 	}
 }
 
-// Notifications returns the stream of matching events. The channel closes
+// Notifications returns the shared stream of matching events for
+// subscriptions made with the deprecated Subscribe. The channel closes
 // when the session ends.
+//
+// Deprecated: use SubscribeExpr or SubscribeNode, whose Handle owns a
+// per-subscription delivery queue.
 func (c *Client) Notifications() <-chan *event.Message { return c.notifications }
 
-// Subscribe registers a subscription under this client's name.
+// Handle is one registered subscription of a networked client session and
+// the owner of its delivery, mirroring the embedded engine's handle API:
+// notifications arrive on C (default) or via a dedicated-goroutine
+// callback (WithCallback), buffered by a bounded queue whose overflow
+// behavior is the handle's backpressure policy.
+//
+// One caveat has no embedded counterpart: all of a session's handles share
+// one connection reader. Under the Block policy a full queue therefore
+// stalls the whole session's delivery (exactly like a slow reader of the
+// legacy shared channel); sessions that must never stall use DropOldest or
+// DropNewest and watch Dropped.
+type Handle struct {
+	id   uint64
+	c    *Client
+	root *subscription.Node
+
+	q  *delivery.Queue[*event.Message]
+	cb func(*event.Message)
+
+	discard   atomic.Bool
+	drainDone chan struct{} // non-nil in callback mode
+
+	retireOnce sync.Once
+	retireErr  error
+}
+
+// subOptions collects one subscription's settings.
+type subOptions struct {
+	callback func(*event.Message)
+	buffer   int
+	policy   delivery.Policy
+}
+
+// SubOption configures one subscription at registration time.
+type SubOption func(*subOptions)
+
+// WithCallback delivers events by invoking fn from the subscription's
+// dedicated delivery goroutine instead of over Handle.C. fn must not call
+// Handle.Unsubscribe or Client.Close — they wait for the delivery
+// goroutine and would deadlock.
+func WithCallback(fn func(*event.Message)) SubOption {
+	return func(o *subOptions) { o.callback = fn }
+}
+
+// WithBuffer sets the subscription's delivery-queue capacity (minimum 1,
+// default 64).
+func WithBuffer(n int) SubOption {
+	return func(o *subOptions) { o.buffer = n }
+}
+
+// WithPolicy sets the subscription's backpressure policy (default
+// delivery.Block).
+func WithPolicy(p delivery.Policy) SubOption {
+	return func(o *subOptions) { o.policy = p }
+}
+
+// SubscribeExpr registers a subscription given in text syntax and returns
+// its Handle.
+func (c *Client) SubscribeExpr(expr string, opts ...SubOption) (*Handle, error) {
+	root, err := subscription.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return c.SubscribeNode(root, opts...)
+}
+
+// SubscribeNode registers a subscription tree and returns its Handle. The
+// subscription ID is auto-assigned from the session's namespace.
+func (c *Client) SubscribeNode(root *subscription.Node, opts ...SubOption) (*Handle, error) {
+	o := subOptions{buffer: 64, policy: delivery.Block}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.policy.Valid() {
+		return nil, fmt.Errorf("transport: invalid backpressure policy %d", o.policy)
+	}
+	id := c.idBase | (c.idSeq.Add(1) & (1<<idSeqBits - 1))
+	s, err := subscription.New(id, c.subscriber, root)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{id: id, c: c, root: s.Root, cb: o.callback}
+	h.q = delivery.New[*event.Message](o.buffer, o.policy)
+	if h.cb != nil {
+		h.drainDone = make(chan struct{})
+		go h.drainLoop()
+	}
+	// The handle must be discoverable before the subscribe frame leaves:
+	// the first matching event can arrive as soon as the server processes
+	// the frame.
+	c.mu.Lock()
+	c.usedHandles = true
+	c.handles[id] = h
+	c.mu.Unlock()
+	if err := c.conn.Send(wire.SubscribeFrame(s)); err != nil {
+		c.mu.Lock()
+		delete(c.handles, id)
+		c.mu.Unlock()
+		h.retire(true)
+		return nil, err
+	}
+	return h, nil
+}
+
+// drainLoop is the dedicated delivery goroutine of a callback handle.
+func (h *Handle) drainLoop() {
+	defer close(h.drainDone)
+	for m := range h.q.C() {
+		if h.discard.Load() {
+			continue
+		}
+		h.cb(m)
+	}
+}
+
+// deliver enqueues one event under the handle's policy; drops are counted
+// by the queue.
+func (h *Handle) deliver(m *event.Message) { h.q.Enqueue(m) }
+
+// ID returns the auto-assigned subscription ID.
+func (h *Handle) ID() uint64 { return h.id }
+
+// C returns the delivery channel: per-subscription arrival order, up to
+// the configured buffer, closed when the handle retires or the session
+// ends (buffered events stay receivable). C returns nil in callback mode.
+func (h *Handle) C() <-chan *event.Message {
+	if h.cb != nil {
+		return nil
+	}
+	return h.q.C()
+}
+
+// Policy returns the handle's backpressure policy.
+func (h *Handle) Policy() delivery.Policy { return h.q.Policy() }
+
+// Delivered returns how many events the subscription has accepted for
+// delivery.
+func (h *Handle) Delivered() uint64 { return h.q.Enqueued() }
+
+// Dropped returns how many events the backpressure policy has shed
+// (always 0 under Block).
+func (h *Handle) Dropped() uint64 { return h.q.Dropped() }
+
+// Unsubscribe retracts the subscription and retires the handle: the
+// retraction is sent to the broker, the handle stops receiving, and
+// events still in flight from the broker are dropped by the session's
+// demultiplexer. In callback mode the queued backlog is discarded and a
+// pending callback invocation has completed before Unsubscribe returns;
+// in channel mode the channel closes, with already-buffered events
+// remaining receivable (channel semantics). Idempotent; must not be
+// called from the handle's own callback.
+func (h *Handle) Unsubscribe() error {
+	h.retireOnce.Do(func() {
+		h.c.mu.Lock()
+		delete(h.c.handles, h.id)
+		h.c.mu.Unlock()
+		h.retireErr = h.c.conn.Send(wire.UnsubscribeFrame(h.id))
+		h.shutdown(true)
+	})
+	return h.retireErr
+}
+
+// retire tears the handle down without touching the client registry or
+// the wire (session teardown paths).
+func (h *Handle) retire(discard bool) {
+	h.retireOnce.Do(func() { h.shutdown(discard) })
+}
+
+// shutdown closes the queue and waits out the delivery goroutine.
+func (h *Handle) shutdown(discard bool) {
+	h.discard.Store(discard)
+	h.q.Close()
+	if h.drainDone != nil {
+		<-h.drainDone
+	}
+}
+
+// retireHandles tears down every handle when the session ends; queued
+// events drain to their consumers unless discard is set.
+func (c *Client) retireHandles(discard bool) {
+	c.mu.Lock()
+	hs := make([]*Handle, 0, len(c.handles))
+	for _, h := range c.handles {
+		hs = append(hs, h)
+	}
+	c.handles = make(map[uint64]*Handle)
+	c.mu.Unlock()
+	for _, h := range hs {
+		h.retire(discard)
+	}
+}
+
+// Subscribe registers a subscription under this client's name with a
+// caller-chosen ID, delivering on the shared Notifications channel.
+//
+// Deprecated: use SubscribeExpr or SubscribeNode, whose Handle owns a
+// per-subscription delivery queue and lifecycle.
 func (c *Client) Subscribe(id uint64, root *subscription.Node) error {
 	s, err := subscription.New(id, c.subscriber, root)
 	if err != nil {
 		return err
 	}
+	c.mu.Lock()
+	c.usedLegacy = true
+	c.mu.Unlock()
 	return c.conn.Send(wire.SubscribeFrame(s))
 }
 
-// Unsubscribe retracts a subscription.
+// Unsubscribe retracts a subscription by ID. For handle-based
+// subscriptions it is equivalent to Handle.Unsubscribe.
+//
+// Deprecated: use Handle.Unsubscribe.
 func (c *Client) Unsubscribe(id uint64) error {
+	c.mu.RLock()
+	h := c.handles[id]
+	c.mu.RUnlock()
+	if h != nil {
+		return h.Unsubscribe()
+	}
 	return c.conn.Send(wire.UnsubscribeFrame(id))
 }
 
 // Publish injects an event.
 func (c *Client) Publish(m *event.Message) error {
 	if m == nil {
-		return fmt.Errorf("transport: nil message")
+		return ErrNilMessage
 	}
 	return c.conn.Send(wire.PublishFrame(m))
 }
@@ -97,8 +376,14 @@ func (c *Client) PublishBatch(ms []*event.Message) error {
 	return nil
 }
 
-// Close ends the session.
+// Close ends the session: the connection closes, every handle retires
+// after draining its queued events, and the Notifications channel closes.
 func (c *Client) Close() error {
 	c.closeOnce.Do(func() { close(c.done) })
-	return c.conn.Close()
+	err := c.conn.Close()
+	// The read loop also retires handles on its way out; retiring here too
+	// (idempotent) covers sessions whose read loop is parked in a channel
+	// send rather than in Recv.
+	c.retireHandles(false)
+	return err
 }

@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/delivery"
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// handleTestServer wires a server and one attached client session over an
+// in-memory pipe.
+func handleTestServer(t *testing.T, name string) (*Server, *Client) {
+	t.Helper()
+	b, err := broker.New(broker.Config{ID: "hub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(b, nil)
+	t.Cleanup(srv.Shutdown)
+	sc, cc := Pipe()
+	if err := srv.AttachClient(name, sc); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(name, cc)
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func waitLocalSubs(t *testing.T, srv *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().LocalSubs != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reached %d local subs (have %d)", n, srv.Stats().LocalSubs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClientHandleChannelDelivery(t *testing.T) {
+	srv, c := handleTestServer(t, "eve")
+	h, err := c.SubscribeExpr(`kind = "alert" and level >= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.C() == nil || h.Policy() != delivery.Block {
+		t.Fatal("channel-mode handle misconfigured")
+	}
+	waitLocalSubs(t, srv, 1)
+
+	srv.Publish(event.Build(1).Str("kind", "alert").Int("level", 5).Msg())
+	srv.Publish(event.Build(2).Str("kind", "alert").Int("level", 1).Msg()) // no match
+	srv.Publish(event.Build(3).Str("kind", "alert").Int("level", 3).Msg())
+
+	for _, want := range []uint64{1, 3} {
+		select {
+		case m := <-h.C():
+			if m.ID != want {
+				t.Fatalf("received event %d, want %d", m.ID, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for event %d", want)
+		}
+	}
+	if h.Delivered() != 2 || h.Dropped() != 0 {
+		t.Errorf("delivered=%d dropped=%d, want 2/0", h.Delivered(), h.Dropped())
+	}
+	// The legacy shared channel stays silent for handle-only sessions.
+	select {
+	case m := <-c.Notifications():
+		t.Fatalf("legacy channel received event %d", m.ID)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestClientHandleCallbackAndUnsubscribe(t *testing.T) {
+	srv, c := handleTestServer(t, "eve")
+	var got atomic.Uint64
+	h, err := c.SubscribeNode(subscription.Eq("x", event.Int(1)), WithCallback(func(m *event.Message) {
+		got.Add(1)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.C() != nil {
+		t.Fatal("callback handle exposes a channel")
+	}
+	waitLocalSubs(t, srv, 1)
+	srv.Publish(event.Build(1).Int("x", 1).Msg())
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("callback never invoked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := h.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Unsubscribe(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 0)
+	srv.Publish(event.Build(2).Int("x", 1).Msg())
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 1 {
+		t.Errorf("callback ran after Unsubscribe: %d invocations", got.Load())
+	}
+}
+
+func TestClientHandleDropOldest(t *testing.T) {
+	srv, c := handleTestServer(t, "eve")
+	h, err := c.SubscribeExpr(`x = 1`, WithBuffer(2), WithPolicy(delivery.DropOldest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+	const n = 10
+	for i := 1; i <= n; i++ {
+		srv.Publish(event.Build(uint64(i)).Int("x", 1).Msg())
+	}
+	// The consumer never reads until all events are through the session:
+	// the queue must shed n-2 and keep the newest window.
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Delivered() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered=%d, want %d", h.Delivered(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if h.Dropped() != n-2 {
+		t.Errorf("Dropped = %d, want %d", h.Dropped(), n-2)
+	}
+	if m := <-h.C(); m.ID != n-1 {
+		t.Errorf("head = %d, want %d", m.ID, n-1)
+	}
+	if m := <-h.C(); m.ID != n {
+		t.Errorf("next = %d, want %d", m.ID, n)
+	}
+}
+
+func TestClientLegacyChannelStillWorks(t *testing.T) {
+	srv, c := handleTestServer(t, "eve")
+	if err := c.Subscribe(7, subscription.Eq("x", event.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+	srv.Publish(event.Build(1).Int("x", 1).Msg())
+	select {
+	case m := <-c.Notifications():
+		if m.ID != 1 {
+			t.Fatalf("received %d", m.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("legacy delivery timed out")
+	}
+}
+
+func TestClientCloseDrainsHandles(t *testing.T) {
+	srv, c := handleTestServer(t, "eve")
+	h, err := c.SubscribeExpr(`x = 1`, WithBuffer(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+	srv.Publish(event.Build(1).Int("x", 1).Msg())
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Delivered() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("delivery timed out")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	// Buffered events survive Close; then the channel reports closure.
+	if m, ok := <-h.C(); !ok || m.ID != 1 {
+		t.Fatalf("drained %v, %v", m, ok)
+	}
+	if _, ok := <-h.C(); ok {
+		t.Fatal("handle channel still open after Close")
+	}
+}
+
+func TestClientAutoIDsDistinctAcrossSessions(t *testing.T) {
+	b, err := broker.New(broker.Config{ID: "hub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(b, nil)
+	defer srv.Shutdown()
+	ids := make(map[uint64]bool)
+	for _, name := range []string{"alice", "bob"} {
+		sc, cc := Pipe()
+		if err := srv.AttachClient(name, sc); err != nil {
+			t.Fatal(err)
+		}
+		c := NewClient(name, cc)
+		defer c.Close()
+		for i := 0; i < 3; i++ {
+			h, err := c.SubscribeExpr(`x = 1`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ids[h.ID()] {
+				t.Fatalf("duplicate auto-assigned ID %d", h.ID())
+			}
+			ids[h.ID()] = true
+		}
+	}
+}
+
+func TestClientMixedLegacyAndHandleOverlap(t *testing.T) {
+	srv, c := handleTestServer(t, "eve")
+	// Legacy subscription and handle subscription overlap on x = 1: the
+	// legacy channel must keep its every-frame feed even though a handle
+	// also matches.
+	if err := c.Subscribe(7, subscription.MustParse(`x >= 1`)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.SubscribeExpr(`x = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 2)
+	srv.Publish(event.Build(1).Int("x", 1).Msg())
+	select {
+	case m := <-h.C():
+		if m.ID != 1 {
+			t.Fatalf("handle received %d", m.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handle delivery timed out")
+	}
+	select {
+	case m := <-c.Notifications():
+		if m.ID != 1 {
+			t.Fatalf("legacy channel received %d", m.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("legacy channel starved by overlapping handle match")
+	}
+}

@@ -35,7 +35,11 @@ func Str(v string) Value { return event.String(v) }
 func Bool(v bool) Value { return event.Bool(v) }
 
 // Subscription language re-exports: Boolean trees in negation normal form
-// over attribute–operator–value predicates.
+// over attribute–operator–value predicates. A tree evaluates directly
+// against a message with Node.Matches — the primitive the delivery plane
+// uses for client-side post-filtering (transport handles demultiplex their
+// session's events with it) and the reference oracle the engine tests
+// compare the counting filter against.
 
 // Subscription is a registered Boolean filter expression.
 type Subscription = subscription.Subscription

@@ -76,7 +76,36 @@ type Server = transport.Server
 type Conn = transport.Conn
 
 // Client is a subscriber/publisher session against a broker server.
+// Client.SubscribeExpr/SubscribeNode mirror the embedded engine's handle
+// API: each subscription returns a ClientHandle owning a delivery queue
+// with a backpressure policy, so embedded and networked subscribers are
+// symmetric.
 type Client = transport.Client
+
+// ClientHandle is one networked subscription and the owner of its
+// delivery — the networked counterpart of Handle. Its queue carries
+// *Message (the broker post-filters exactly, so the handle's own
+// subscription is the provenance a Notification would add).
+type ClientHandle = transport.Handle
+
+// ClientSubOption configures one networked subscription; see
+// ClientCallback, ClientBuffer, and ClientPolicy. (The embedded engine's
+// SubOption values configure Embedded handles instead — the two layers
+// deliver different payload types.)
+type ClientSubOption = transport.SubOption
+
+// ClientCallback delivers a networked subscription's events by invoking
+// fn from the handle's dedicated delivery goroutine.
+func ClientCallback(fn func(*Message)) ClientSubOption {
+	return transport.WithCallback(fn)
+}
+
+// ClientBuffer sets a networked subscription's delivery-queue capacity.
+func ClientBuffer(n int) ClientSubOption { return transport.WithBuffer(n) }
+
+// ClientPolicy sets a networked subscription's backpressure policy
+// (Block, DropOldest, DropNewest).
+func ClientPolicy(p Policy) ClientSubOption { return transport.WithPolicy(p) }
 
 // NewServer wraps a broker for networked operation.
 func NewServer(b *Broker, onDeliver func(Delivery)) *Server {
