@@ -8,8 +8,15 @@
 // A three-broker line on one machine:
 //
 //	brokerd -id b0 -listen :7000 -clients :8000
-//	brokerd -id b1 -listen :7001 -clients :8001 -peers 127.0.0.1:7000
-//	brokerd -id b2 -listen :7002 -clients :8002 -peers 127.0.0.1:7001
+//	brokerd -id b1 -listen :7001 -clients :8001 -peer 127.0.0.1:7000
+//	brokerd -id b2 -listen :7002 -clients :8002 -peer 127.0.0.1:7001
+//
+// -peer (repeatable) opens a managed peer link: the brokers handshake,
+// refuse edges that would close an overlay cycle, replay their routing
+// tables to each other, and the dialing side automatically reconnects and
+// resyncs when the link drops. The legacy -peers list attaches raw links
+// with none of that (no handshake, no reconnect); its link IDs are stable
+// in flag order, which -snapshot restore relies on.
 //
 // With -prune-every set, the broker periodically applies a batch of
 // prunings to its non-local routing entries using the selected dimension.
@@ -46,7 +53,7 @@ func run(args []string, stop <-chan os.Signal) error {
 		id           = fs.String("id", "broker", "broker name for logs")
 		listen       = fs.String("listen", "", "address for neighbor-broker links (empty: none)")
 		clients      = fs.String("clients", "", "address for client sessions (empty: none)")
-		peers        = fs.String("peers", "", "comma-separated neighbor addresses to dial")
+		peers        = fs.String("peers", "", "comma-separated neighbor addresses to attach as raw links (legacy: no handshake, no reconnect)")
 		dimension    = fs.String("dimension", "sel", "pruning dimension: sel, eff, mem")
 		pruneEvery   = fs.Duration("prune-every", 0, "interval between pruning batches (0: never prune)")
 		pruneBatch   = fs.Int("prune-batch", 100, "prunings per batch")
@@ -55,6 +62,8 @@ func run(args []string, stop <-chan os.Signal) error {
 		matchWorkers = fs.Int("match-workers", 0, "goroutines one match fans out across (0: GOMAXPROCS, 1: serial)")
 		matchShards  = fs.Int("match-shards", 0, "subscription-table shards (0: 2x match workers)")
 	)
+	var peerAddrs addrList
+	fs.Var(&peerAddrs, "peer", "neighbor address to dial as a managed peer link (handshake + reconnect; repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,10 +108,11 @@ func run(args []string, stop <-chan os.Signal) error {
 		logger.Printf("undeliverable notification for %q (no session): event %d", d.Subscriber, d.Msg.ID)
 	})
 	defer srv.Shutdown()
+	srv.SetLogf(logger.Printf)
 
-	// Dial static peers first: their link IDs follow flag order, which is
-	// what makes snapshot restore stable across restarts. Listeners open
-	// afterwards; accepted links get higher IDs.
+	// Dial static raw links first: their link IDs follow flag order, which
+	// is what makes snapshot restore stable across restarts. Listeners and
+	// managed peer links come afterwards; those links get higher IDs.
 	for _, p := range strings.Split(*peers, ",") {
 		p = strings.TrimSpace(p)
 		if p == "" {
@@ -131,6 +141,14 @@ func run(args []string, stop <-chan os.Signal) error {
 			return err
 		}
 		logger.Printf("client sessions on %s", addr)
+	}
+	// Managed peer links: handshake (acyclicity check), state replay, and
+	// reconnect-with-resync on loss. A refused or unreachable peer fails
+	// startup; later losses are the reconnect loop's job.
+	for _, p := range peerAddrs {
+		if _, err := srv.DialPeer(p); err != nil {
+			return err
+		}
 	}
 
 	var pruneTick, statsTick <-chan time.Time
@@ -171,6 +189,20 @@ func run(args []string, stop <-chan os.Signal) error {
 	}
 }
 
+// addrList collects a repeatable address flag.
+type addrList []string
+
+func (a *addrList) String() string { return strings.Join(*a, ",") }
+
+func (a *addrList) Set(v string) error {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return fmt.Errorf("empty peer address")
+	}
+	*a = append(*a, v)
+	return nil
+}
+
 // logDeliveryHotspots surfaces the per-entry delivery metadata in Stats:
 // the busiest subscriber and, separately, the entry shedding the most to
 // its backpressure policy — the two an operator acts on first.
@@ -195,12 +227,14 @@ func logDeliveryHotspots(st broker.Stats, logger *log.Logger) {
 	}
 }
 
-// loadSnapshot restores the routing table right after the static peers are
-// dialed: entries referencing dialed links restore exactly; entries
-// referencing accepted links (which have no stable identity across
-// restarts) make the restore fail, so snapshot-using brokers should be the
-// dialing side of their links. A missing file is a first start, not an
-// error.
+// loadSnapshot restores the routing table right after the static raw
+// links are dialed: entries referencing those links (stable IDs in flag
+// order) restore exactly; entries referencing links that do not exist yet
+// — accepted connections and managed -peer links, neither of which has a
+// stable identity across restarts — are skipped, which is safe because
+// managed peers replay their entries through the reconnect resync. The
+// logged local/remote counts show what survived. A missing file is a
+// first start, not an error.
 func loadSnapshot(srv *transport.Server, path string, logger *log.Logger) error {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {

@@ -70,6 +70,91 @@ func TestTwoDaemonsLink(t *testing.T) {
 	}
 }
 
+func TestThreeDaemonLineViaManagedPeers(t *testing.T) {
+	// b0 listens; b1 peers with b0 and listens; b2 peers with b1. A client
+	// at b2 subscribes, a client at b0 publishes, and the event crosses
+	// both managed links.
+	addr0, addr1 := freePort(t), freePort(t)
+	clients0, clients2 := freePort(t), freePort(t)
+	stop0 := start(t, "-id", "b0", "-listen", addr0, "-clients", clients0)
+	waitDial(t, addr0)
+	stop1 := start(t, "-id", "b1", "-listen", addr1, "-peer", addr0)
+	waitDial(t, addr1)
+	stop2 := start(t, "-id", "b2", "-clients", clients2, "-peer", addr1)
+	waitDial(t, clients2)
+
+	conn2, err := transport.Dial(clients2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := transport.NewClient("sue", conn2)
+	defer sub.Close()
+	h, err := sub.SubscribeExpr(`x = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitDial(t, clients0)
+	conn0, err := transport.Dial(clients0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := transport.NewClient("pat", conn0)
+	defer pub.Close()
+	// The subscription needs two hops to reach b0; publish until it lands.
+	got := make(chan struct{})
+	go func() {
+		if m, ok := <-h.C(); ok && m != nil {
+			close(got)
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	for delivered := false; !delivered; {
+		if err := pub.Publish(event.Build(1).Int("x", 1).Msg()); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-got:
+			delivered = true
+		case <-deadline:
+			t.Fatal("event never crossed the managed peer links")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	for i, stop := range []func() error{stop2, stop1, stop0} {
+		if err := stop(); err != nil {
+			t.Errorf("daemon %d: %v", i, err)
+		}
+	}
+}
+
+func TestDaemonRefusesCycleEdge(t *testing.T) {
+	addr0, addr1 := freePort(t), freePort(t)
+	stop0 := start(t, "-id", "b0", "-listen", addr0)
+	waitDial(t, addr0)
+	stop1 := start(t, "-id", "b1", "-listen", addr1, "-peer", addr0)
+	waitDial(t, addr1)
+	// A third daemon peering with both ends would close the cycle: run()
+	// must fail instead of joining. The pre-fired stop channel turns a
+	// refusal regression into a crisp assertion failure (run would return
+	// nil) rather than a package-timeout hang on a nil channel.
+	stop := make(chan os.Signal, 1)
+	stop <- os.Interrupt
+	if err := run([]string{"-id", "b2", "-peer", addr1, "-peer", addr0}, stop); err == nil {
+		t.Error("cycle-closing daemon started")
+	}
+	if err := run([]string{"-peer", " "}, nil); err == nil {
+		t.Error("empty -peer accepted")
+	}
+	if err := stop1(); err != nil {
+		t.Errorf("daemon b1: %v", err)
+	}
+	if err := stop0(); err != nil {
+		t.Errorf("daemon b0: %v", err)
+	}
+}
+
 func freePort(t *testing.T) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

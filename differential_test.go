@@ -1,0 +1,356 @@
+package dimprune
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dimprune/internal/auction"
+	"dimprune/internal/broker"
+	"dimprune/internal/event"
+	"dimprune/internal/simnet"
+	"dimprune/internal/subscription"
+)
+
+// Differential test of the networked overlay against two oracles on one
+// seeded auction workload:
+//
+//   - exact: a single broker holding every subscription locally — the
+//     ground-truth match sets.
+//   - simnet: the deterministic in-memory 3-broker line the paper's
+//     distributed experiments run on.
+//   - network: a real 3-broker line over loopback TCP peer links, with the
+//     parallel match path live on every hop.
+//
+// With pruning off, all three must produce exactly the same delivery set.
+// With pruning on, pruning may only generalize non-local routing entries:
+// the overlay delivery sets must be supersets of the exact set — one lost
+// delivery is a correctness bug (the paper's safety invariant, §2.2).
+
+// delivPair identifies one delivery: which subscription got which event.
+type delivPair struct{ sub, msg uint64 }
+
+// diffWorkload is the shared seeded workload of the differential runs.
+type diffWorkload struct {
+	subs   []*subscription.Subscription
+	events []*event.Message
+}
+
+const (
+	diffBrokers = 3
+	diffSubs    = 120
+	diffEvents  = 240
+	// diffSentinelBase offsets sentinel subscription and event IDs so they
+	// filter cleanly out of collected delivery sets.
+	diffSentinelBase = uint64(1) << 30
+)
+
+func makeDiffWorkload(t *testing.T) *diffWorkload {
+	t.Helper()
+	cfg := auction.DefaultConfig()
+	cfg.Seed = 42
+	gen, err := auction.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &diffWorkload{}
+	for i := 0; i < diffSubs; i++ {
+		s, err := gen.Subscription(uint64(i+1), fmt.Sprintf("s%d", i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.subs = append(w.subs, s)
+	}
+	// The auction classes are deliberately selective (bargain hunters); mix
+	// in broad subscriptions so the differential exercises dense delivery
+	// and forwarding paths too, not just the sparse regime.
+	for i, expr := range []string{
+		`price <= 40`,
+		`price <= 25 or bids >= 30`,
+		`category = "scifi" or category = "fantasy" or category = "crime"`,
+		`format = "paperback" and price <= 60`,
+		`rating >= 4 and hours_left <= 24`,
+		`condition = "new" and discount >= 0`,
+		`signed = true or price <= 15`,
+		`category = "history" and (format = "hardcover" or format = "ebook")`,
+		`bids <= 2 and price <= 80`,
+	} {
+		s, err := subscription.New(uint64(diffSubs+i+1), fmt.Sprintf("broad%d", i+1),
+			subscription.MustParse(expr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.subs = append(w.subs, s)
+	}
+	w.events = gen.Events(1, diffEvents)
+	return w
+}
+
+// clone deep-copies a subscription so the three runs never share trees
+// (brokers may rewrite routing state in place).
+func (w *diffWorkload) clone(i int) *subscription.Subscription {
+	s := w.subs[i]
+	c, err := subscription.New(s.ID, s.Subscriber, s.Root.Clone())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// exactDeliveries runs the ground-truth oracle: every subscription local
+// to one broker, never pruned.
+func exactDeliveries(t *testing.T, w *diffWorkload) map[delivPair]bool {
+	t.Helper()
+	b, err := broker.New(broker.Config{ID: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.subs {
+		if _, err := b.SubscribeLocal(w.clone(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(map[delivPair]bool)
+	for _, m := range w.events {
+		b.MatchEntries(m, func(subID uint64, _ string) {
+			got[delivPair{sub: subID, msg: m.ID}] = true
+		})
+	}
+	return got
+}
+
+// simnetDeliveries runs the deterministic line-overlay oracle, returning
+// the delivery set and the count of publish-frame transmissions.
+func simnetDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair]bool, uint64) {
+	t.Helper()
+	brokers := make([]*broker.Broker, diffBrokers)
+	for i := range brokers {
+		b, err := broker.New(broker.Config{ID: fmt.Sprintf("sim%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		brokers[i] = b
+	}
+	net, err := simnet.NewLine(brokers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.subs {
+		if err := net.SubscribeAt(i%diffBrokers, w.clone(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prune {
+		for _, b := range brokers {
+			b.ExhaustPrunings()
+		}
+	}
+	got := make(map[delivPair]bool)
+	for i, m := range w.events {
+		dels, err := net.PublishAt(i%diffBrokers, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range dels {
+			got[delivPair{sub: d.SubID, msg: d.Msg.ID}] = true
+		}
+	}
+	return got, net.Traffic().PublishFrames
+}
+
+// networkDeliveries runs the same workload on a real loopback line overlay
+// of three servers connected by peer links, returning the delivery set
+// (sentinels filtered), whether any delivery arrived twice, and the count
+// of publish-frame transmissions (sentinel flushes included).
+func networkDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair]bool, bool, uint64) {
+	t.Helper()
+	var mu sync.Mutex
+	got := make(map[delivPair]bool)
+	dup := false
+	sentinels := make(map[int]int) // publisher broker index → sentinels seen
+	servers, shutdown, err := NewNetworkedLine(diffBrokers, Network, func(at int, d Delivery) {
+		mu.Lock()
+		defer mu.Unlock()
+		if d.Msg.ID >= diffSentinelBase {
+			sentinels[int(d.Msg.ID-diffSentinelBase)]++
+			return
+		}
+		if d.SubID >= diffSentinelBase {
+			return // workload event over-delivered to a sentinel: impossible (local subs are exact)
+		}
+		p := delivPair{sub: d.SubID, msg: d.Msg.ID}
+		if got[p] {
+			dup = true
+		}
+		got[p] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	// Register the workload plus one local flush sentinel per broker.
+	for i := range w.subs {
+		if _, err := servers[i%diffBrokers].Subscribe(w.clone(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j, s := range servers {
+		sent, err := subscription.New(diffSentinelBase+uint64(j), fmt.Sprintf("flush%d", j),
+			subscription.MustParse(`__flush exists`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Subscribe(sent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Subscription propagation must quiesce before events flow — an event
+	// racing its audience's subscribe frame would be dropped legitimately
+	// and break the oracle comparison.
+	local := make([]int, diffBrokers) // sentinel included
+	for j := range local {
+		local[j] = 1
+	}
+	for i := range w.subs {
+		local[i%diffBrokers]++
+	}
+	total := len(w.subs) + diffBrokers
+	waitForCond(t, 10*time.Second, func() bool {
+		for j, s := range servers {
+			if s.Stats().RemoteSubs != total-local[j] {
+				return false
+			}
+		}
+		return true
+	})
+
+	prunings := 0
+	if prune {
+		for _, s := range servers {
+			for {
+				n := s.Prune(1 << 20)
+				prunings += n
+				if n == 0 {
+					break
+				}
+			}
+		}
+		if prunings == 0 {
+			t.Fatal("pruned run performed no prunings; superset assertion would be vacuous")
+		}
+	}
+
+	// Publish round-robin, then one sentinel per broker. Per-link FIFO plus
+	// in-order readers mean a broker that has delivered publisher p's
+	// sentinel has already delivered everything p published before it.
+	for i, m := range w.events {
+		servers[i%diffBrokers].Publish(m)
+	}
+	for j, s := range servers {
+		s.Publish(event.Build(diffSentinelBase + uint64(j)).Int("__flush", 1).Msg())
+	}
+	waitForCond(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for j := 0; j < diffBrokers; j++ {
+			if sentinels[j] != diffBrokers {
+				return false
+			}
+		}
+		return true
+	})
+
+	var forwarded uint64
+	for _, s := range servers {
+		forwarded += s.Stats().Counters.EventsForwarded
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[delivPair]bool, len(got))
+	for p := range got {
+		out[p] = true
+	}
+	return out, dup, forwarded
+}
+
+func TestDifferentialNetworkedVsSimnetVsExact(t *testing.T) {
+	w := makeDiffWorkload(t)
+	exact := exactDeliveries(t, w)
+	if len(exact) == 0 {
+		t.Fatal("workload produced no matches; differential comparison is vacuous")
+	}
+
+	t.Run("pruning-off", func(t *testing.T) {
+		sim, simFrames := simnetDeliveries(t, w, false)
+		net, dup, netFrames := networkDeliveries(t, w, false)
+		if dup {
+			t.Error("networked overlay delivered a (subscription, event) pair twice")
+		}
+		assertSameDeliveries(t, "simnet", sim, exact)
+		assertSameDeliveries(t, "network", net, exact)
+		// Without pruning, routing is deterministic, so the real overlay
+		// must transmit exactly the simulated number of publish frames —
+		// plus the 3 sentinel flush events crossing 2 links each.
+		sentinelFrames := uint64(diffBrokers * (diffBrokers - 1))
+		if netFrames != simFrames+sentinelFrames {
+			t.Errorf("networked overlay forwarded %d publish frames, simnet %d (+%d sentinel) — traffic diverges",
+				netFrames, simFrames, sentinelFrames)
+		}
+		t.Logf("pruning off: %d deliveries, %d forwarded frames, all three runs identical", len(exact), simFrames)
+	})
+
+	t.Run("pruning-on", func(t *testing.T) {
+		sim, simFrames := simnetDeliveries(t, w, true)
+		net, _, netFrames := networkDeliveries(t, w, true)
+		missSim := missingFrom(sim, exact)
+		missNet := missingFrom(net, exact)
+		if len(missSim) > 0 {
+			t.Errorf("simnet pruning lost %d deliveries (first: %+v)", len(missSim), missSim[0])
+		}
+		if len(missNet) > 0 {
+			t.Errorf("networked pruning lost %d deliveries (first: %+v)", len(missNet), missNet[0])
+		}
+		// Deliveries stay exact because the subscription's home broker
+		// post-filters with the never-pruned tree; pruning's false positives
+		// surface as extra forwarded frames at inner brokers instead.
+		t.Logf("pruning on: deliveries exact=%d simnet=%d network=%d; forwarded frames simnet=%d network=%d",
+			len(exact), len(sim), len(net), simFrames, netFrames)
+	})
+}
+
+// assertSameDeliveries fails unless got and want are identical sets.
+func assertSameDeliveries(t *testing.T, name string, got, want map[delivPair]bool) {
+	t.Helper()
+	if miss := missingFrom(got, want); len(miss) > 0 {
+		t.Errorf("%s lost %d deliveries present in the exact oracle (first: %+v)", name, len(miss), miss[0])
+	}
+	if extra := missingFrom(want, got); len(extra) > 0 {
+		t.Errorf("%s delivered %d pairs the exact oracle does not (first: %+v)", name, len(extra), extra[0])
+	}
+}
+
+// missingFrom returns the pairs of want absent from got.
+func missingFrom(got, want map[delivPair]bool) []delivPair {
+	var miss []delivPair
+	for p := range want {
+		if !got[p] {
+			miss = append(miss, p)
+		}
+	}
+	return miss
+}
+
+// waitForCond polls cond until true or the deadline expires.
+func waitForCond(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -122,7 +122,9 @@ func (h *Handle) Dropped() uint64 {
 // the callback never runs after Unsubscribe returns. In channel mode the
 // channel is closed; notifications already buffered remain receivable
 // (channel semantics), so a consumer that must ignore them should stop
-// reading before unsubscribing. It is idempotent; calling it from a
+// reading before unsubscribing. It is idempotent: any call after the
+// handle retired — a repeat Unsubscribe, or an Unsubscribe after
+// Embedded.Close — is a no-op returning nil. Calling it from a
 // WithCallback callback deadlocks (the callback goroutine would wait on
 // itself).
 func (h *Handle) Unsubscribe() error {
@@ -131,9 +133,13 @@ func (h *Handle) Unsubscribe() error {
 
 // retire tears the handle down. discard controls whether queued items are
 // delivered (Close) or dropped (Unsubscribe); unregister removes the
-// subscription from the engine and its routing table.
+// subscription from the engine and its routing table. Only the invocation
+// that performs the retirement sees its error; later calls no-op and
+// return nil.
 func (h *Handle) retire(discard, unregister bool) error {
+	ran := false
 	h.retireOnce.Do(func() {
+		ran = true
 		if unregister {
 			h.retireErr = h.e.forget(h.id)
 		}
@@ -145,6 +151,9 @@ func (h *Handle) retire(discard, unregister bool) error {
 			<-h.drainDone
 		}
 	})
+	if !ran {
+		return nil
+	}
 	return h.retireErr
 }
 

@@ -26,12 +26,14 @@ type book struct {
 	basePrice float64
 }
 
-// catalog is the deterministic synthetic book universe.
+// catalog is the deterministic synthetic book universe. Popularity pickers
+// over the catalog live with their consumers (Generator): the event and
+// subscription streams each own one, bound to their own RNG, so consuming
+// more of one stream never perturbs the other.
 type catalog struct {
 	books      []book
 	authors    []string
 	categories []string
-	titlePick  *dist.Zipf // popularity over books
 }
 
 var categoryNames = []string{
@@ -56,10 +58,11 @@ var titleNouns = []string{
 }
 
 // newCatalog builds a catalog of nBooks titles by nAuthors authors across
-// nCategories categories, with popularity skews for title selection and for
-// assigning books to authors/categories (popular authors write more of the
-// popular books).
-func newCatalog(r *dist.RNG, nBooks, nAuthors, nCategories int, titleSkew, authorSkew, categorySkew float64) (*catalog, error) {
+// nCategories categories, with popularity skews for assigning books to
+// authors and categories (popular authors write more of the popular
+// books). Title-popularity skew belongs to the per-stream pickers the
+// Generator owns, not to catalog construction.
+func newCatalog(r *dist.RNG, nBooks, nAuthors, nCategories int, authorSkew, categorySkew float64) (*catalog, error) {
 	if nBooks < 1 || nAuthors < 1 || nCategories < 1 {
 		return nil, fmt.Errorf("auction: catalog sizes must be positive (books=%d authors=%d categories=%d)",
 			nBooks, nAuthors, nCategories)
@@ -91,10 +94,6 @@ func newCatalog(r *dist.RNG, nBooks, nAuthors, nCategories int, titleSkew, autho
 			basePrice: r.Exponential(18, 400) + 2, // long-tailed, >= 2
 		}
 	}
-	c.titlePick, err = dist.NewZipf(r, titleSkew, nBooks)
-	if err != nil {
-		return nil, err
-	}
 	return c, nil
 }
 
@@ -110,14 +109,6 @@ func authorName(i int) string {
 	return "Author-" + strconv.Itoa(i)
 }
 
-// pickBook draws a book with Zipf-distributed popularity.
-func (c *catalog) pickBook() *book {
-	return &c.books[c.titlePick.Draw()]
-}
-
 // bookAt returns the catalog entry at a rank (for subscriptions interested
 // in specific, popularity-weighted titles).
 func (c *catalog) bookAt(rank int) *book { return &c.books[rank] }
-
-// pickRank draws a popularity-weighted book rank.
-func (c *catalog) pickRank() int { return c.titlePick.Draw() }

@@ -72,13 +72,17 @@ var formats = []string{"hardcover", "paperback", "ebook", "audiobook"}
 var conditions = []string{"new", "likenew", "good", "acceptable"}
 
 // Generator produces auction events and subscriptions. Events and
-// subscriptions use independent random streams, so consuming more of one
-// does not perturb the other. Not safe for concurrent use.
+// subscriptions use independent random streams — each owns its RNG and
+// its own book-popularity picker — so consuming more of one does not
+// perturb the other (property-tested by the golden-seed tests). Not safe
+// for concurrent use.
 type Generator struct {
 	cfg     Config
 	catalog *catalog
 	evRNG   *dist.RNG
 	subRNG  *dist.RNG
+	evPick  *dist.Zipf // event-stream popularity over books
+	subPick *dist.Zipf // subscription-stream popularity over books
 }
 
 // NewGenerator builds a generator.
@@ -90,17 +94,31 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	root := dist.New(cfg.Seed)
 	catRNG := root.Split()
 	c, err := newCatalog(catRNG, cfg.Books, cfg.Authors, cfg.Categories,
-		cfg.TitleSkew, cfg.AuthorSkew, cfg.CategorySkew)
+		cfg.AuthorSkew, cfg.CategorySkew)
 	if err != nil {
 		return nil, err
 	}
-	return &Generator{
+	g := &Generator{
 		cfg:     cfg,
 		catalog: c,
 		evRNG:   root.Split(),
 		subRNG:  root.Split(),
-	}, nil
+	}
+	if g.evPick, err = dist.NewZipf(g.evRNG, cfg.TitleSkew, len(c.books)); err != nil {
+		return nil, err
+	}
+	if g.subPick, err = dist.NewZipf(g.subRNG, cfg.TitleSkew, len(c.books)); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
+
+// pickBook draws a book for the event stream.
+func (g *Generator) pickBook() *book { return g.catalog.bookAt(g.evPick.Draw()) }
+
+// pickRank draws a popularity-weighted book rank for the subscription
+// stream.
+func (g *Generator) pickRank() int { return g.subPick.Draw() }
 
 // Event generates the next auction event message: a listing/bid snapshot
 // for a popularity-weighted book. Listings usually price at or above the
@@ -110,7 +128,7 @@ func NewGenerator(cfg Config) (*Generator, error) {
 // increases are visible.
 func (g *Generator) Event(id uint64) *event.Message {
 	r := g.evRNG
-	b := g.catalog.pickBook()
+	b := g.pickBook()
 	mult := r.Range(0.85, 2.5)
 	price := b.basePrice * mult
 	bids := int64(r.Exponential(4, 50))
@@ -192,7 +210,7 @@ func (g *Generator) OfClass(c Class, id uint64, subscriber string) (*subscriptio
 // or below the book's base price.
 func (g *Generator) titleWatcher() *subscription.Node {
 	r := g.subRNG
-	b := g.catalog.bookAt(g.catalog.pickRank())
+	b := g.catalog.bookAt(g.pickRank())
 	limit := b.basePrice * r.Range(0.5, 1.1)
 	children := []*subscription.Node{
 		subscription.Eq("title", event.String(b.title)),
@@ -215,10 +233,10 @@ func (g *Generator) titleWatcher() *subscription.Node {
 // R [∧ bids <= B].
 func (g *Generator) categoryHunter() *subscription.Node {
 	r := g.subRNG
-	first := g.catalog.bookAt(g.catalog.pickRank()).category
+	first := g.catalog.bookAt(g.pickRank()).category
 	var catNode *subscription.Node
 	if r.Bool(0.4) {
-		second := g.catalog.bookAt(g.catalog.pickRank()).category
+		second := g.catalog.bookAt(g.pickRank()).category
 		for second == first {
 			second = g.catalog.categories[r.Intn(len(g.catalog.categories))]
 		}

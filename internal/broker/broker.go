@@ -147,10 +147,15 @@ type Broker struct {
 	id string
 
 	// mu separates the planes: routing takes RLock, table mutation takes
-	// Lock. links only grows before traffic starts (acyclic overlays are
-	// wired up front), so reading it under RLock is stable.
+	// Lock. links only grows (AddLink) and dead flags only flip once
+	// (DropLink), both under the exclusive lock; link IDs are never reused,
+	// so a reconnecting peer attaches as a fresh link.
 	mu    sync.RWMutex
 	links int
+	dead  []bool   // dead[l]: link l dropped; no frames accepted or emitted
+	live  []LinkID // live links in ascending order — the forwarding set.
+	// Reconnect churn allocates a fresh ID per link, so control forwarding
+	// iterates live rather than every ID ever issued.
 
 	table   *filter.Engine
 	model   *selectivity.Model
@@ -204,14 +209,85 @@ func (b *Broker) ID() string { return b.id }
 // Model returns the broker's selectivity model (shared with the pruner).
 func (b *Broker) Model() *selectivity.Model { return b.model }
 
-// AddLink registers a neighbor connection and returns its LinkID. Topology
-// is fixed before traffic starts (acyclic overlays per §2.1).
+// AddLink registers a neighbor connection and returns its LinkID. Links
+// may be added at any time (peers join and rejoin a running overlay); a
+// new link learns the existing routing state via SyncFrames.
 func (b *Broker) AddLink() LinkID {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	id := LinkID(b.links)
 	b.links++
+	b.dead = append(b.dead, false)
+	b.live = append(b.live, id)
 	return id
+}
+
+// DropLink retires a neighbor link: the link is marked dead (no further
+// frames are accepted from or emitted to it) and every routing entry that
+// originated on it is removed from the filtering table and the pruning
+// engine, exactly as if those subscribers had unsubscribed. The returned
+// frames forward the retractions to the remaining live links; the count
+// is the number of entries removed. Dropping an unknown or already dead
+// link is a no-op. Link IDs are never reused — a reconnecting peer
+// attaches as a fresh link and is brought up to date via SyncFrames.
+func (b *Broker) DropLink(l LinkID) ([]Outgoing, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if l < 0 || int(l) >= b.links || b.dead[l] {
+		return nil, 0
+	}
+	b.dead[l] = true
+	for i, ll := range b.live {
+		if ll == l {
+			b.live = append(b.live[:i], b.live[i+1:]...)
+			break
+		}
+	}
+	ids := make([]uint64, 0, 16)
+	for id, ent := range b.entries {
+		if ent.origin == l {
+			ids = append(ids, id)
+		}
+	}
+	sortIDs(ids) // deterministic retraction order
+	var out []Outgoing
+	for _, id := range ids {
+		b.table.Unregister(id)
+		b.pruner.Unregister(id)
+		delete(b.entries, id)
+		out = append(out, b.forwardControl(wire.UnsubscribeFrame(id), l)...)
+	}
+	return out, len(ids)
+}
+
+// SyncFrames returns the subscribe frames that bring a newly attached
+// neighbor up to date: one per routing entry this broker would have
+// forwarded to it — every entry not originated on that link — carrying
+// the entry's original (never pruned) tree, in ascending ID order.
+// Transports send them right after a peer link is (re)established; this
+// is what makes reconnects converge, since the peer dropped this broker's
+// entries when the old link died.
+func (b *Broker) SyncFrames(to LinkID) ([]Outgoing, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if err := b.checkLink(to); err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, 0, len(b.entries))
+	for id, ent := range b.entries {
+		if ent.origin != to {
+			ids = append(ids, id)
+		}
+	}
+	sortIDs(ids)
+	out := make([]Outgoing, 0, len(ids))
+	for _, id := range ids {
+		f := wire.SubscribeFrame(b.entries[id].original)
+		out = append(out, Outgoing{Link: to, Frame: f})
+		b.counters.ControlSent.Add(1)
+		b.counters.BytesSent.Add(uint64(wire.FrameSize(f)))
+	}
+	return out, nil
 }
 
 // NumLinks returns the number of neighbor links.
@@ -242,8 +318,32 @@ func (b *Broker) HandleSubscribe(from LinkID, s *subscription.Subscription) ([]O
 
 // addSubscription mutates the routing table; callers hold the write lock.
 func (b *Broker) addSubscription(s *subscription.Subscription, origin LinkID) ([]Outgoing, error) {
-	if _, dup := b.entries[s.ID]; dup {
-		return nil, fmt.Errorf("broker %s: subscription %d already present", b.id, s.ID)
+	if prev, dup := b.entries[s.ID]; dup {
+		if prev.origin == LocalLink && origin != LocalLink &&
+			prev.original.Subscriber == s.Subscriber && prev.original.Root.Equal(s.Root) {
+			// Our own local entry echoed back by a neighbor — a reconnect
+			// resync can replay entries it learned from us before it
+			// finished dropping our dead link. Keep the local original.
+			return nil, nil
+		}
+		if origin == LocalLink || prev.origin == LocalLink {
+			// Local duplicates are API misuse; a remote frame claiming a
+			// local entry's ID with different content is an ID-namespace
+			// violation. Neither is the overlay's to repair.
+			return nil, fmt.Errorf("broker %s: subscription %d already present", b.id, s.ID)
+		}
+		// Duplicate from the network path: an overlay resync (a peer that
+		// reconnected replays its table, possibly racing this broker's own
+		// cleanup of the dead link). An identical entry is a no-op; anything
+		// else replaces the old entry, so the overlay converges instead of
+		// dropping the link on a protocol error.
+		if prev.origin == origin && prev.original.Subscriber == s.Subscriber &&
+			prev.original.Root.Equal(s.Root) {
+			return nil, nil
+		}
+		b.table.Unregister(s.ID)
+		b.pruner.Unregister(s.ID)
+		delete(b.entries, s.ID)
 	}
 	if err := b.table.Register(s); err != nil {
 		return nil, fmt.Errorf("broker %s: %w", b.id, err)
@@ -282,9 +382,26 @@ func (b *Broker) HandleUnsubscribe(from LinkID, id uint64) ([]Outgoing, error) {
 func (b *Broker) removeSubscription(id uint64, origin LinkID) ([]Outgoing, error) {
 	ent, ok := b.entries[id]
 	if !ok {
+		if origin != LocalLink {
+			// Network path: a retraction for an entry this broker never
+			// held is overlay-churn noise — e.g. dispatched to a peer link
+			// attached moments before its state replay. In a tree the
+			// entry could only have reached downstream through this
+			// broker, so there is nothing to forward either; converge
+			// with a no-op instead of dropping the link.
+			return nil, nil
+		}
 		return nil, fmt.Errorf("broker %s: unknown subscription %d", b.id, id)
 	}
 	if ent.origin != origin {
+		if origin != LocalLink {
+			// Stale network retraction: either the entry re-homed to
+			// another link (replace semantics during a resync), or a
+			// neighbor is flushing entries it learned from us over a link
+			// that died (our local entry, still live here). The current
+			// owner's state wins; drop the frame, not the link.
+			return nil, nil
+		}
 		return nil, fmt.Errorf("broker %s: unsubscribe for %d from link %d, registered via %d",
 			b.id, id, origin, ent.origin)
 	}
@@ -296,13 +413,14 @@ func (b *Broker) removeSubscription(id uint64, origin LinkID) ([]Outgoing, error
 	return b.forwardControl(wire.UnsubscribeFrame(id), origin), nil
 }
 
-// forwardControl emits a control frame on every link except the origin.
+// forwardControl emits a control frame on every live link except the
+// origin.
 func (b *Broker) forwardControl(f wire.Frame, except LinkID) []Outgoing {
-	if b.links == 0 {
+	if len(b.live) == 0 {
 		return nil
 	}
-	out := make([]Outgoing, 0, b.links)
-	for l := LinkID(0); l < LinkID(b.links); l++ {
+	out := make([]Outgoing, 0, len(b.live))
+	for _, l := range b.live {
 		if l == except {
 			continue
 		}
@@ -371,8 +489,12 @@ func (b *Broker) route(m *event.Message, arrived LinkID) ([]Outgoing, []Delivery
 		rb.matchLinks = make([]bool, b.links)
 	}
 	rb.matchLinks = rb.matchLinks[:b.links]
-	for i := range rb.matchLinks {
-		rb.matchLinks[i] = false
+	// Clear only the live positions: a dead position can hold a stale
+	// flag, but the emit loop below never reads one, and link IDs are
+	// never reused — so the per-event cost stays O(live links) no matter
+	// how many IDs reconnect churn has burned through.
+	for _, l := range b.live {
+		rb.matchLinks[l] = false
 	}
 	rb.deliveries = rb.deliveries[:0]
 
@@ -406,10 +528,10 @@ func (b *Broker) route(m *event.Message, arrived LinkID) ([]Outgoing, []Delivery
 	b.counters.Deliveries.Add(uint64(len(rb.deliveries)))
 
 	var out []Outgoing
-	if b.links > 0 {
+	if len(b.live) > 0 {
 		f := wire.PublishFrame(m)
 		size := uint64(wire.FrameSize(f))
-		for l := LinkID(0); l < LinkID(b.links); l++ {
+		for _, l := range b.live {
 			if rb.matchLinks[l] {
 				out = append(out, Outgoing{Link: l, Frame: f})
 				b.counters.EventsForwarded.Add(1)
@@ -521,6 +643,9 @@ func (b *Broker) HandleFrame(from LinkID, f wire.Frame) ([]Outgoing, []Delivery,
 func (b *Broker) checkLink(l LinkID) error {
 	if l < 0 || int(l) >= b.links {
 		return fmt.Errorf("broker %s: invalid link %d (have %d)", b.id, l, b.links)
+	}
+	if b.dead[l] {
+		return fmt.Errorf("broker %s: link %d is dead", b.id, l)
 	}
 	return nil
 }

@@ -1,0 +1,257 @@
+package broker
+
+import (
+	"testing"
+
+	"dimprune/internal/event"
+	"dimprune/internal/wire"
+)
+
+func TestDropLinkRemovesEntriesAndForwardsRetractions(t *testing.T) {
+	b := newBroker(t, "b0")
+	l0 := b.AddLink()
+	l1 := b.AddLink()
+	if _, err := b.HandleSubscribe(l0, mustSub(t, 1, "r0", `x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(l0, mustSub(t, 2, "r0", `x = 2 and y = 3`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(l1, mustSub(t, 3, "r1", `z = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubscribeLocal(mustSub(t, 4, "alice", `x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+
+	out, removed := b.DropLink(l0)
+	if removed != 2 {
+		t.Fatalf("DropLink removed %d entries, want 2", removed)
+	}
+	// Retractions for 1 and 2 forwarded to l1 only, in ascending ID order.
+	if len(out) != 2 {
+		t.Fatalf("DropLink emitted %d frames, want 2: %+v", len(out), out)
+	}
+	for i, o := range out {
+		if o.Link != l1 || o.Frame.Type != wire.FrameUnsubscribe || o.Frame.SubID != uint64(i+1) {
+			t.Errorf("frame %d = link %d %s sub %d", i, o.Link, o.Frame.Type, o.Frame.SubID)
+		}
+	}
+	st := b.Stats()
+	if st.RemoteSubs != 1 || st.LocalSubs != 1 {
+		t.Errorf("after drop: remote=%d local=%d, want 1/1", st.RemoteSubs, st.LocalSubs)
+	}
+
+	// The dead link no longer receives or contributes traffic.
+	_, dels := b.PublishLocal(event.Build(1).Int("x", 1).Msg())
+	if len(dels) != 1 || dels[0].Subscriber != "alice" {
+		t.Errorf("deliveries after drop = %+v", dels)
+	}
+	if _, err := b.HandleSubscribe(l0, mustSub(t, 9, "ghost", `a = 1`)); err == nil {
+		t.Error("subscribe from dead link accepted")
+	}
+	if _, _, err := b.HandlePublish(l0, event.Build(2).Int("x", 1).Msg()); err == nil {
+		t.Error("publish from dead link accepted")
+	}
+	// Control frames skip the dead link.
+	fwd, err := b.SubscribeLocal(mustSub(t, 5, "bob", `q = 1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fwd) != 1 || fwd[0].Link != l1 {
+		t.Errorf("local subscribe forwarded to %+v, want only link %d", fwd, l1)
+	}
+
+	// Idempotent: a second drop is a no-op.
+	if out, removed := b.DropLink(l0); removed != 0 || out != nil {
+		t.Errorf("second DropLink = %v, %d", out, removed)
+	}
+	// Out-of-range links are no-ops too.
+	if _, removed := b.DropLink(99); removed != 0 {
+		t.Error("dropping unknown link removed entries")
+	}
+}
+
+func TestSyncFramesReplaysOtherOrigins(t *testing.T) {
+	b := newBroker(t, "b0")
+	l0 := b.AddLink()
+	if _, err := b.SubscribeLocal(mustSub(t, 1, "alice", `a = 1 and b = 2`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(l0, mustSub(t, 2, "r0", `c = 3`)); err != nil {
+		t.Fatal(err)
+	}
+	// Prune the non-local entry so the table tree diverges from the
+	// original; sync must still carry the original.
+	if _, err := b.HandleSubscribe(l0, mustSub(t, 3, "r0", `d = 4 and e = 5`)); err != nil {
+		t.Fatal(err)
+	}
+	b.ExhaustPrunings()
+
+	// A freshly attached link learns every entry not originating on it.
+	l1 := b.AddLink()
+	out, err := b.SyncFrames(l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("SyncFrames emitted %d frames, want 3", len(out))
+	}
+	for i, o := range out {
+		if o.Link != l1 || o.Frame.Type != wire.FrameSubscribe {
+			t.Fatalf("frame %d = link %d %s", i, o.Link, o.Frame.Type)
+		}
+		if o.Frame.Sub.ID != uint64(i+1) {
+			t.Errorf("frame %d carries sub %d, want %d (ascending IDs)", i, o.Frame.Sub.ID, i+1)
+		}
+	}
+	// Entry 3 was pruned in the table, but the sync carries its original.
+	if got := out[2].Frame.Sub.Root.String(); got != mustSub(t, 3, "r0", `d = 4 and e = 5`).Root.String() {
+		t.Errorf("sync frame for pruned entry carries %q, want the original tree", got)
+	}
+
+	// Syncing toward l0 excludes l0's own entries.
+	out, err = b.SyncFrames(l0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Frame.Sub.ID != 1 {
+		t.Errorf("SyncFrames(l0) = %+v, want only the local entry", out)
+	}
+
+	// Dead and unknown targets are errors.
+	b.DropLink(l0)
+	if _, err := b.SyncFrames(l0); err == nil {
+		t.Error("SyncFrames to dead link succeeded")
+	}
+	if _, err := b.SyncFrames(42); err == nil {
+		t.Error("SyncFrames to unknown link succeeded")
+	}
+}
+
+func TestDuplicateSubscribeFromNetworkConverges(t *testing.T) {
+	b := newBroker(t, "b0")
+	l0 := b.AddLink()
+	l1 := b.AddLink()
+	s := mustSub(t, 1, "r0", `x = 1`)
+	if _, err := b.HandleSubscribe(l0, s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical resend (resync replay): no-op, nothing forwarded.
+	out, err := b.HandleSubscribe(l0, mustSub(t, 1, "r0", `x = 1`))
+	if err != nil {
+		t.Fatalf("identical duplicate rejected: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("identical duplicate forwarded %d frames", len(out))
+	}
+	if st := b.Stats(); st.RemoteSubs != 1 {
+		t.Errorf("RemoteSubs = %d after duplicate", st.RemoteSubs)
+	}
+
+	// Same ID from a different link (peer moved): replace, forward.
+	out, err = b.HandleSubscribe(l1, mustSub(t, 1, "r0", `x = 1`))
+	if err != nil {
+		t.Fatalf("origin change rejected: %v", err)
+	}
+	if len(out) != 1 || out[0].Link != l0 {
+		t.Errorf("replacement forwarded %+v, want only link %d", out, l0)
+	}
+	// Routing follows the new origin: an event matching x=1 arriving on l0
+	// now forwards to l1.
+	fwd, _, err := b.HandlePublish(l0, event.Build(1).Int("x", 1).Msg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fwd) != 1 || fwd[0].Link != l1 {
+		t.Errorf("event routed to %+v, want link %d", fwd, l1)
+	}
+
+	// Changed tree under the same ID and link: replace in place.
+	if _, err := b.HandleSubscribe(l1, mustSub(t, 1, "r0", `x = 2`)); err != nil {
+		t.Fatal(err)
+	}
+	cur, _, ok := b.CurrentEntry(1)
+	if !ok || cur.Root.String() != mustSub(t, 1, "r0", `x = 2`).Root.String() {
+		t.Errorf("replacement tree not installed: %v", cur)
+	}
+
+	// Local collisions stay errors in both directions…
+	if _, err := b.SubscribeLocal(mustSub(t, 1, "alice", `y = 1`)); err == nil {
+		t.Error("local subscribe clobbered a network entry")
+	}
+	if _, err := b.SubscribeLocal(mustSub(t, 2, "alice", `y = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(l0, mustSub(t, 2, "r0", `y = 2`)); err == nil {
+		t.Error("network subscribe clobbered a local entry")
+	}
+	// …except an identical echo of our own local entry (a resyncing peer
+	// replaying state it learned from us): no-op, nothing forwarded.
+	out, err = b.HandleSubscribe(l0, mustSub(t, 2, "alice", `y = 1`))
+	if err != nil {
+		t.Fatalf("echoed local entry rejected: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("echoed local entry forwarded %d frames", len(out))
+	}
+	if cur, _, ok := b.CurrentEntry(2); !ok || cur == nil {
+		t.Error("echo handling disturbed the local entry")
+	}
+}
+
+func TestNetworkRetractionToleratesChurnNoise(t *testing.T) {
+	b := newBroker(t, "b0")
+	l0 := b.AddLink()
+	l1 := b.AddLink()
+
+	// Unknown retraction from the network: no-op, nothing forwarded — a
+	// peer attached moments before its state replay can legitimately see
+	// one.
+	out, err := b.HandleUnsubscribe(l0, 77)
+	if err != nil {
+		t.Fatalf("unknown network retraction errored: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("unknown retraction forwarded %d frames", len(out))
+	}
+
+	// Stale retraction from a link the entry moved away from: no-op.
+	if _, err := b.HandleSubscribe(l0, mustSub(t, 1, "r", `x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(l1, mustSub(t, 1, "r", `x = 1`)); err != nil {
+		t.Fatal(err) // replace: origin moves to l1
+	}
+	if _, err := b.HandleUnsubscribe(l0, 1); err != nil {
+		t.Fatalf("stale-origin retraction errored: %v", err)
+	}
+	if st := b.Stats(); st.RemoteSubs != 1 {
+		t.Errorf("stale retraction removed the re-homed entry: %d remote subs", st.RemoteSubs)
+	}
+	// The current origin's retraction still works.
+	if _, err := b.HandleUnsubscribe(l1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.RemoteSubs != 0 {
+		t.Errorf("RemoteSubs = %d after retraction", st.RemoteSubs)
+	}
+
+	// Local misuse stays loud.
+	if _, err := b.UnsubscribeLocal(99); err == nil {
+		t.Error("unknown local unsubscribe accepted")
+	}
+	// A neighbor flushing entries it learned from us (reconnect cleanup
+	// racing the new link) retracts our local entry: drop the frame, keep
+	// the entry, keep the link.
+	if _, err := b.SubscribeLocal(mustSub(t, 2, "alice", `y = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleUnsubscribe(l0, 2); err != nil {
+		t.Errorf("stale network retraction of a local entry errored: %v", err)
+	}
+	if st := b.Stats(); st.LocalSubs != 1 {
+		t.Errorf("stale network retraction removed the local entry: %d local subs", st.LocalSubs)
+	}
+}

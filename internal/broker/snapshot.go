@@ -61,9 +61,16 @@ func (b *Broker) WriteSnapshot(w io.Writer) error {
 }
 
 // ReadSnapshot loads a snapshot into a freshly constructed broker. The
-// broker must have no subscriptions yet; links must already be added (the
-// snapshot references link IDs). Pruning state (anchors and applied
-// prunings) is reconstructed exactly.
+// broker must have no subscriptions yet; static links must already be
+// added (the snapshot references link IDs). Pruning state (anchors and
+// applied prunings) is reconstructed exactly.
+//
+// Entries whose origin link is not attached (or is dead) are skipped, not
+// errors: a broker that snapshots while holding entries learned over
+// managed peer links persists origins that do not exist on restart, and
+// those entries are redundant anyway — the peer replays them through the
+// reconnect resync. The operator-visible signal is the restored local/
+// remote counts (brokerd logs them after a restore).
 func (b *Broker) ReadSnapshot(r io.Reader) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -104,10 +111,8 @@ func (b *Broker) ReadSnapshot(r io.Reader) error {
 		}
 		data = data[n:]
 
-		if origin != LocalLink {
-			if err := b.checkLink(origin); err != nil {
-				return fmt.Errorf("%w: entry %d: %v", ErrBadSnapshot, i, err)
-			}
+		if origin != LocalLink && b.checkLink(origin) != nil {
+			continue // origin not attached on this run: the peer resyncs it
 		}
 		if original.ID != current.ID {
 			return fmt.Errorf("%w: entry %d: ID mismatch %d vs %d",

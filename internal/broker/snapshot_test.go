@@ -156,9 +156,20 @@ func TestSnapshotErrors(t *testing.T) {
 		t.Error("restore into non-empty broker accepted")
 	}
 
-	// Too few links for the snapshot's origins.
-	if err := fresh(1).ReadSnapshot(bytes.NewReader(snap)); err == nil {
-		t.Error("snapshot with out-of-range link accepted")
+	// Too few links for the snapshot's origins: entries from the missing
+	// link are skipped (a managed peer link resyncs them on reconnect),
+	// the rest restore.
+	short := fresh(1)
+	if err := short.ReadSnapshot(bytes.NewReader(snap)); err != nil {
+		t.Errorf("restore with missing origin link failed: %v", err)
+	}
+	full := fresh(2)
+	if err := full.ReadSnapshot(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	if s, f := short.Stats(), full.Stats(); s.LocalSubs != f.LocalSubs || s.RemoteSubs >= f.RemoteSubs {
+		t.Errorf("skip semantics off: short local=%d remote=%d vs full local=%d remote=%d",
+			s.LocalSubs, s.RemoteSubs, f.LocalSubs, f.RemoteSubs)
 	}
 
 	// Corrupt magic.

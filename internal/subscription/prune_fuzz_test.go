@@ -1,0 +1,69 @@
+package subscription
+
+import (
+	"testing"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+)
+
+// FuzzPruneSuperset checks the paper's safety invariant on random trees
+// and events: every pruning step removes a conjunct, so the pruned tree's
+// match set must be a superset of the tree it was pruned from (and, by
+// induction, of the original's) — a pruning that loses a match would turn
+// routing false positives into lost deliveries. Run longer with:
+// go test -fuzz=FuzzPruneSuperset ./internal/subscription
+func FuzzPruneSuperset(f *testing.F) {
+	f.Add(uint64(1), uint8(1))
+	f.Add(uint64(2), uint8(4))
+	f.Add(uint64(2026), uint8(16))
+	f.Add(uint64(0xdeadbeef), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, steps uint8) {
+		r := dist.New(seed)
+		original := randomTree(r, 3)
+		if err := original.Validate(); err != nil {
+			t.Fatalf("randomTree produced invalid tree: %v", err)
+		}
+		const nMsgs = 32
+		msgs := make([]*testMsg, nMsgs)
+		for i := range msgs {
+			m := randomMessage(r, uint64(i+1))
+			msgs[i] = &testMsg{m: m, matched: original.Matches(m)}
+		}
+
+		current := original
+		for step := 0; step < int(steps); step++ {
+			cands := Candidates(current, nil)
+			if len(cands) == 0 {
+				break
+			}
+			target := cands[r.Intn(len(cands))]
+			pruned := PruneAt(current, target)
+			if pruned == nil {
+				t.Fatalf("step %d: PruneAt rejected a candidate of its own tree:\n%s", step, current)
+			}
+			if err := pruned.Validate(); err != nil {
+				t.Fatalf("step %d: pruning produced invalid tree: %v\nfrom: %s\nto:   %s",
+					step, err, current, pruned)
+			}
+			for _, tm := range msgs {
+				got := pruned.Matches(tm.m)
+				if tm.matched && !got {
+					t.Fatalf("step %d lost a match of the original tree:\noriginal: %s\npruned:   %s\nevent:    %s",
+						step, original, pruned, tm.m)
+				}
+				if current.Matches(tm.m) && !got {
+					t.Fatalf("step %d lost a match of its immediate predecessor:\nfrom:  %s\nto:    %s\nevent: %s",
+						step, current, pruned, tm.m)
+				}
+			}
+			current = pruned
+		}
+	})
+}
+
+// testMsg pairs a random message with the original tree's verdict.
+type testMsg struct {
+	m       *event.Message
+	matched bool
+}

@@ -281,16 +281,23 @@ func (h *Handle) Dropped() uint64 { return h.q.Dropped() }
 // demultiplexer. In callback mode the queued backlog is discarded and a
 // pending callback invocation has completed before Unsubscribe returns;
 // in channel mode the channel closes, with already-buffered events
-// remaining receivable (channel semantics). Idempotent; must not be
-// called from the handle's own callback.
+// remaining receivable (channel semantics). Idempotent: any call after
+// the handle retired — a repeat Unsubscribe, or an Unsubscribe after the
+// session ended — is a no-op returning nil. Must not be called from the
+// handle's own callback.
 func (h *Handle) Unsubscribe() error {
+	ran := false
 	h.retireOnce.Do(func() {
+		ran = true
 		h.c.mu.Lock()
 		delete(h.c.handles, h.id)
 		h.c.mu.Unlock()
 		h.retireErr = h.c.conn.Send(wire.UnsubscribeFrame(h.id))
 		h.shutdown(true)
 	})
+	if !ran {
+		return nil
+	}
 	return h.retireErr
 }
 

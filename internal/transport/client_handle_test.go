@@ -245,3 +245,33 @@ func TestClientMixedLegacyAndHandleOverlap(t *testing.T) {
 		t.Fatal("legacy channel starved by overlapping handle match")
 	}
 }
+
+func TestClientHandleUnsubscribeIdempotent(t *testing.T) {
+	srv, c := handleTestServer(t, "ida")
+	h, err := c.SubscribeExpr(`x = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+	if err := h.Unsubscribe(); err != nil {
+		t.Fatalf("first Unsubscribe: %v", err)
+	}
+	if err := h.Unsubscribe(); err != nil {
+		t.Fatalf("second Unsubscribe: %v", err)
+	}
+	waitLocalSubs(t, srv, 0)
+
+	// After the session ends, unsubscribing an already-retired handle is
+	// still a nil no-op — even though the connection is gone.
+	h2, err := c.SubscribeExpr(`y = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Unsubscribe(); err != nil {
+		t.Errorf("Unsubscribe after session close = %v, want nil", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"dimprune/internal/broker"
 	"dimprune/internal/event"
@@ -39,8 +40,20 @@ type Server struct {
 	links   map[broker.LinkID]*peerConn
 	clients map[string]*peerConn
 
+	// Overlay membership for the connect-time acyclicity check: the broker
+	// IDs known to be in this broker's component (own ID included), and the
+	// IDs learned through each peer link, removed when that link dies. See
+	// peerlink.go.
+	members     map[string]struct{}
+	linkMembers map[broker.LinkID][]string
+	peers       []*Peer
+	// pending holds accepted connections whose first frame has not arrived
+	// yet (pre-handshake); Shutdown closes them so their readers unblock.
+	pending map[Conn]struct{}
+
 	listener  net.Listener
 	onDeliver func(broker.Delivery)
+	logf      func(format string, args ...any)
 
 	closed bool
 	wg     sync.WaitGroup
@@ -50,6 +63,9 @@ type Server struct {
 type peerConn struct {
 	conn Conn
 	out  *outbox
+	// onDown, if set, runs after the connection's reader exits and the link
+	// is detached — the reconnect trigger of a dialed peer link.
+	onDown func()
 }
 
 // NewServer wraps a broker. onDeliver (optional) receives notifications for
@@ -57,10 +73,24 @@ type peerConn struct {
 // concurrently from publishing goroutines.
 func NewServer(b *broker.Broker, onDeliver func(broker.Delivery)) *Server {
 	return &Server{
-		b:         b,
-		links:     make(map[broker.LinkID]*peerConn),
-		clients:   make(map[string]*peerConn),
-		onDeliver: onDeliver,
+		b:           b,
+		links:       make(map[broker.LinkID]*peerConn),
+		clients:     make(map[string]*peerConn),
+		members:     map[string]struct{}{b.ID(): {}},
+		linkMembers: make(map[broker.LinkID][]string),
+		pending:     make(map[Conn]struct{}),
+		onDeliver:   onDeliver,
+	}
+}
+
+// SetLogf installs an optional diagnostic logger for peer-link lifecycle
+// events (connect, loss, reconnect, rejection). Call before traffic starts.
+func (s *Server) SetLogf(logf func(format string, args ...any)) { s.logf = logf }
+
+// logPeer logs a peer lifecycle event when a logger is installed.
+func (s *Server) logPeer(format string, args ...any) {
+	if s.logf != nil {
+		s.logf(format, args...)
 	}
 }
 
@@ -68,21 +98,195 @@ func NewServer(b *broker.Broker, onDeliver func(broker.Delivery)) *Server {
 // concurrent use.
 func (s *Server) Broker() *broker.Broker { return s.b }
 
-// AttachLink registers conn as a neighbor-broker connection and starts its
-// reader. The returned LinkID is stable for the server's lifetime.
+// AttachLink registers conn as a neighbor-broker connection (no peer
+// handshake — the caller vouches for the topology) and starts its reader.
+// The returned LinkID is stable for the server's lifetime. When the
+// connection dies, the link's routing entries are dropped and the
+// retractions forwarded (see detachLink).
 func (s *Server) AttachLink(conn Conn) (broker.LinkID, error) {
+	return s.attachLink(conn, nil, nil, nil)
+}
+
+// recvResult is one connection read handed from the listener's
+// first-frame classifier to the attached link's reader.
+type recvResult struct {
+	f   wire.Frame
+	err error
+}
+
+// attachLink registers a link connection: hello (optional) carries the
+// handshake membership committed with the link, first (optional) delivers
+// a pending pre-attachment read that the reader consumes ahead of the
+// stream, and onDown (optional) runs after the link detaches.
+func (s *Server) attachLink(conn Conn, hello *wire.PeerHello, first <-chan recvResult, onDown func()) (broker.LinkID, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return 0, ErrClosed
 	}
+	if hello != nil {
+		if err := s.checkPeerLocked(hello); err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+	}
 	id := s.b.AddLink()
-	p := &peerConn{conn: conn, out: newOutbox()}
+	p := &peerConn{conn: conn, out: newOutbox(), onDown: onDown}
 	s.links[id] = p
+	var mem []string
+	if hello != nil {
+		mem = append([]string{hello.ID}, hello.Members...)
+		for _, m := range mem {
+			s.members[m] = struct{}{}
+		}
+		s.linkMembers[id] = mem
+	}
+	// Reserve the reader/writer slots while still holding the lock that
+	// proved !s.closed: Shutdown's wg.Wait must never observe a zero
+	// counter that a goroutine spawn is about to invalidate.
+	s.wg.Add(2)
 	s.mu.Unlock()
 
-	s.startPeer(p, func(f wire.Frame) error { return s.handleLinkFrame(id, f) })
+	s.startLink(id, p, first)
+	if mem != nil {
+		// The other component just joined this one: announce its members
+		// over every existing link so distant brokers can refuse a later
+		// edge that would close a cycle through the two far ends.
+		s.broadcastMembers(id, mem)
+	}
 	return id, nil
+}
+
+// mergeMembers handles a membership update arriving on an established,
+// handshaken peer link: the named brokers joined the component reachable
+// through that link. New names are recorded against the link (so its
+// death retracts them) and re-announced over the other handshaken links;
+// already-known names stop the flood, which terminates because the
+// overlay is acyclic. A PeerHello on a link that never handshook — e.g. a
+// managed dialer whose hello outlived the raw-link classification grace —
+// is a protocol error: dropping the link lets the dialer redial and
+// handshake properly instead of committing unchecked membership.
+func (s *Server) mergeMembers(from broker.LinkID, hello *wire.PeerHello) error {
+	if hello == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if _, handshaken := s.linkMembers[from]; !handshaken {
+		s.mu.Unlock()
+		return fmt.Errorf("transport: peer hello from %q on link %d without a completed handshake", hello.ID, from)
+	}
+	var delta []string
+	for _, m := range append([]string{hello.ID}, hello.Members...) {
+		if _, known := s.members[m]; known {
+			continue
+		}
+		s.members[m] = struct{}{}
+		delta = append(delta, m)
+	}
+	if len(delta) > 0 {
+		s.linkMembers[from] = append(s.linkMembers[from], delta...)
+	}
+	s.mu.Unlock()
+	if len(delta) > 0 {
+		s.broadcastMembers(from, delta)
+	}
+	return nil
+}
+
+// broadcastMembers announces newly learned overlay members on every
+// handshaken link except the one they were learned through. Raw links do
+// not participate in membership tracking (they reject peer hellos), so
+// they are skipped.
+func (s *Server) broadcastMembers(except broker.LinkID, members []string) {
+	f := wire.PeerHelloFrame(&wire.PeerHello{ID: s.b.ID(), Members: members})
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, p := range s.links {
+		if id == except {
+			continue
+		}
+		if _, handshaken := s.linkMembers[id]; !handshaken {
+			continue
+		}
+		conn := p.conn
+		p.out.push(func() error { return conn.Send(f) })
+	}
+}
+
+// startLink spawns the reader and writer goroutines for a link connection;
+// the caller has already reserved their two WaitGroup slots under s.mu.
+// When the reader exits — connection loss or a protocol error — the link
+// detaches: its routing entries are dropped and forwarded as retractions.
+func (s *Server) startLink(id broker.LinkID, p *peerConn, first <-chan recvResult) {
+	go func() {
+		defer s.wg.Done()
+		p.out.drain()
+	}()
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			p.out.close()
+			_ = p.conn.Close()
+			s.detachLink(id)
+		}()
+		if first != nil {
+			// Consume the classifier's pending read before touching the
+			// connection ourselves (Recv is not concurrency-safe).
+			r := <-first
+			if r.err != nil || s.handleLinkFrame(id, r.f) != nil {
+				return
+			}
+		}
+		for {
+			f, err := p.conn.Recv()
+			if err != nil {
+				return
+			}
+			if err := s.handleLinkFrame(id, f); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// detachLink runs once a link's connection is gone: it removes the link
+// from the registry, retracts the overlay members learned through it, and
+// has the broker drop the link's routing entries — dispatching the
+// resulting unsubscribes to the remaining peers under the control-plane
+// ordering lock, exactly as if the entries' subscribers had left.
+func (s *Server) detachLink(id broker.LinkID) {
+	s.mu.Lock()
+	p := s.links[id]
+	delete(s.links, id)
+	s.mu.Unlock()
+	if p == nil {
+		return // already detached
+	}
+
+	s.ctl.Lock()
+	out, removed := s.b.DropLink(id)
+	s.dispatch(out, nil)
+	s.ctl.Unlock()
+
+	// Retract the members learned through the link only after the broker
+	// dropped its entries: a peer redialing during this cleanup is then
+	// refused by the (still-present) member check and retries through its
+	// backoff, instead of attaching to a broker whose routing state still
+	// holds the dead link's entries. The broker-side replace/echo
+	// tolerance covers the remaining interleavings.
+	s.mu.Lock()
+	mem := s.linkMembers[id]
+	delete(s.linkMembers, id)
+	for _, m := range mem {
+		delete(s.members, m)
+	}
+	s.mu.Unlock()
+	if removed > 0 {
+		s.logPeer("link %d down: dropped %d routing entries", id, removed)
+	}
+	if p.onDown != nil {
+		p.onDown()
+	}
 }
 
 // AttachClient registers conn as a local client session named subscriber.
@@ -100,15 +304,18 @@ func (s *Server) AttachClient(subscriber string, conn Conn) error {
 	}
 	p := &peerConn{conn: conn, out: newOutbox()}
 	s.clients[subscriber] = p
+	s.wg.Add(2) // reader/writer slots, reserved while !closed is known
 	s.mu.Unlock()
 
-	s.startPeer(p, func(f wire.Frame) error { return s.handleClientFrame(subscriber, f) })
+	s.startClient(subscriber, p)
 	return nil
 }
 
-// startPeer spawns the reader and writer goroutines for a connection.
-func (s *Server) startPeer(p *peerConn, handle func(wire.Frame) error) {
-	s.wg.Add(2)
+// startClient spawns the reader and writer goroutines for a client session;
+// the caller has already reserved their two WaitGroup slots under s.mu.
+// When the session's reader exits, the client detaches from the registry so
+// the subscriber may reconnect under the same name.
+func (s *Server) startClient(subscriber string, p *peerConn) {
 	go func() {
 		defer s.wg.Done()
 		p.out.drain()
@@ -119,22 +326,32 @@ func (s *Server) startPeer(p *peerConn, handle func(wire.Frame) error) {
 			f, err := p.conn.Recv()
 			if err != nil {
 				p.out.close()
-				return
+				break
 			}
-			if err := handle(f); err != nil {
+			if err := s.handleClientFrame(subscriber, f); err != nil {
 				// A protocol error from this peer; drop the connection.
 				p.out.close()
 				_ = p.conn.Close()
-				return
+				break
 			}
 		}
+		s.mu.Lock()
+		if s.clients[subscriber] == p {
+			delete(s.clients, subscriber)
+		}
+		s.mu.Unlock()
 	}()
 }
 
 // handleLinkFrame runs on the link's reader goroutine. The broker picks the
 // plane per frame type: publishes route shared, control frames exclusive
-// (and atomic with their forwarded frames, see Server.ctl).
+// (and atomic with their forwarded frames, see Server.ctl). A peer hello on
+// an established link is an overlay-membership update handled by the
+// transport itself — the broker never sees it.
 func (s *Server) handleLinkFrame(from broker.LinkID, f wire.Frame) error {
+	if f.Type == wire.FramePeerHello {
+		return s.mergeMembers(from, f.Peer)
+	}
 	if f.Type != wire.FramePublish {
 		s.ctl.Lock()
 		defer s.ctl.Unlock()
@@ -282,8 +499,11 @@ func (s *Server) dispatch(out []broker.Outgoing, dels []broker.Delivery) {
 	}
 }
 
-// Listen starts accepting neighbor-broker connections on addr. Every
-// accepted connection becomes a link.
+// Listen starts accepting neighbor-broker connections on addr. A
+// connection whose first frame is a peer hello goes through the overlay
+// handshake (acyclicity check, membership exchange, state sync — see
+// peerlink.go); any other first frame attaches the connection as a raw
+// link, the pre-handshake protocol still spoken by DialLink.
 func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -296,9 +516,9 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", ErrClosed
 	}
 	s.listener = ln
+	s.wg.Add(1) // accept-loop slot, reserved while !closed is known
 	s.mu.Unlock()
 
-	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		for {
@@ -306,10 +526,13 @@ func (s *Server) Listen(addr string) (string, error) {
 			if err != nil {
 				return // listener closed
 			}
-			if _, err := s.AttachLink(NewTCPConn(nc)); err != nil {
-				_ = nc.Close()
-				return
-			}
+			// Adding from inside a tracked goroutine: the counter is
+			// provably nonzero, so this cannot race Shutdown's Wait.
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.classifyAccepted(NewTCPConn(nc))
+			}()
 		}
 	}()
 	return ln.Addr().String(), nil
@@ -337,9 +560,9 @@ func (s *Server) ListenClients(addr string) (string, error) {
 		prev := s.listener
 		s.listener = &dualListener{a: prev, b: ln}
 	}
+	s.wg.Add(1) // accept-loop slot, reserved while !closed is known
 	s.mu.Unlock()
 
-	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		for {
@@ -363,6 +586,79 @@ func (s *Server) ListenClients(addr string) (string, error) {
 		}
 	}()
 	return ln.Addr().String(), nil
+}
+
+// rawLinkGrace bounds how long the listener waits to classify an accepted
+// connection by its first frame. Managed peers send their hello
+// immediately; a raw (legacy DialLink) dialer may stay silent, so after
+// the grace it is attached as a raw link anyway — pre-handshake behavior
+// was to attach at accept time, and a silent raw listener-only peer must
+// still receive forwarded traffic.
+const rawLinkGrace = time.Second
+
+// classifyAccepted reads an accepted connection's first frame to decide
+// between the peer handshake and a legacy raw link. Raw links are
+// resynced right after attachment: control frames forwarded while the
+// connection awaited classification never reached it, and unlike managed
+// peers a raw link has no other repair path.
+func (s *Server) classifyAccepted(conn Conn) {
+	// Track the connection while waiting for its first frame — a peer
+	// that connects and sends nothing must not survive Shutdown — and
+	// reserve the reader goroutine's slot while holding the lock that
+	// proved !closed.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.pending[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	first := make(chan recvResult, 1)
+	go func() {
+		defer s.wg.Done()
+		f, err := conn.Recv()
+		first <- recvResult{f: f, err: err}
+	}()
+
+	attachRaw := func(pending <-chan recvResult) {
+		// Attach before unpending: the connection must always be visible
+		// to Shutdown through one of the two registries.
+		id, err := s.attachLink(conn, nil, pending, nil)
+		s.unpend(conn)
+		if err != nil {
+			_ = conn.Close()
+			return
+		}
+		s.syncLink(id)
+	}
+
+	select {
+	case r := <-first:
+		if r.err != nil {
+			s.unpend(conn)
+			_ = conn.Close()
+			return
+		}
+		if r.f.Type == wire.FramePeerHello {
+			defer s.unpend(conn)
+			s.acceptPeer(conn, r.f.Peer)
+			return
+		}
+		ready := make(chan recvResult, 1)
+		ready <- r
+		attachRaw(ready)
+	case <-time.After(rawLinkGrace):
+		attachRaw(first)
+	}
+}
+
+// unpend drops a connection from the pre-classification registry.
+func (s *Server) unpend(conn Conn) {
+	s.mu.Lock()
+	delete(s.pending, conn)
+	s.mu.Unlock()
 }
 
 // dualListener lets Shutdown close both the link and client listeners
@@ -395,8 +691,8 @@ func (s *Server) DialLink(addr string) (broker.LinkID, error) {
 	return id, nil
 }
 
-// Shutdown closes the listener and every connection, then waits for all
-// goroutines to exit. It is idempotent.
+// Shutdown closes the listener, stops every peer dialer, and closes every
+// connection, then waits for all goroutines to exit. It is idempotent.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	if s.closed {
@@ -406,6 +702,9 @@ func (s *Server) Shutdown() {
 	}
 	s.closed = true
 	ln := s.listener
+	// Copy the peer list: forgetPeer compacts s.peers in place under the
+	// lock, which must not race this iteration.
+	peers := append([]*Peer(nil), s.peers...)
 	var conns []*peerConn
 	for _, p := range s.links {
 		conns = append(conns, p)
@@ -413,14 +712,24 @@ func (s *Server) Shutdown() {
 	for _, p := range s.clients {
 		conns = append(conns, p)
 	}
+	pending := make([]Conn, 0, len(s.pending))
+	for c := range s.pending {
+		pending = append(pending, c)
+	}
 	s.mu.Unlock()
 
+	for _, p := range peers {
+		p.stopDialing()
+	}
 	if ln != nil {
 		_ = ln.Close()
 	}
 	for _, p := range conns {
 		p.out.close()
 		_ = p.conn.Close()
+	}
+	for _, c := range pending {
+		_ = c.Close()
 	}
 	s.wg.Wait()
 }

@@ -24,6 +24,13 @@ const (
 	// FrameHello introduces a client session (subscriber name); the first
 	// frame on a client connection.
 	FrameHello
+	// FramePeerHello opens a broker-to-broker peer link: the first frame in
+	// each direction, carrying the sender's broker ID and the broker IDs it
+	// knows to be in its overlay component (for the acyclicity check).
+	FramePeerHello
+	// FramePeerReject refuses a peer link with a reason (self link, cycle,
+	// duplicate neighbor) and is followed by connection close.
+	FramePeerReject
 )
 
 // String names the frame type.
@@ -37,9 +44,23 @@ func (t FrameType) String() string {
 		return "publish"
 	case FrameHello:
 		return "hello"
+	case FramePeerHello:
+		return "peer-hello"
+	case FramePeerReject:
+		return "peer-reject"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
+}
+
+// PeerHello identifies one side of a broker-to-broker link. Members lists
+// the broker IDs the sender knows to be in its overlay component (itself
+// included); the receiving broker rejects the link when the two member
+// sets intersect — the edge would close a cycle (§2.1's acyclicity
+// assumption, checked at connect time).
+type PeerHello struct {
+	ID      string
+	Members []string
 }
 
 // Frame is one broker protocol unit. Exactly the field matching Type is set.
@@ -49,6 +70,8 @@ type Frame struct {
 	SubID      uint64                     // FrameUnsubscribe
 	Msg        *event.Message             // FramePublish
 	Subscriber string                     // FrameHello
+	Peer       *PeerHello                 // FramePeerHello
+	Reason     string                     // FramePeerReject
 }
 
 // SubscribeFrame builds a subscription-forwarding frame.
@@ -69,6 +92,16 @@ func PublishFrame(m *event.Message) Frame {
 // HelloFrame builds a client-session introduction frame.
 func HelloFrame(subscriber string) Frame {
 	return Frame{Type: FrameHello, Subscriber: subscriber}
+}
+
+// PeerHelloFrame builds a peer-link introduction frame.
+func PeerHelloFrame(h *PeerHello) Frame {
+	return Frame{Type: FramePeerHello, Peer: h}
+}
+
+// PeerRejectFrame builds a peer-link refusal frame.
+func PeerRejectFrame(reason string) Frame {
+	return Frame{Type: FramePeerReject, Reason: reason}
 }
 
 // AppendFrame appends the encoding of f to dst.
@@ -92,6 +125,21 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 			return nil, errors.New("wire: hello frame without subscriber")
 		}
 		return appendString(dst, f.Subscriber), nil
+	case FramePeerHello:
+		if f.Peer == nil || f.Peer.ID == "" {
+			return nil, errors.New("wire: peer hello frame without broker ID")
+		}
+		dst = appendString(dst, f.Peer.ID)
+		dst = binary.AppendUvarint(dst, uint64(len(f.Peer.Members)))
+		for _, m := range f.Peer.Members {
+			dst = appendString(dst, m)
+		}
+		return dst, nil
+	case FramePeerReject:
+		if f.Reason == "" {
+			return nil, errors.New("wire: peer reject frame without reason")
+		}
+		return appendString(dst, f.Reason), nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode frame type %d", f.Type)
 	}
@@ -130,6 +178,47 @@ func DecodeFrame(data []byte) (Frame, int, error) {
 			return Frame{}, 0, errors.New("wire: hello frame with empty subscriber")
 		}
 		return HelloFrame(s), 1 + n, nil
+	case FramePeerHello:
+		id, n, err := decodeString(data[1:])
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		if id == "" {
+			return Frame{}, 0, errors.New("wire: peer hello with empty broker ID")
+		}
+		off := 1 + n
+		count, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return Frame{}, 0, ErrTruncated
+		}
+		off += n
+		// Each member costs at least one byte, so a count beyond the
+		// remaining payload is certainly truncated. Grow the slice
+		// incrementally rather than pre-allocating count entries: the
+		// listener decodes these pre-authentication, and a hostile count
+		// must not buy a large allocation.
+		if count > uint64(len(data)-off) {
+			return Frame{}, 0, ErrTruncated
+		}
+		var members []string
+		for i := uint64(0); i < count; i++ {
+			m, n, err := decodeString(data[off:])
+			if err != nil {
+				return Frame{}, 0, err
+			}
+			off += n
+			members = append(members, m)
+		}
+		return PeerHelloFrame(&PeerHello{ID: id, Members: members}), off, nil
+	case FramePeerReject:
+		reason, n, err := decodeString(data[1:])
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		if reason == "" {
+			return Frame{}, 0, errors.New("wire: peer reject with empty reason")
+		}
+		return PeerRejectFrame(reason), 1 + n, nil
 	default:
 		return Frame{}, 0, fmt.Errorf("wire: unknown frame type %d", data[0])
 	}

@@ -18,7 +18,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	pub, _ := AppendFrame(nil, PublishFrame(event.Build(9).Str("category", "a").Num("price", 10).Msg()))
 	unsub, _ := AppendFrame(nil, UnsubscribeFrame(999))
 	hello, _ := AppendFrame(nil, HelloFrame("carol"))
-	for _, seed := range [][]byte{sub, pub, unsub, hello, {0}, {1, 2, 3}, nil} {
+	peer, _ := AppendFrame(nil, PeerHelloFrame(&PeerHello{ID: "b1", Members: []string{"b1", "b2"}}))
+	reject, _ := AppendFrame(nil, PeerRejectFrame("cycle"))
+	for _, seed := range [][]byte{sub, pub, unsub, hello, peer, reject, {0}, {1, 2, 3}, nil} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -207,6 +207,66 @@ func TestFrameRoundTrips(t *testing.T) {
 	}
 }
 
+func TestPeerFrameRoundTrips(t *testing.T) {
+	hellos := []*PeerHello{
+		{ID: "b0"},
+		{ID: "b1", Members: []string{"b1"}},
+		{ID: "hub", Members: []string{"hub", "leaf-1", "leaf-2", "leaf-3"}},
+	}
+	for _, h := range hellos {
+		enc, err := AppendFrame(nil, PeerHelloFrame(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(enc) || got.Type != FramePeerHello {
+			t.Fatalf("peer hello round trip: type %v, %d of %d bytes", got.Type, n, len(enc))
+		}
+		if got.Peer.ID != h.ID || len(got.Peer.Members) != len(h.Members) {
+			t.Fatalf("peer hello payload changed: %+v", got.Peer)
+		}
+		for i, m := range h.Members {
+			if got.Peer.Members[i] != m {
+				t.Fatalf("member %d changed: %q != %q", i, got.Peer.Members[i], m)
+			}
+		}
+	}
+
+	enc, err := AppendFrame(nil, PeerRejectFrame("would close a cycle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) || got.Type != FramePeerReject || got.Reason != "would close a cycle" {
+		t.Fatalf("peer reject round trip: %+v", got)
+	}
+}
+
+func TestPeerFrameErrors(t *testing.T) {
+	if _, err := AppendFrame(nil, Frame{Type: FramePeerHello}); err == nil {
+		t.Error("peer hello frame without payload accepted")
+	}
+	if _, err := AppendFrame(nil, PeerHelloFrame(&PeerHello{})); err == nil {
+		t.Error("peer hello frame without broker ID accepted")
+	}
+	if _, err := AppendFrame(nil, Frame{Type: FramePeerReject}); err == nil {
+		t.Error("peer reject frame without reason accepted")
+	}
+	// Member count larger than any possible payload must be rejected, not
+	// allocated.
+	enc, _ := AppendFrame(nil, PeerHelloFrame(&PeerHello{ID: "x"}))
+	enc[len(enc)-1] = 0xff // member count varint → 255 with no payload
+	if _, _, err := DecodeFrame(enc); err == nil {
+		t.Error("truncated member list accepted")
+	}
+}
+
 func TestFrameErrors(t *testing.T) {
 	if _, err := AppendFrame(nil, Frame{Type: FrameSubscribe}); err == nil {
 		t.Error("subscribe frame without payload accepted")

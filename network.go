@@ -112,6 +112,71 @@ func NewServer(b *Broker, onDeliver func(Delivery)) *Server {
 	return transport.NewServer(b, onDeliver)
 }
 
+// BrokerPeer is a dialed, auto-reconnecting broker-to-broker link of a
+// networked overlay; see DialPeer.
+type BrokerPeer = transport.Peer
+
+// DialPeer opens a persistent peer link from s to the broker listening at
+// addr (Server.Listen). The link handshakes with a connect-time acyclicity
+// check (an edge that would close an overlay cycle is refused), replays
+// routing state in both directions, and — unlike the raw DialBroker/
+// AttachLink plumbing — automatically redials with backoff and resyncs
+// when the connection drops. Non-local subscriptions learned over peer
+// links are prunable routing entries, exactly as in the simulated overlay.
+func DialPeer(s *Server, addr string) (*BrokerPeer, error) {
+	return s.DialPeer(addr)
+}
+
+// NewNetworkedLine assembles n brokers into a real line overlay
+// b0 — b1 — … — bn-1 over loopback TCP: every broker gets its own Server
+// and peer listener, and each successive pair is connected with DialPeer
+// (handshake, acyclicity check, reconnect). onDeliver, if non-nil,
+// receives every local delivery tagged with the index of the broker that
+// made it — the networked counterpart of the simulated overlay's
+// SimDelivery stream. The returned shutdown function stops all servers.
+func NewNetworkedLine(n int, dim Dimension, onDeliver func(atBroker int, d Delivery)) ([]*Server, func(), error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("dimprune: line overlay needs >= 2 brokers, got %d", n)
+	}
+	servers := make([]*Server, 0, n)
+	shutdown := func() {
+		for _, s := range servers {
+			s.Shutdown()
+		}
+	}
+	for i := 0; i < n; i++ {
+		b, err := broker.New(broker.Config{
+			ID:            fmt.Sprintf("b%d", i),
+			Dimension:     dim,
+			ObserveEvents: true,
+		})
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		i := i
+		var sink func(Delivery)
+		if onDeliver != nil {
+			sink = func(d Delivery) { onDeliver(i, d) }
+		}
+		s := transport.NewServer(b, sink)
+		addr, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			s.Shutdown()
+			shutdown()
+			return nil, nil, err
+		}
+		servers = append(servers, s)
+		if i > 0 {
+			if _, err := servers[i-1].DialPeer(addr); err != nil {
+				shutdown()
+				return nil, nil, err
+			}
+		}
+	}
+	return servers, shutdown, nil
+}
+
 // DialBroker opens a TCP connection to a broker server.
 func DialBroker(addr string) (Conn, error) { return transport.Dial(addr) }
 
