@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` output into the JSON the
+// perf-trajectory files (BENCH_<n>.json) are built from: one record per
+// benchmark with ns/op, MB/s, B/op, and allocs/op where present, plus the
+// raw benchmark lines for benchstat.
+//
+// Usage:
+//
+//	go test -bench ... ./... | benchjson -label after > bench.json
+//
+// Output shape:
+//
+//	{
+//	  "label": "after",
+//	  "raw": ["BenchmarkFoo  100  123 ns/op ..."],
+//	  "benchmarks": {"BenchmarkFoo": {"ns_op": 123, "allocs_op": 4}}
+//	}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's parsed measurements. Pointer fields distinguish
+// "not reported" from zero.
+type Metrics struct {
+	NsOp     float64  `json:"ns_op"`
+	MBs      *float64 `json:"mb_s,omitempty"`
+	BOp      *float64 `json:"b_op,omitempty"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Label      string             `json:"label,omitempty"`
+	Raw        []string           `json:"raw"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "label recorded in the output (e.g. baseline, after)")
+	flag.Parse()
+	rep, err := parse(os.Stdin, *label)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads benchmark lines from r. Lines not starting with "Benchmark"
+// (build noise, PASS/ok trailers) are skipped.
+func parse(r io.Reader, label string) (*Report, error) {
+	rep := &Report{Label: label, Benchmarks: make(map[string]Metrics)}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, m, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		rep.Raw = append(rep.Raw, line)
+		rep.Benchmarks[name] = m
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName  N  12.3 ns/op  4 B/op ..." line.
+func parseLine(line string) (string, Metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Metrics{}, false
+	}
+	name := fields[0]
+	var m Metrics
+	seenNs := false
+	// Fields come in value-unit pairs after the iteration count.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Metrics{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsOp = v
+			seenNs = true
+		case "MB/s":
+			m.MBs = &v
+		case "B/op":
+			m.BOp = &v
+		case "allocs/op":
+			m.AllocsOp = &v
+		}
+	}
+	return name, m, seenNs
+}

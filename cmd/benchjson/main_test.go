@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDispatchFanout/fanout=8         	  250881	     17138 ns/op	    3379 B/op	      55 allocs/op
+BenchmarkWireRoundTrip 	 1362114	      2248 ns/op	  78.30 MB/s	    2280 B/op	      30 allocs/op
+BenchmarkEncodeMessage 	13756011	       169.9 ns/op	1018.33 MB/s
+PASS
+ok  	dimprune/internal/wire	11.087s
+`
+	rep, err := parse(strings.NewReader(in), "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Label != "baseline" {
+		t.Errorf("label = %q", rep.Label)
+	}
+	if len(rep.Raw) != 3 || len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d raw / %d benchmarks, want 3/3", len(rep.Raw), len(rep.Benchmarks))
+	}
+	fan := rep.Benchmarks["BenchmarkDispatchFanout/fanout=8"]
+	if fan.NsOp != 17138 || fan.BOp == nil || *fan.BOp != 3379 || fan.AllocsOp == nil || *fan.AllocsOp != 55 {
+		t.Errorf("fanout metrics wrong: %+v", fan)
+	}
+	if fan.MBs != nil {
+		t.Error("fanout reported MB/s it does not have")
+	}
+	enc := rep.Benchmarks["BenchmarkEncodeMessage"]
+	if enc.NsOp != 169.9 || enc.MBs == nil || *enc.MBs != 1018.33 || enc.BOp != nil {
+		t.Errorf("encode metrics wrong: %+v", enc)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	in := "BenchmarkBroken  12  garbage ns/op\nBenchmarkNoNs  5  7 B/op\n"
+	rep, err := parse(strings.NewReader(in), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("malformed lines parsed: %+v", rep.Benchmarks)
+	}
+}

@@ -67,9 +67,40 @@ type Delivery struct {
 }
 
 // Outgoing is one frame to transmit on a neighbor link.
+//
+// Enc, when non-nil, is the frame's encode-once buffer: the broker encodes
+// each distinct frame exactly once and shares the buffer across every
+// Outgoing that carries it, holding one reference per Outgoing. Whoever
+// consumes an Outgoing owns that reference and must drop it exactly once —
+// by handing it to a transport outbox that releases after the socket write,
+// by charging the simulated network and releasing, or by calling ReleaseEnc
+// directly when the frame goes nowhere (detached link, test harness).
+// Consumers that ignore Enc (tests asserting on Frame) merely miss the pool;
+// the buffer is garbage-collected like any other allocation.
 type Outgoing struct {
 	Link  LinkID
 	Frame wire.Frame
+	Enc   *wire.EncodedFrame
+}
+
+// ReleaseEnc drops this Outgoing's reference on the shared encoding, if any.
+func (o *Outgoing) ReleaseEnc() {
+	if o.Enc != nil {
+		o.Enc.Release()
+		o.Enc = nil
+	}
+}
+
+// encodeShared encodes f once for n recipients, returning the shared buffer
+// (with n references) and the payload size for the byte counters. A frame
+// that cannot encode — impossible for broker-built frames — degrades to no
+// buffer and size 0, matching FrameSize's invalid-frame convention.
+func encodeShared(f wire.Frame, n int) (*wire.EncodedFrame, uint64) {
+	enc, err := wire.EncodeFrame(f, int32(n))
+	if err != nil {
+		return nil, 0
+	}
+	return enc, uint64(enc.FrameLen())
 }
 
 // Config configures a broker.
@@ -283,9 +314,10 @@ func (b *Broker) SyncFrames(to LinkID) ([]Outgoing, error) {
 	out := make([]Outgoing, 0, len(ids))
 	for _, id := range ids {
 		f := wire.SubscribeFrame(b.entries[id].original)
-		out = append(out, Outgoing{Link: to, Frame: f})
+		enc, size := encodeShared(f, 1)
+		out = append(out, Outgoing{Link: to, Frame: f, Enc: enc})
 		b.counters.ControlSent.Add(1)
-		b.counters.BytesSent.Add(uint64(wire.FrameSize(f)))
+		b.counters.BytesSent.Add(size)
 	}
 	return out, nil
 }
@@ -414,19 +446,26 @@ func (b *Broker) removeSubscription(id uint64, origin LinkID) ([]Outgoing, error
 }
 
 // forwardControl emits a control frame on every live link except the
-// origin.
+// origin, encoding it once and sharing the buffer across all recipients.
 func (b *Broker) forwardControl(f wire.Frame, except LinkID) []Outgoing {
-	if len(b.live) == 0 {
+	targets := 0
+	for _, l := range b.live {
+		if l != except {
+			targets++
+		}
+	}
+	if targets == 0 {
 		return nil
 	}
-	out := make([]Outgoing, 0, len(b.live))
+	enc, size := encodeShared(f, targets)
+	out := make([]Outgoing, 0, targets)
 	for _, l := range b.live {
 		if l == except {
 			continue
 		}
-		out = append(out, Outgoing{Link: l, Frame: f})
+		out = append(out, Outgoing{Link: l, Frame: f, Enc: enc})
 		b.counters.ControlSent.Add(1)
-		b.counters.BytesSent.Add(uint64(wire.FrameSize(f)))
+		b.counters.BytesSent.Add(size)
 	}
 	return out
 }
@@ -529,13 +568,25 @@ func (b *Broker) route(m *event.Message, arrived LinkID) ([]Outgoing, []Delivery
 
 	var out []Outgoing
 	if len(b.live) > 0 {
-		f := wire.PublishFrame(m)
-		size := uint64(wire.FrameSize(f))
+		// Count recipients first so the event is encoded exactly once, with
+		// one reference per forwarded copy — and not at all when no link
+		// matched.
+		targets := 0
 		for _, l := range b.live {
 			if rb.matchLinks[l] {
-				out = append(out, Outgoing{Link: l, Frame: f})
-				b.counters.EventsForwarded.Add(1)
-				b.counters.BytesSent.Add(size)
+				targets++
+			}
+		}
+		if targets > 0 {
+			f := wire.PublishFrame(m)
+			enc, size := encodeShared(f, targets)
+			out = make([]Outgoing, 0, targets)
+			for _, l := range b.live {
+				if rb.matchLinks[l] {
+					out = append(out, Outgoing{Link: l, Frame: f, Enc: enc})
+					b.counters.EventsForwarded.Add(1)
+					b.counters.BytesSent.Add(size)
+				}
 			}
 		}
 	}

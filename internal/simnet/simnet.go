@@ -156,10 +156,17 @@ func NewBalancedTree(brokers []*broker.Broker, fanout int) (*Network, error) {
 	return n, nil
 }
 
-// send enqueues outgoing frames from broker from.
+// send enqueues outgoing frames from broker from. Delivery is in-memory
+// (the decoded frame travels, not bytes), so the broker's encode-once
+// buffer is consumed here: its already-computed length is charged to the
+// byte counter and the simulation's reference released back to the pool.
 func (n *Network) send(from int, out []broker.Outgoing) error {
-	for _, o := range out {
+	for i := range out {
+		o := &out[i]
 		if int(o.Link) >= len(n.peers[from]) {
+			for j := i; j < len(out); j++ {
+				out[j].ReleaseEnc() // consume the rest of the batch's references too
+			}
 			return fmt.Errorf("simnet: broker %d emitted frame on unconnected link %d", from, o.Link)
 		}
 		n.queue = append(n.queue, envelope{to: n.peers[from][o.Link], frame: o.Frame})
@@ -169,7 +176,12 @@ func (n *Network) send(from int, out []broker.Outgoing) error {
 		default:
 			n.traffic.ControlFrames++
 		}
-		n.traffic.Bytes += uint64(wire.FrameSize(o.Frame))
+		if o.Enc != nil {
+			n.traffic.Bytes += uint64(o.Enc.FrameLen())
+			o.ReleaseEnc()
+		} else {
+			n.traffic.Bytes += uint64(wire.FrameSize(o.Frame))
+		}
 	}
 	return nil
 }

@@ -369,12 +369,29 @@ func (c *Client) Publish(m *event.Message) error {
 	return c.conn.Send(wire.PublishFrame(m))
 }
 
-// PublishBatch injects a burst of events in order. It is an ordering and
-// call-site convenience only: the wire protocol carries one publish frame
-// per event and the server routes each frame as it arrives. Server-side
+// PublishBatch injects a burst of events in order. The wire protocol still
+// carries one publish frame per event and the server routes each frame as
+// it arrives — but on a stream connection the whole burst is written
+// through the buffered writer under one lock acquisition and flushed once,
+// so a batch of n events costs one syscall-sized write, not n. Server-side
 // lock amortization happens where the batch stays intact — Server.
 // PublishBatch and Embedded.PublishBatch.
 func (c *Client) PublishBatch(ms []*event.Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	for _, m := range ms {
+		if m == nil {
+			return ErrNilMessage
+		}
+	}
+	if bs, ok := c.conn.(interface{ sendFrames([]wire.Frame) error }); ok {
+		fs := make([]wire.Frame, len(ms))
+		for i, m := range ms {
+			fs[i] = wire.PublishFrame(m)
+		}
+		return bs.sendFrames(fs)
+	}
 	for _, m := range ms {
 		if err := c.Publish(m); err != nil {
 			return err

@@ -69,6 +69,45 @@ func (c *tcpConn) Send(f wire.Frame) error {
 	return c.bw.Flush()
 }
 
+// batchWriter is the coalesced write path an outbox uses when the
+// connection transmits a byte stream: the whole backlog lands in the
+// buffered writer under one lock acquisition with a single flush at the
+// end, and pre-encoded items go out without re-encoding.
+type batchWriter interface {
+	writeItems([]outItem) error
+}
+
+func (c *tcpConn) writeItems(items []outItem) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range items {
+		it := &items[i]
+		if it.enc != nil {
+			if _, err := it.enc.WriteTo(c.bw); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := wire.WriteFrame(c.bw, it.f); err != nil {
+			return err
+		}
+	}
+	return c.bw.Flush()
+}
+
+// sendFrames writes a burst of frames with one lock acquisition and one
+// flush — the client-side publish-batch fast path.
+func (c *tcpConn) sendFrames(fs []wire.Frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range fs {
+		if err := wire.WriteFrame(c.bw, f); err != nil {
+			return err
+		}
+	}
+	return c.bw.Flush()
+}
+
 func (c *tcpConn) Recv() (wire.Frame, error) {
 	return wire.ReadFrame(c.br)
 }

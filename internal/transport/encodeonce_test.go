@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dimprune/internal/event"
+	"dimprune/internal/wire"
+)
+
+// TestDispatchFanoutEncodeOnce pins the tentpole invariant with the wire
+// package's encode-count hook: publishing one event to eight matching peer
+// links performs exactly one frame encode — the shared EncodedFrame feeds
+// all eight outboxes — where the pre-refactor path encoded once per
+// recipient plus once more for byte accounting.
+func TestDispatchFanoutEncodeOnce(t *testing.T) {
+	const fanout = 8
+	s, cleanup := newFanoutServer(t, fanout)
+	defer cleanup()
+	m := fanoutEvent()
+
+	const events = 200
+	start := wire.EncodeCalls()
+	for i := 0; i < events; i++ {
+		s.Publish(m)
+	}
+	// Publish encodes synchronously (inside the broker's route pass), and
+	// the outbox writers only copy the pre-encoded bytes, so the counter is
+	// stable as soon as Publish returns.
+	if got := wire.EncodeCalls() - start; got != events {
+		t.Errorf("%d events to %d links cost %d encodes, want exactly %d (one per event)",
+			events, fanout, got, events)
+	}
+}
+
+// countConn counts sends without retaining the frames (a recording conn
+// would defeat the collectibility assertion below).
+type countConn struct{ n atomic.Int64 }
+
+func (c *countConn) Send(wire.Frame) error     { c.n.Add(1); return nil }
+func (c *countConn) Recv() (wire.Frame, error) { select {} }
+func (c *countConn) Close() error              { return nil }
+
+// TestOutboxDrainedBacklogCollectible checks the head-retention fix: after
+// a slow peer's backlog has drained, the outbox's retained queue capacity
+// must not keep the sent messages alive. The old queue = queue[1:] pop left
+// every item reachable through the backing array.
+func TestOutboxDrainedBacklogCollectible(t *testing.T) {
+	conn := &countConn{}
+	o := newOutbox(conn)
+
+	// Build the whole backlog before the writer starts — the slow-peer
+	// shape: a deep queue drained in one batch whose slice is then reused.
+	collected := make(chan struct{})
+	func() {
+		m := event.Build(1).Str("payload", strings.Repeat("x", 1<<16)).Msg()
+		runtime.SetFinalizer(m, func(*event.Message) { close(collected) })
+		f := wire.PublishFrame(m)
+		enc, err := wire.EncodeFrame(f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.push(outItem{enc: enc, f: f})
+	}()
+	for i := 0; i < 200; i++ {
+		o.push(outItem{f: wire.UnsubscribeFrame(uint64(i))})
+	}
+	go o.drain()
+	waitFor(t, func() bool { return conn.n.Load() == 201 })
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			o.close()
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drained message still reachable: the outbox retains its completed backlog")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// writeCountConn counts the Write calls reaching the real connection — with
+// a buffered writer, one per flush (for sub-buffer volumes).
+type writeCountConn struct {
+	net.Conn
+	writes atomic.Int64
+}
+
+func (c *writeCountConn) Write(p []byte) (int, error) {
+	c.writes.Add(1)
+	return c.Conn.Write(p)
+}
+
+// TestOutboxCoalescesFlushes checks flush coalescing: a backlog of n frames
+// drains as one batched write pass with a single flush, not n per-frame
+// flushes. The pre-refactor drain flushed the socket once per frame.
+func TestOutboxCoalescesFlushes(t *testing.T) {
+	far, near := net.Pipe()
+	go func() { _, _ = io.Copy(io.Discard, far) }()
+	defer far.Close()
+	counting := &writeCountConn{Conn: near}
+	conn := NewTCPConn(counting)
+	o := newOutbox(conn)
+
+	const frames = 100
+	for i := 0; i < frames; i++ {
+		f := wire.UnsubscribeFrame(uint64(i))
+		enc, err := wire.EncodeFrame(f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.push(outItem{enc: enc, f: f})
+	}
+	done := make(chan struct{})
+	go func() {
+		o.drain()
+		close(done)
+	}()
+	waitFor(t, func() bool { return o.queueLen() == 0 })
+	o.close()
+	<-done
+	// The whole pre-built backlog swaps out in one batch: one buffered
+	// write pass, one flush, one Write on the wire. Allow a little slack
+	// for scheduling (the writer may grab a partial queue first).
+	if w := counting.writes.Load(); w > 5 {
+		t.Errorf("draining %d frames issued %d socket writes, want coalesced (<= 5)", frames, w)
+	}
+}
+
+// queueLen reads the current backlog length (test helper).
+func (o *outbox) queueLen() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.queue)
+}

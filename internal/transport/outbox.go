@@ -1,10 +1,47 @@
 package transport
 
-import "sync"
+import (
+	"sync"
+
+	"dimprune/internal/wire"
+)
+
+// outItem is one queued transmission: the pre-encoded bytes shared with
+// every other recipient of the same frame (enc, owned: the outbox releases
+// its reference once the item is written or discarded) plus the decoded
+// frame for connections that transmit frames rather than bytes (in-memory
+// pipes, custom Conns).
+type outItem struct {
+	enc *wire.EncodedFrame
+	f   wire.Frame
+}
+
+// release drops the item's encoding reference and clears the item so a
+// drained queue slot retains nothing (messages, trees, buffers).
+func (it *outItem) release() {
+	if it.enc != nil {
+		it.enc.Release()
+	}
+	*it = outItem{}
+}
+
+// maxIdleQueueCap bounds the queue capacity an idle outbox retains: after a
+// backlog spike drains, slices beyond this are dropped for the GC instead
+// of pinning the spike's footprint forever.
+const maxIdleQueueCap = 4096
 
 // outbox decouples the broker's event loop from slow peers: handlers append
-// frames under the server lock and return immediately; a writer goroutine
-// drains the queue in order.
+// pre-encoded items under the outbox lock and return immediately; a writer
+// goroutine drains the backlog in order.
+//
+// The drain is batched: the writer swaps the entire queue out under one
+// lock acquisition, writes every item to the connection's buffered writer,
+// and flushes once when the backlog goes empty (flush coalescing) — a burst
+// of n frames costs one lock round trip and one flush, not n of each.
+// Drained slots are cleared so a completed backlog is collectible even
+// while the slice is retained for reuse (no head-retention: the old
+// queue = queue[1:] pop kept every sent item reachable through the backing
+// array until the slice happened to reallocate).
 //
 // The queue is unbounded by design: bounding it would let one stalled peer
 // block the broker (and, with mutual blocking, deadlock two brokers sending
@@ -12,60 +49,104 @@ import "sync"
 // subscription-admission level; for this system the trade-off is documented
 // rather than hidden.
 type outbox struct {
+	conn Conn
+
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []queuedItem
+	queue  []outItem
 	closed bool
 }
 
-type queuedItem struct {
-	send func() error
-}
-
-func newOutbox() *outbox {
-	o := &outbox{}
+func newOutbox(conn Conn) *outbox {
+	o := &outbox{conn: conn}
 	o.cond = sync.NewCond(&o.mu)
 	return o
 }
 
-// push enqueues a send closure. It reports false when the outbox is closed.
-func (o *outbox) push(send func() error) bool {
+// push enqueues one item, taking ownership of its encoding reference. It
+// reports false when the outbox is closed — the item was not queued and the
+// caller keeps the reference.
+func (o *outbox) push(it outItem) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.closed {
 		return false
 	}
-	o.queue = append(o.queue, queuedItem{send: send})
+	o.queue = append(o.queue, it)
 	o.cond.Signal()
 	return true
 }
 
-// close stops the drain loop after the current item.
+// close stops the drain loop and discards anything still queued, releasing
+// the backlog's encoding references. Connections are closed by the caller
+// in every teardown path, so the undrained frames could no longer be
+// written anyway.
 func (o *outbox) close() {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	o.closed = true
+	backlog := o.queue
+	o.queue = nil
 	o.cond.Broadcast()
+	o.mu.Unlock()
+	for i := range backlog {
+		backlog[i].release()
+	}
 }
 
-// drain runs until close, sending items in order. Send errors stop the loop
-// (the connection is broken; the reader side reports it).
+// drain runs until close, transmitting items in order. Send errors stop the
+// writing (the connection is broken; the reader side reports it and closes
+// the outbox) but keep consuming the queue so encoding references are still
+// released.
 func (o *outbox) drain() {
+	_, batched := o.conn.(batchWriter)
+	var batch []outItem
+	broken := false
 	for {
 		o.mu.Lock()
 		for len(o.queue) == 0 && !o.closed {
 			o.cond.Wait()
 		}
-		if len(o.queue) == 0 && o.closed {
+		if len(o.queue) == 0 {
 			o.mu.Unlock()
-			return
+			return // closed and fully drained
 		}
-		item := o.queue[0]
-		o.queue = o.queue[1:]
+		// Swap the whole backlog out under this one lock acquisition; the
+		// previous batch slice (slots already cleared) becomes the next
+		// queue, so steady state appends into warm capacity.
+		batch, o.queue = o.queue, trimIdle(batch)
 		o.mu.Unlock()
 
-		if err := item.send(); err != nil {
-			return
+		if !broken {
+			if err := o.writeBatch(batch, batched); err != nil {
+				broken = true
+			}
+		}
+		for i := range batch {
+			batch[i].release()
 		}
 	}
+}
+
+// writeBatch transmits one swapped-out backlog: for frame-stream
+// connections, every item goes to the buffered writer and the wire is
+// flushed once at the end; other connections send frame by frame.
+func (o *outbox) writeBatch(batch []outItem, batched bool) error {
+	if batched {
+		return o.conn.(batchWriter).writeItems(batch)
+	}
+	for i := range batch {
+		if err := o.conn.Send(batch[i].f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trimIdle returns batch ready for reuse as the next queue, dropping
+// spike-sized capacity.
+func trimIdle(batch []outItem) []outItem {
+	if cap(batch) > maxIdleQueueCap {
+		return nil
+	}
+	return batch[:0]
 }

@@ -131,7 +131,7 @@ func (s *Server) attachLink(conn Conn, hello *wire.PeerHello, first <-chan recvR
 		}
 	}
 	id := s.b.AddLink()
-	p := &peerConn{conn: conn, out: newOutbox(), onDown: onDown}
+	p := &peerConn{conn: conn, out: newOutbox(conn), onDown: onDown}
 	s.links[id] = p
 	var mem []string
 	if hello != nil {
@@ -201,6 +201,7 @@ func (s *Server) broadcastMembers(except broker.LinkID, members []string) {
 	f := wire.PeerHelloFrame(&wire.PeerHello{ID: s.b.ID(), Members: members})
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	targets := make([]*peerConn, 0, len(s.links))
 	for id, p := range s.links {
 		if id == except {
 			continue
@@ -208,8 +209,16 @@ func (s *Server) broadcastMembers(except broker.LinkID, members []string) {
 		if _, handshaken := s.linkMembers[id]; !handshaken {
 			continue
 		}
-		conn := p.conn
-		p.out.push(func() error { return conn.Send(f) })
+		targets = append(targets, p)
+	}
+	if len(targets) == 0 {
+		return
+	}
+	enc, _ := wire.EncodeFrame(f, int32(len(targets)))
+	for _, p := range targets {
+		if !p.out.push(outItem{enc: enc, f: f}) && enc != nil {
+			enc.Release()
+		}
 	}
 }
 
@@ -302,7 +311,7 @@ func (s *Server) AttachClient(subscriber string, conn Conn) error {
 		s.mu.Unlock()
 		return fmt.Errorf("transport: client %q already attached", subscriber)
 	}
-	p := &peerConn{conn: conn, out: newOutbox()}
+	p := &peerConn{conn: conn, out: newOutbox(conn)}
 	s.clients[subscriber] = p
 	s.wg.Add(2) // reader/writer slots, reserved while !closed is known
 	s.mu.Unlock()
@@ -470,31 +479,71 @@ func (s *Server) isClosed() bool {
 // dispatch queues outgoing frames and deliveries onto the per-peer
 // outboxes. It holds the connection registry's read lock only — many
 // dispatches run concurrently, and outboxes serialize per peer. A peer that
-// detaches concurrently just misses the frames (its outbox is closed).
+// detaches concurrently just misses the frames (its outbox is closed, and
+// the frame's encoding reference is released here instead).
+//
+// Encode-once bookkeeping: each Outgoing arrives carrying one reference on
+// its shared encoding, which pushing transfers to the outbox. Client
+// deliveries of an event the broker also forwarded borrow that same buffer
+// (deliveries are resolved first, while this call still provably holds the
+// out-frames' references); deliveries of a purely local event encode once
+// per dispatch and share across the remaining client sessions.
 func (s *Server) dispatch(out []broker.Outgoing, dels []broker.Delivery) {
 	if len(out) == 0 && len(dels) == 0 {
 		return
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, o := range out {
-		p := s.links[o.Link]
-		if p == nil {
-			continue // link detached
-		}
-		f := o.Frame
-		conn := p.conn
-		p.out.push(func() error { return conn.Send(f) })
-	}
-	for _, d := range dels {
-		if p := s.clients[d.Subscriber]; p != nil {
+	if len(dels) > 0 {
+		var (
+			cacheMsg *event.Message
+			cacheEnc *wire.EncodedFrame
+			owned    bool // cacheEnc's base reference is ours to drop
+		)
+		for _, d := range dels {
+			p := s.clients[d.Subscriber]
+			if p == nil {
+				if s.onDeliver != nil {
+					s.onDeliver(d)
+				}
+				continue
+			}
 			f := wire.PublishFrame(d.Msg)
-			conn := p.conn
-			p.out.push(func() error { return conn.Send(f) })
-			continue
+			if d.Msg != cacheMsg {
+				if owned {
+					cacheEnc.Release()
+				}
+				cacheMsg, cacheEnc, owned = d.Msg, nil, false
+				for i := range out {
+					if out[i].Enc != nil && out[i].Frame.Type == wire.FramePublish && out[i].Frame.Msg == d.Msg {
+						cacheEnc = out[i].Enc // borrowed: out's reference is still held
+						break
+					}
+				}
+				if cacheEnc == nil {
+					if enc, err := wire.EncodeFrame(f, 1); err == nil {
+						cacheEnc, owned = enc, true
+					}
+				}
+			}
+			var enc *wire.EncodedFrame
+			if cacheEnc != nil {
+				cacheEnc.Retain(1)
+				enc = cacheEnc
+			}
+			if !p.out.push(outItem{enc: enc, f: f}) && enc != nil {
+				enc.Release()
+			}
 		}
-		if s.onDeliver != nil {
-			s.onDeliver(d)
+		if owned {
+			cacheEnc.Release()
+		}
+	}
+	for i := range out {
+		o := &out[i]
+		p := s.links[o.Link]
+		if p == nil || !p.out.push(outItem{enc: o.Enc, f: o.Frame}) {
+			o.ReleaseEnc() // link detached or outbox closed
 		}
 	}
 }

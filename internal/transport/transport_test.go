@@ -316,49 +316,83 @@ func newLoopbackPair(t *testing.T, srv *Server) (Conn, error) {
 	return conn, nil
 }
 
+// recordConn is a test Conn that records sent frames (or fails every send).
+type recordConn struct {
+	mu   chanMutex
+	sent []wire.Frame
+	fail bool
+}
+
+func newRecordConn(fail bool) *recordConn {
+	return &recordConn{mu: make(chanMutex, 1), fail: fail}
+}
+
+func (c *recordConn) Send(f wire.Frame) error {
+	c.mu.lock()
+	defer c.mu.unlock()
+	if c.fail {
+		c.sent = append(c.sent, wire.Frame{}) // count the attempt
+		return fmt.Errorf("broken")
+	}
+	c.sent = append(c.sent, f)
+	return nil
+}
+
+func (c *recordConn) sentCount() int {
+	c.mu.lock()
+	defer c.mu.unlock()
+	return len(c.sent)
+}
+
+func (c *recordConn) Recv() (wire.Frame, error) { return wire.Frame{}, fmt.Errorf("recordConn") }
+func (c *recordConn) Close() error              { return nil }
+
 func TestOutboxOrderAndClose(t *testing.T) {
-	o := newOutbox()
-	var got []int
+	conn := newRecordConn(false)
+	o := newOutbox(conn)
 	doneDrain := make(chan struct{})
 	go func() {
 		o.drain()
 		close(doneDrain)
 	}()
-	var mu chanMutex = make(chanMutex, 1)
 	for i := 0; i < 100; i++ {
-		i := i
-		o.push(func() error {
-			mu.lock()
-			got = append(got, i)
-			mu.unlock()
-			return nil
-		})
+		o.push(outItem{f: wire.UnsubscribeFrame(uint64(i))})
 	}
-	waitFor(t, func() bool {
-		mu.lock()
-		defer mu.unlock()
-		return len(got) == 100
-	})
+	waitFor(t, func() bool { return conn.sentCount() == 100 })
 	o.close()
 	<-doneDrain
-	for i, v := range got {
-		if v != i {
-			t.Fatalf("out of order at %d: %d", i, v)
+	conn.mu.lock()
+	defer conn.mu.unlock()
+	for i, f := range conn.sent {
+		if f.SubID != uint64(i) {
+			t.Fatalf("out of order at %d: %d", i, f.SubID)
 		}
 	}
-	if o.push(func() error { return nil }) {
+	if o.push(outItem{f: wire.UnsubscribeFrame(0)}) {
 		t.Error("push after close accepted")
 	}
 }
 
-func TestOutboxStopsOnSendError(t *testing.T) {
-	o := newOutbox()
-	ran := 0
-	o.push(func() error { ran++; return fmt.Errorf("broken") })
-	o.push(func() error { ran++; return nil })
-	o.drain() // returns immediately after the failing item
-	if ran != 1 {
-		t.Errorf("drain ran %d items, want 1 (stop on error)", ran)
+func TestOutboxStopsWritingOnSendError(t *testing.T) {
+	conn := newRecordConn(true)
+	o := newOutbox(conn)
+	// Both items land in the queue before the writer starts; the first send
+	// fails, so the writer must not attempt the second — but it must keep
+	// consuming (and releasing) the backlog until close.
+	o.push(outItem{f: wire.UnsubscribeFrame(1)})
+	o.push(outItem{f: wire.UnsubscribeFrame(2)})
+	doneDrain := make(chan struct{})
+	go func() {
+		o.drain()
+		close(doneDrain)
+	}()
+	waitFor(t, func() bool { return conn.sentCount() >= 1 })
+	// A later push on the broken connection is swallowed without a send.
+	o.push(outItem{f: wire.UnsubscribeFrame(3)})
+	o.close()
+	<-doneDrain
+	if n := conn.sentCount(); n != 1 {
+		t.Errorf("drain attempted %d sends, want 1 (stop writing on error)", n)
 	}
 }
 

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bufio"
+	"bytes"
 	"testing"
 
 	"dimprune/internal/auction"
@@ -61,6 +63,36 @@ func BenchmarkDecodeSubscription(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := DecodeSubscription(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures one full stream round trip: encode + write
+// a length-prefixed publish frame, then read + decode it back. This is the
+// per-frame cost both ends of a broker link pay; allocs/op is the headline
+// number for the pooled-encode / pooled-decode fast path.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	m, _ := benchWorkload(b)
+	f := PublishFrame(m)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		b.Fatal(err)
+	}
+	enc := append([]byte(nil), buf.Bytes()...)
+	b.SetBytes(int64(len(enc)))
+	src := bytes.NewReader(enc)
+	br := bufio.NewReader(src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, f); err != nil {
+			b.Fatal(err)
+		}
+		src.Reset(enc)
+		br.Reset(src)
+		if _, err := ReadFrame(br); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -106,6 +106,7 @@ func PeerRejectFrame(reason string) Frame {
 
 // AppendFrame appends the encoding of f to dst.
 func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	encodeCalls.Add(1) // test hook: every payload encode is counted
 	dst = append(dst, byte(f.Type))
 	switch f.Type {
 	case FrameSubscribe:
@@ -170,7 +171,7 @@ func DecodeFrame(data []byte) (Frame, int, error) {
 		}
 		return PublishFrame(m), 1 + n, nil
 	case FrameHello:
-		s, n, err := decodeString(data[1:])
+		s, n, err := idents.decode(data[1:])
 		if err != nil {
 			return Frame{}, 0, err
 		}
@@ -179,6 +180,9 @@ func DecodeFrame(data []byte) (Frame, int, error) {
 		}
 		return HelloFrame(s), 1 + n, nil
 	case FramePeerHello:
+		// Peer hellos are decoded pre-handshake (unauthenticated) and are
+		// rare; their IDs are never interned so a hostile member list
+		// cannot saturate the intern tables.
 		id, n, err := decodeString(data[1:])
 		if err != nil {
 			return Frame{}, 0, err
@@ -225,31 +229,64 @@ func DecodeFrame(data []byte) (Frame, int, error) {
 }
 
 // FrameSize returns the encoded size of f in bytes; the network simulation
-// charges this per link transmission. Invalid frames size to 0.
+// charges this per link transmission. Invalid frames size to 0. It walks the
+// frame with the size visitor and never encodes or allocates — callers that
+// only need the number pay only the number.
 func FrameSize(f Frame) int {
-	b, err := AppendFrame(nil, f)
-	if err != nil {
+	switch f.Type {
+	case FrameSubscribe:
+		if f.Sub == nil {
+			return 0
+		}
+		return 1 + subscriptionSize(f.Sub)
+	case FrameUnsubscribe:
+		return 1 + uvarintLen(f.SubID)
+	case FramePublish:
+		if f.Msg == nil {
+			return 0
+		}
+		return 1 + messageSize(f.Msg)
+	case FrameHello:
+		if f.Subscriber == "" {
+			return 0
+		}
+		return 1 + stringSize(f.Subscriber)
+	case FramePeerHello:
+		if f.Peer == nil || f.Peer.ID == "" {
+			return 0
+		}
+		n := 1 + stringSize(f.Peer.ID) + uvarintLen(uint64(len(f.Peer.Members)))
+		for _, m := range f.Peer.Members {
+			n += stringSize(m)
+		}
+		return n
+	case FramePeerReject:
+		if f.Reason == "" {
+			return 0
+		}
+		return 1 + stringSize(f.Reason)
+	default:
 		return 0
 	}
-	return len(b)
 }
 
 // maxFrameLen bounds stream frames against corrupt or hostile peers.
 const maxFrameLen = 16 << 20
 
 // WriteFrame writes f to w with a uvarint length prefix, the stream format
-// of the TCP transport.
+// of the TCP transport. The encoding comes from the shared encode pool and
+// goes out as one Write (header and payload together); the header lives in
+// the pooled buffer's reserved room, so no per-frame header slice is
+// allocated.
 func WriteFrame(w io.Writer, f Frame) error {
-	payload, err := AppendFrame(nil, f)
+	e, err := EncodeFrame(f, 1)
 	if err != nil {
 		return err
 	}
-	header := binary.AppendUvarint(nil, uint64(len(payload)))
-	if _, err := w.Write(header); err != nil {
-		return fmt.Errorf("wire: write frame header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("wire: write frame payload: %w", err)
+	_, werr := e.WriteTo(w)
+	e.Release()
+	if werr != nil {
+		return fmt.Errorf("wire: write frame: %w", werr)
 	}
 	return nil
 }
@@ -267,7 +304,11 @@ func ReadFrame(r interface {
 	if length > maxFrameLen {
 		return Frame{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", length)
 	}
-	payload := make([]byte, length)
+	// The payload buffer is pooled scratch: the decoders copy (or intern)
+	// every string out, so nothing in the returned Frame aliases it and it
+	// is reusable the moment DecodeFrame returns.
+	payload, pooled := getPayload(int(length))
+	defer putPayload(pooled)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return Frame{}, fmt.Errorf("wire: read frame payload: %w", err)
 	}

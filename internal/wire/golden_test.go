@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// Golden-bytes fixtures pin the wire format: one hex string per frame type,
+// generated before the encode-once refactor (PR 4) from the original
+// append-per-call encoder. Any encoder change that alters these bytes breaks
+// protocol compatibility between broker versions and invalidates the
+// simnet-vs-network byte accounting — it must be a deliberate, versioned
+// decision, not a refactoring accident.
+var goldenFrames = []struct {
+	name string
+	hex  string
+}{
+	{"subscribe", "010705616c696365020301020305707269636504000128030863617465676f727901000305626f6f6b7303057469746c6507010301410304626964730a00"},
+	{"unsubscribe", "02ac02"},
+	{"publish", "03b960040462696473010d057072696365020000000000002d40067369676e65640401057469746c65030444756e65"},
+	{"hello", "04056361726f6c"},
+	{"peer-hello", "0502623102026231026232"},
+	{"peer-reject", "0613776f756c6420636c6f73652061206379636c65"},
+}
+
+// goldenStreamUnsubscribe is WriteFrame's length-prefixed stream encoding of
+// UnsubscribeFrame(300): uvarint payload length 3, then the payload.
+const goldenStreamUnsubscribe = "0302ac02"
+
+// goldenFixtureFrames builds the live frames matching goldenFrames, in order.
+func goldenFixtureFrames(t testing.TB) []Frame {
+	t.Helper()
+	s, err := subscription.New(7, "alice",
+		subscription.MustParse(`(price <= 20 and category = "books") or not title prefix "A" or bids exists`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := event.Build(12345).
+		Int("bids", -7).
+		Num("price", 14.5).
+		Flag("signed", true).
+		Str("title", "Dune").
+		Msg()
+	return []Frame{
+		SubscribeFrame(s),
+		UnsubscribeFrame(300),
+		PublishFrame(m),
+		HelloFrame("carol"),
+		PeerHelloFrame(&PeerHello{ID: "b1", Members: []string{"b1", "b2"}}),
+		PeerRejectFrame("would close a cycle"),
+	}
+}
+
+// TestGoldenFrameBytes proves every frame type still encodes to the pinned
+// pre-refactor bytes, that the size accounting agrees with those bytes, and
+// that the pinned bytes decode back to a frame that re-encodes identically.
+func TestGoldenFrameBytes(t *testing.T) {
+	frames := goldenFixtureFrames(t)
+	if len(frames) != len(goldenFrames) {
+		t.Fatalf("fixture count mismatch: %d frames, %d golden entries", len(frames), len(goldenFrames))
+	}
+	for i, g := range goldenFrames {
+		want, err := hex.DecodeString(g.hex)
+		if err != nil {
+			t.Fatalf("%s: bad fixture hex: %v", g.name, err)
+		}
+		enc, err := AppendFrame(nil, frames[i])
+		if err != nil {
+			t.Fatalf("%s: encode: %v", g.name, err)
+		}
+		if !bytes.Equal(enc, want) {
+			t.Errorf("%s: wire bytes changed\n got %x\nwant %x", g.name, enc, want)
+		}
+		if got := FrameSize(frames[i]); got != len(want) {
+			t.Errorf("%s: FrameSize = %d, golden bytes are %d", g.name, got, len(want))
+		}
+		dec, n, err := DecodeFrame(want)
+		if err != nil {
+			t.Fatalf("%s: golden bytes do not decode: %v", g.name, err)
+		}
+		if n != len(want) {
+			t.Errorf("%s: decode consumed %d of %d golden bytes", g.name, n, len(want))
+		}
+		re, err := AppendFrame(nil, dec)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", g.name, err)
+		}
+		if !bytes.Equal(re, want) {
+			t.Errorf("%s: decode∘encode changed bytes\n got %x\nwant %x", g.name, re, want)
+		}
+	}
+}
+
+// TestGoldenStreamBytes pins the length-prefixed stream format of WriteFrame
+// and proves ReadFrame accepts exactly those bytes.
+func TestGoldenStreamBytes(t *testing.T) {
+	want, err := hex.DecodeString(goldenStreamUnsubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, UnsubscribeFrame(300)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("stream bytes changed\n got %x\nwant %x", buf.Bytes(), want)
+	}
+	f, err := ReadFrame(bufio.NewReader(bytes.NewReader(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameUnsubscribe || f.SubID != 300 {
+		t.Errorf("golden stream decoded to %+v", f)
+	}
+}

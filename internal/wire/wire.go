@@ -96,16 +96,28 @@ func appendString(dst []byte, s string) []byte {
 	return append(dst, s...)
 }
 
-func decodeString(data []byte) (string, int, error) {
+// decodeStringBytes parses a length-prefixed string and returns its raw
+// bytes (aliasing data) plus the bytes consumed — the shared half of
+// decodeString and decodeInternedString, which differ only in how they
+// materialize the string.
+func decodeStringBytes(data []byte) ([]byte, int, error) {
 	l, n := binary.Uvarint(data)
 	if n <= 0 {
-		return "", 0, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
 	end := n + int(l)
 	if l > uint64(len(data)) || end > len(data) {
-		return "", 0, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
-	return string(data[n:end]), end, nil
+	return data[n:end], end, nil
+}
+
+func decodeString(data []byte) (string, int, error) {
+	b, n, err := decodeStringBytes(data)
+	if err != nil {
+		return "", 0, err
+	}
+	return string(b), n, nil
 }
 
 // AppendMessage appends the encoding of m to dst.
@@ -135,7 +147,10 @@ func DecodeMessage(data []byte) (*event.Message, int, error) {
 	}
 	attrs := make([]event.Attr, 0, count)
 	for i := uint64(0); i < count; i++ {
-		name, n, err := decodeString(data[off:])
+		// Attribute names are the protocol's lowest-cardinality strings:
+		// intern them so a steady-state decode stream allocates each
+		// distinct name once, not once per frame.
+		name, n, err := names.decode(data[off:])
 		if err != nil {
 			return nil, 0, err
 		}
@@ -147,16 +162,33 @@ func DecodeMessage(data []byte) (*event.Message, int, error) {
 		off += n
 		attrs = append(attrs, event.Attr{Name: name, Value: v})
 	}
-	m, err := event.NewMessage(id, attrs...)
-	if err != nil {
-		return nil, 0, fmt.Errorf("wire: %w", err)
+	// Build the message around attrs directly instead of NewMessage, which
+	// would copy the slice once more. Canonical encodings (everything our
+	// own encoder produces) arrive strictly sorted with non-empty names, so
+	// the common case validates with one comparison pass; only
+	// non-canonical input pays Normalize's reflective sort. Decoded values
+	// are always valid (DecodeValue never returns KindInvalid), so
+	// canonical-path messages need no further checks.
+	m := &event.Message{ID: id, Attrs: attrs}
+	canonical := true
+	for i, a := range attrs {
+		if a.Name == "" || (i > 0 && attrs[i-1].Name >= a.Name) {
+			canonical = false
+			break
+		}
+	}
+	if !canonical {
+		if err := m.Normalize(); err != nil {
+			return nil, 0, fmt.Errorf("wire: %w", err)
+		}
 	}
 	return m, off, nil
 }
 
 // MessageSize returns the encoded size of m in bytes, the unit the network
-// simulation charges per link transmission.
-func MessageSize(m *event.Message) int { return len(AppendMessage(nil, m)) }
+// simulation charges per link transmission. Computed by the size visitor —
+// no encoding, no allocation.
+func MessageSize(m *event.Message) int { return messageSize(m) }
 
 // node kind tags.
 const (
@@ -235,7 +267,7 @@ func decodeNode(data []byte, depth int) (*subscription.Node, int, error) {
 		}
 		return &subscription.Node{Kind: kind, Children: children}, off, nil
 	case tagLeaf:
-		attr, n, err := decodeString(data[1:])
+		attr, n, err := names.decode(data[1:])
 		if err != nil {
 			return nil, 0, err
 		}
@@ -281,7 +313,7 @@ func DecodeSubscription(data []byte) (*subscription.Subscription, int, error) {
 	if off <= 0 {
 		return nil, 0, ErrTruncated
 	}
-	sub, n, err := decodeString(data[off:])
+	sub, n, err := idents.decode(data[off:])
 	if err != nil {
 		return nil, 0, err
 	}
@@ -297,7 +329,8 @@ func DecodeSubscription(data []byte) (*subscription.Subscription, int, error) {
 	return &subscription.Subscription{ID: id, Subscriber: sub, Root: root}, off, nil
 }
 
-// SubscriptionSize returns the encoded size of s in bytes.
+// SubscriptionSize returns the encoded size of s in bytes. Computed by the
+// size visitor — no encoding, no allocation.
 func SubscriptionSize(s *subscription.Subscription) int {
-	return len(AppendSubscription(nil, s))
+	return subscriptionSize(s)
 }
