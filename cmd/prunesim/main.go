@@ -9,6 +9,12 @@
 // Laptop-scale shape check for one figure:
 //
 //	prunesim -subs 20000 -events 10000 -setting centralized -figure 1b
+//
+// The full sweep runs on any registered workload scenario, not just the
+// paper's auction (see internal/workload):
+//
+//	prunesim -workload ticker -setting both
+//	prunesim -workload sensornet -figure 1e
 package main
 
 import (
@@ -18,9 +24,9 @@ import (
 	"os"
 	"strings"
 
-	"dimprune/internal/auction"
 	"dimprune/internal/core"
 	"dimprune/internal/experiment"
+	"dimprune/internal/workload"
 )
 
 func main() {
@@ -39,6 +45,7 @@ func run(args []string, out io.Writer) error {
 		checkpoints = fs.Int("checkpoints", 11, "abscissa points including 0 and 1")
 		brokers     = fs.Int("brokers", 5, "brokers in the distributed line")
 		seed        = fs.Uint64("seed", 1, "workload seed")
+		wl          = fs.String("workload", "auction", "workload scenario: "+strings.Join(workload.Names(), ", "))
 		setting     = fs.String("setting", "both", "centralized, distributed, or both")
 		dims        = fs.String("dims", "sel,eff,mem", "heuristics to sweep (comma-separated: sel, eff, mem)")
 		figure      = fs.String("figure", "", "print only one figure (1a..1f)")
@@ -56,8 +63,11 @@ func run(args []string, out io.Writer) error {
 	cfg.TrainEvents = *train
 	cfg.Checkpoints = *checkpoints
 	cfg.Brokers = *brokers
-	cfg.Workload = auction.DefaultConfig()
-	cfg.Workload.Seed = *seed
+	if _, ok := workload.Lookup(*wl); !ok {
+		return fmt.Errorf("unknown -workload %q (registered: %s)", *wl, strings.Join(workload.Names(), ", "))
+	}
+	cfg.Workload = *wl
+	cfg.Seed = *seed
 	cfg.PruneOptions.DisableTieBreak = *noTieBreak
 	switch *innermost {
 	case "default":

@@ -74,12 +74,32 @@ func TestAblationFlags(t *testing.T) {
 	runArgs(t, "-setting", "centralized", "-figure", "1b", "-innermost", "off")
 }
 
+func TestWorkloadSelection(t *testing.T) {
+	// The full sweep must run for any registered scenario, not just the
+	// paper's auction.
+	for _, wl := range []string{"auction", "ticker", "sensornet"} {
+		out := runArgs(t, "-setting", "centralized", "-workload", wl, "-figure", "1b")
+		if !strings.Contains(out, "Figure 1b") {
+			t.Errorf("workload %s: no figure produced:\n%s", wl, out)
+		}
+	}
+}
+
+func TestWorkloadsProduceDistinctSweeps(t *testing.T) {
+	a := runArgs(t, "-setting", "centralized", "-workload", "auction", "-figure", "1b", "-format", "csv")
+	s := runArgs(t, "-setting", "centralized", "-workload", "sensornet", "-figure", "1b", "-format", "csv")
+	if a == s {
+		t.Error("auction and sensornet produced identical figure data; workload flag has no effect")
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	bad := [][]string{
 		{"-setting", "sideways"},
 		{"-dims", "bogus"},
 		{"-format", "xml"},
 		{"-innermost", "sometimes"},
+		{"-workload", "bogus"},
 		{"-figure", "1a", "-setting", "centralized", "-subs", "0"},
 	}
 	for _, args := range bad {

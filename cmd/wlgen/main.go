@@ -1,11 +1,12 @@
-// Command wlgen generates the online book-auction workload to files, so
+// Command wlgen generates a registered workload scenario to files, so
 // experiments outside this repository (or across tools) can consume the
 // exact deterministic event and subscription streams.
 //
 //	wlgen -subs 1000 -events 5000 -out ./workload
+//	wlgen -workload sensornet -subs 1000 -events 5000 -out ./telemetry
 //
-// writes workload/subscriptions.txt (id, subscriber, and expression in the
-// text syntax, tab-separated) and workload/events.txt (one rendered event
+// writes <out>/subscriptions.txt (id, subscriber, and expression in the
+// text syntax, tab-separated) and <out>/events.txt (one rendered event
 // per line), or length-prefixed wire frames with -format wire
 // (subscriptions.bin / events.bin).
 package main
@@ -16,9 +17,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
-	"dimprune/internal/auction"
 	"dimprune/internal/wire"
+	"dimprune/internal/workload"
+
+	// Populate the workload registry with the standard scenarios.
+	_ "dimprune/internal/auction"
+	_ "dimprune/internal/sensornet"
+	_ "dimprune/internal/ticker"
 )
 
 func main() {
@@ -34,6 +41,7 @@ func run(args []string) error {
 		subs   = fs.Int("subs", 1000, "subscriptions to generate")
 		events = fs.Int("events", 5000, "events to generate")
 		seed   = fs.Uint64("seed", 1, "workload seed")
+		wl     = fs.String("workload", "auction", "workload scenario: "+strings.Join(workload.Names(), ", "))
 		out    = fs.String("out", ".", "output directory")
 		format = fs.String("format", "text", "output format: text or wire")
 	)
@@ -43,9 +51,7 @@ func run(args []string) error {
 	if *format != "text" && *format != "wire" {
 		return fmt.Errorf("unknown -format %q", *format)
 	}
-	cfg := auction.DefaultConfig()
-	cfg.Seed = *seed
-	gen, err := auction.NewGenerator(cfg)
+	gen, err := workload.New(*wl, *seed)
 	if err != nil {
 		return err
 	}
@@ -96,8 +102,8 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("wrote %d subscriptions and %d events to %s (%s format)\n",
-		*subs, *events, *out, *format)
+	fmt.Printf("wrote %d subscriptions and %d events of workload %s to %s (%s format)\n",
+		*subs, *events, gen.Name(), *out, *format)
 	return nil
 }
 

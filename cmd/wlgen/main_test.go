@@ -96,3 +96,29 @@ func TestBadFormat(t *testing.T) {
 		t.Error("bad format accepted")
 	}
 }
+
+func TestWorkloadSelection(t *testing.T) {
+	// Each registered scenario exports through the same pipeline, and the
+	// streams differ between scenarios.
+	outs := map[string]string{}
+	for _, wl := range []string{"auction", "ticker", "sensornet"} {
+		dir := t.TempDir()
+		if err := run([]string{"-workload", wl, "-subs", "10", "-events", "10", "-out", dir}); err != nil {
+			t.Fatalf("workload %s: %v", wl, err)
+		}
+		events, err := os.ReadFile(filepath.Join(dir, "events.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[wl] = string(events)
+	}
+	if outs["auction"] == outs["ticker"] || outs["ticker"] == outs["sensornet"] {
+		t.Error("different workloads produced identical event streams")
+	}
+}
+
+func TestBadWorkload(t *testing.T) {
+	if err := run([]string{"-workload", "bogus", "-out", t.TempDir()}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

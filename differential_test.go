@@ -6,15 +6,16 @@ import (
 	"testing"
 	"time"
 
-	"dimprune/internal/auction"
 	"dimprune/internal/broker"
 	"dimprune/internal/event"
 	"dimprune/internal/simnet"
 	"dimprune/internal/subscription"
+	"dimprune/internal/workload"
 )
 
-// Differential test of the networked overlay against two oracles on one
-// seeded auction workload:
+// Differential test of the networked overlay against two oracles, table-
+// driven over every registered workload scenario (auction, ticker,
+// sensornet, …):
 //
 //   - exact: a single broker holding every subscription locally — the
 //     ground-truth match sets.
@@ -23,15 +24,20 @@ import (
 //   - network: a real 3-broker line over loopback TCP peer links, with the
 //     parallel match path live on every hop.
 //
-// With pruning off, all three must produce exactly the same delivery set.
-// With pruning on, pruning may only generalize non-local routing entries:
-// the overlay delivery sets must be supersets of the exact set — one lost
-// delivery is a correctness bug (the paper's safety invariant, §2.2).
+// With pruning off, all three must produce exactly the same delivery set
+// and the real overlay must transmit exactly the simulation's number of
+// publish frames. With pruning exhausted, pruning may only generalize
+// non-local routing entries: the overlay delivery sets must be supersets
+// of the exact set — one lost delivery is a correctness bug (the paper's
+// safety invariant, §2.2). Running the same oracle across workloads with
+// opposite pruning behavior (covering-friendly ticker, covering-hostile
+// sensornet) keeps the invariant honest on predicate shapes the auction
+// never generates.
 
 // delivPair identifies one delivery: which subscription got which event.
 type delivPair struct{ sub, msg uint64 }
 
-// diffWorkload is the shared seeded workload of the differential runs.
+// diffWorkload is the shared seeded workload of one differential run.
 type diffWorkload struct {
 	subs   []*subscription.Subscription
 	events []*event.Message
@@ -41,31 +47,17 @@ const (
 	diffBrokers = 3
 	diffSubs    = 120
 	diffEvents  = 240
+	diffSeed    = 42
 	// diffSentinelBase offsets sentinel subscription and event IDs so they
 	// filter cleanly out of collected delivery sets.
 	diffSentinelBase = uint64(1) << 30
 )
 
-func makeDiffWorkload(t *testing.T) *diffWorkload {
-	t.Helper()
-	cfg := auction.DefaultConfig()
-	cfg.Seed = 42
-	gen, err := auction.NewGenerator(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w := &diffWorkload{}
-	for i := 0; i < diffSubs; i++ {
-		s, err := gen.Subscription(uint64(i+1), fmt.Sprintf("s%d", i+1))
-		if err != nil {
-			t.Fatal(err)
-		}
-		w.subs = append(w.subs, s)
-	}
-	// The auction classes are deliberately selective (bargain hunters); mix
-	// in broad subscriptions so the differential exercises dense delivery
-	// and forwarding paths too, not just the sparse regime.
-	for i, expr := range []string{
+// diffBroadSubs mixes per-scenario broad subscriptions into the generated
+// workload so the differential exercises dense delivery and forwarding
+// paths too, not just each scenario's (deliberately selective) classes.
+var diffBroadSubs = map[string][]string{
+	"auction": {
 		`price <= 40`,
 		`price <= 25 or bids >= 30`,
 		`category = "scifi" or category = "fantasy" or category = "crime"`,
@@ -75,7 +67,46 @@ func makeDiffWorkload(t *testing.T) *diffWorkload {
 		`signed = true or price <= 15`,
 		`category = "history" and (format = "hardcover" or format = "ebook")`,
 		`bids <= 2 and price <= 80`,
-	} {
+	},
+	"ticker": {
+		`price <= 50`,
+		`change >= 2 or change <= -2`,
+		`sector = "tech" or sector = "energy"`,
+		`exchange = "NYX" and price <= 120`,
+		`volume >= 100000 or trades >= 1000`,
+		`halted = true or change <= -5`,
+		`sector = "finance" and (change >= 1 or volume >= 50000)`,
+	},
+	"sensornet": {
+		`battery <= 30`,
+		`temp >= 70 or vibration >= 8`,
+		`kind = "thermal" or kind = "gateway"`,
+		`fault = true or rssi <= -95`,
+		`humidity >= 80 or temp <= 0`,
+		`kind = "power" and (uptime_h >= 5000 or battery <= 50)`,
+	},
+}
+
+func makeDiffWorkload(t *testing.T, name string) *diffWorkload {
+	t.Helper()
+	gen, err := workload.New(name, diffSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broad, ok := diffBroadSubs[name]
+	if !ok {
+		t.Fatalf("workload %q has no broad subscriptions in diffBroadSubs — add a set so its "+
+			"differential run also exercises the dense delivery and forwarding paths", name)
+	}
+	w := &diffWorkload{}
+	for i := 0; i < diffSubs; i++ {
+		s, err := gen.Subscription(uint64(i+1), fmt.Sprintf("s%d", i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.subs = append(w.subs, s)
+	}
+	for i, expr := range broad {
 		s, err := subscription.New(uint64(diffSubs+i+1), fmt.Sprintf("broad%d", i+1),
 			subscription.MustParse(expr))
 		if err != nil {
@@ -161,9 +192,10 @@ func simnetDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair]
 
 // networkDeliveries runs the same workload on a real loopback line overlay
 // of three servers connected by peer links, returning the delivery set
-// (sentinels filtered), whether any delivery arrived twice, and the count
-// of publish-frame transmissions (sentinel flushes included).
-func networkDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair]bool, bool, uint64) {
+// (sentinels filtered), whether any delivery arrived twice, the count of
+// publish-frame transmissions (sentinel flushes included), and the number
+// of prunings performed.
+func networkDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair]bool, bool, uint64, int) {
 	t.Helper()
 	var mu sync.Mutex
 	got := make(map[delivPair]bool)
@@ -237,9 +269,6 @@ func networkDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair
 				}
 			}
 		}
-		if prunings == 0 {
-			t.Fatal("pruned run performed no prunings; superset assertion would be vacuous")
-		}
 	}
 
 	// Publish round-robin, then one sentinel per broker. Per-link FIFO plus
@@ -273,11 +302,27 @@ func networkDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair
 	for p := range got {
 		out[p] = true
 	}
-	return out, dup, forwarded
+	return out, dup, forwarded, prunings
 }
 
 func TestDifferentialNetworkedVsSimnetVsExact(t *testing.T) {
-	w := makeDiffWorkload(t)
+	names := workload.Names()
+	if len(names) < 3 {
+		t.Fatalf("expected at least 3 registered workloads, got %v", names)
+	}
+	for i, name := range names {
+		if testing.Short() && i > 0 {
+			// The loopback overlay runs are the slow part; one scenario
+			// keeps the cross-target oracle exercised under -short.
+			t.Logf("short mode: skipping workload %q", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) { runDifferential(t, name) })
+	}
+}
+
+func runDifferential(t *testing.T, name string) {
+	w := makeDiffWorkload(t, name)
 	exact := exactDeliveries(t, w)
 	if len(exact) == 0 {
 		t.Fatal("workload produced no matches; differential comparison is vacuous")
@@ -285,7 +330,7 @@ func TestDifferentialNetworkedVsSimnetVsExact(t *testing.T) {
 
 	t.Run("pruning-off", func(t *testing.T) {
 		sim, simFrames := simnetDeliveries(t, w, false)
-		net, dup, netFrames := networkDeliveries(t, w, false)
+		net, dup, netFrames, _ := networkDeliveries(t, w, false)
 		if dup {
 			t.Error("networked overlay delivered a (subscription, event) pair twice")
 		}
@@ -304,7 +349,10 @@ func TestDifferentialNetworkedVsSimnetVsExact(t *testing.T) {
 
 	t.Run("pruning-on", func(t *testing.T) {
 		sim, simFrames := simnetDeliveries(t, w, true)
-		net, _, netFrames := networkDeliveries(t, w, true)
+		net, _, netFrames, prunings := networkDeliveries(t, w, true)
+		if prunings == 0 {
+			t.Fatal("pruned run performed no prunings; superset assertion would be vacuous")
+		}
 		missSim := missingFrom(sim, exact)
 		missNet := missingFrom(net, exact)
 		if len(missSim) > 0 {
@@ -316,8 +364,8 @@ func TestDifferentialNetworkedVsSimnetVsExact(t *testing.T) {
 		// Deliveries stay exact because the subscription's home broker
 		// post-filters with the never-pruned tree; pruning's false positives
 		// surface as extra forwarded frames at inner brokers instead.
-		t.Logf("pruning on: deliveries exact=%d simnet=%d network=%d; forwarded frames simnet=%d network=%d",
-			len(exact), len(sim), len(net), simFrames, netFrames)
+		t.Logf("pruning on: %d prunings; deliveries exact=%d simnet=%d network=%d; forwarded frames simnet=%d network=%d",
+			prunings, len(exact), len(sim), len(net), simFrames, netFrames)
 	})
 }
 

@@ -60,9 +60,14 @@
 //     run as a concurrent decode → match → per-peer-outbox pipeline; client
 //     sessions mirror the handle API (Client.SubscribeExpr → ClientHandle).
 //     See cmd/brokerd for the daemon with -match-workers / -match-shards.
+//   - Workloads: named scenario generators (NewWorkloadGenerator,
+//     WorkloadNames) producing deterministic seeded event and subscription
+//     streams — the paper's auction plus stock-ticker and fleet-telemetry
+//     scenarios with opposite pruning/covering behavior.
 //
 // The experiment harness regenerating the paper's figures lives behind
-// RunCentralized/RunDistributed; see cmd/prunesim for the command-line
+// RunCentralized/RunDistributed and runs on any registered workload
+// (ExperimentConfig.Workload); see cmd/prunesim for the command-line
 // front end and EXPERIMENTS.md for how to regenerate measured results.
 package dimprune
 

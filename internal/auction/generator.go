@@ -6,7 +6,20 @@ import (
 	"dimprune/internal/dist"
 	"dimprune/internal/event"
 	"dimprune/internal/subscription"
+	"dimprune/internal/workload"
 )
+
+func init() {
+	workload.Register(workload.Info{
+		Name:        "auction",
+		Description: "online book auction (paper §4): skewed catalog popularity, three bargain-hunting subscription classes",
+		New: func(seed uint64) (workload.Generator, error) {
+			cfg := DefaultConfig()
+			cfg.Seed = seed
+			return NewGenerator(cfg)
+		},
+	})
+}
 
 // Class identifies the three subscription classes of the workload (the
 // paper cites three classes typical for online book auctions [4]).
@@ -113,6 +126,9 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	return g, nil
 }
 
+// Name returns the registry name of the scenario.
+func (g *Generator) Name() string { return "auction" }
+
 // pickBook draws a book for the event stream.
 func (g *Generator) pickBook() *book { return g.catalog.bookAt(g.evPick.Draw()) }
 
@@ -140,8 +156,8 @@ func (g *Generator) Event(id uint64) *event.Message {
 		Num("discount", round2(1-mult)). // share below the book's base price
 		Int("bids", bids).
 		Int("rating", int64(r.Normal(3.4, 1.2, 0, 5))).
-		Str("format", formats[pickWeighted(r, formatWeights)]).
-		Str("condition", conditions[pickWeighted(r, conditionWeights)]).
+		Str("format", formats[r.Weighted(formatWeights)]).
+		Str("condition", conditions[r.Weighted(conditionWeights)]).
 		Int("hours_left", int64(r.Range(0, 72))).
 		Flag("signed", r.Bool(0.03)).
 		Msg()
@@ -158,21 +174,6 @@ func (g *Generator) Events(startID uint64, n int) []*event.Message {
 
 var formatWeights = []float64{0.35, 0.40, 0.18, 0.07}
 var conditionWeights = []float64{0.25, 0.30, 0.30, 0.15}
-
-func pickWeighted(r *dist.RNG, weights []float64) int {
-	total := 0.0
-	for _, w := range weights {
-		total += w
-	}
-	u := r.Float64() * total
-	for i, w := range weights {
-		u -= w
-		if u < 0 {
-			return i
-		}
-	}
-	return len(weights) - 1
-}
 
 // Subscription generates the next subscription with the given ID and
 // subscriber, drawing its class from the configured weights.
@@ -224,7 +225,7 @@ func (g *Generator) titleWatcher() *subscription.Node {
 	}
 	if r.Bool(0.25) {
 		children = append(children, subscription.Eq("format",
-			event.String(formats[pickWeighted(r, formatWeights)])))
+			event.String(formats[r.Weighted(formatWeights)])))
 	}
 	return subscription.And(children...)
 }
@@ -292,7 +293,7 @@ func (g *Generator) authorCollector() *subscription.Node {
 		term := subscription.Eq("author", event.String(a))
 		if r.Bool(0.3) {
 			term = subscription.And(term, subscription.Eq("format",
-				event.String(formats[pickWeighted(r, formatWeights)])))
+				event.String(formats[r.Weighted(formatWeights)])))
 		}
 		authors = append(authors, term)
 	}
@@ -304,7 +305,7 @@ func (g *Generator) authorCollector() *subscription.Node {
 		children = append(children, subscription.Ge("discount", event.Float(round2(r.Range(0, 0.1)))))
 	}
 	if r.Bool(0.7) {
-		f1 := pickWeighted(r, formatWeights)
+		f1 := r.Weighted(formatWeights)
 		f2 := (f1 + 1 + r.Intn(len(formats)-1)) % len(formats)
 		children = append(children, subscription.Or(
 			subscription.Eq("format", event.String(formats[f1])),

@@ -57,6 +57,25 @@ func (r *RNG) Range(lo, hi float64) float64 {
 // Bool returns true with probability p (clamped to [0, 1]).
 func (r *RNG) Bool(p float64) bool { return r.src.Float64() < p }
 
+// Weighted returns an index into weights drawn with probability
+// proportional to its weight, consuming exactly one uniform draw. It
+// panics when weights is empty; non-positive weights are never chosen
+// (unless all mass is non-positive, in which case the last index wins).
+func (r *RNG) Weighted(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := r.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
 // Exponential returns an exponential draw with the given mean, capped at
 // max — the long-tailed shape of prices and bid counts, with the tail
 // truncated so a single draw cannot dominate a workload.

@@ -17,7 +17,7 @@ func RunDistributed(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	w, err := newWorkload(cfg)
+	w, err := newInputs(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -34,7 +34,7 @@ func RunDistributed(cfg Config) (*Result, error) {
 
 // buildOverlay constructs the line network with all subscriptions in place.
 // Subscription i lives at broker i mod Brokers.
-func buildOverlay(cfg Config, w *workload, dim core.Dimension) (*simnet.Network, error) {
+func buildOverlay(cfg Config, w *inputs, dim core.Dimension) (*simnet.Network, error) {
 	brokers := make([]*broker.Broker, cfg.Brokers)
 	for i := range brokers {
 		b, err := broker.New(broker.Config{
@@ -62,7 +62,7 @@ func buildOverlay(cfg Config, w *workload, dim core.Dimension) (*simnet.Network,
 
 // exhaustTotals learns each broker's pruning-exhaustion count on scratch
 // engines over its non-local entries.
-func exhaustTotals(cfg Config, w *workload, dim core.Dimension) ([]int, int, error) {
+func exhaustTotals(cfg Config, w *inputs, dim core.Dimension) ([]int, int, error) {
 	totals := make([]int, cfg.Brokers)
 	grand := 0
 	for b := 0; b < cfg.Brokers; b++ {
@@ -84,7 +84,7 @@ func exhaustTotals(cfg Config, w *workload, dim core.Dimension) ([]int, int, err
 	return totals, grand, nil
 }
 
-func runDistributedSweep(cfg Config, w *workload, dim core.Dimension) (*Sweep, error) {
+func runDistributedSweep(cfg Config, w *inputs, dim core.Dimension) (*Sweep, error) {
 	totals, grand, err := exhaustTotals(cfg, w, dim)
 	if err != nil {
 		return nil, err
@@ -154,7 +154,7 @@ func runDistributedSweep(cfg Config, w *workload, dim core.Dimension) (*Sweep, e
 // measureDistributed publishes the measurement events round-robin across
 // brokers and reports the aggregate filtering time per event, the number of
 // publish-frame transmissions, and the number of end-to-end deliveries.
-func measureDistributed(cfg Config, w *workload, net *simnet.Network) (Point, uint64, uint64, error) {
+func measureDistributed(cfg Config, w *inputs, net *simnet.Network) (Point, uint64, uint64, error) {
 	for i := 0; i < cfg.Brokers; i++ {
 		net.Broker(i).ResetCounters()
 	}

@@ -15,8 +15,15 @@ import (
 	"math"
 	"time"
 
-	"dimprune/internal/auction"
 	"dimprune/internal/core"
+	"dimprune/internal/workload"
+
+	// Populate the workload registry with the standard scenarios so any
+	// Config.Workload name resolves without the caller importing generator
+	// packages.
+	_ "dimprune/internal/auction"
+	_ "dimprune/internal/sensornet"
+	_ "dimprune/internal/ticker"
 )
 
 // Config parameterizes a sweep.
@@ -32,8 +39,11 @@ type Config struct {
 	Brokers int
 	// Dimensions lists the heuristics to sweep (default: all three).
 	Dimensions []core.Dimension
-	// Workload configures the auction generator.
-	Workload auction.Config
+	// Workload names the registered scenario generating events and
+	// subscriptions (default "auction", the paper's evaluation workload).
+	Workload string
+	// Seed makes the workload deterministic.
+	Seed uint64
 	// PruneOptions feeds through to the engines (ablations).
 	PruneOptions core.Options
 }
@@ -48,7 +58,8 @@ func DefaultConfig() Config {
 		Checkpoints: 11,
 		Brokers:     5,
 		Dimensions:  []core.Dimension{core.DimNetwork, core.DimThroughput, core.DimMemory},
-		Workload:    auction.DefaultConfig(),
+		Workload:    "auction",
+		Seed:        1,
 	}
 }
 
@@ -69,6 +80,9 @@ func (c Config) validate() error {
 		if !d.Valid() {
 			return fmt.Errorf("experiment: invalid dimension %d", int(d))
 		}
+	}
+	if _, ok := workload.Lookup(c.Workload); !ok {
+		return fmt.Errorf("experiment: unknown workload %q", c.Workload)
 	}
 	return nil
 }

@@ -1,0 +1,345 @@
+// Package sensornet generates a fleet-telemetry workload: thousands of
+// devices spread over sites and zones emit sensor readings, and
+// subscriptions are alert trees — disjunctions of threshold conditions
+// anchored by high-cardinality equality predicates (one device out of
+// thousands, one zone out of hundreds).
+//
+// The scenario is deliberately covering-hostile — the opposite pole from
+// internal/ticker. Equality predicates rarely repeat across subscribers
+// and the disjunctive alert shapes give covering little to aggregate, so
+// dimension-based pruning is the optimization that still bites: this is
+// pruning's home turf (see EXPERIMENTS.md for the expected figure
+// shapes). The nested AND-below-OR alert terms also exercise the paper's
+// §3.2 innermost pruning restriction on shapes the auction workload only
+// touches occasionally.
+package sensornet
+
+import (
+	"fmt"
+	"strconv"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+	"dimprune/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Info{
+		Name:        "sensornet",
+		Description: "fleet telemetry: high attribute cardinality, disjunctive alert trees (covering-hostile, pruning's home turf)",
+		New: func(seed uint64) (workload.Generator, error) {
+			cfg := DefaultConfig()
+			cfg.Seed = seed
+			return NewGenerator(cfg)
+		},
+	})
+}
+
+// Class identifies the three subscription classes of the workload.
+type Class int
+
+// Subscription classes.
+const (
+	// ClassDeviceWatcher tracks one device out of thousands for trouble:
+	// device = D ∧ (battery <= B ∨ fault = true [∨ rssi <= R]).
+	ClassDeviceWatcher Class = iota + 1
+	// ClassSiteAlert watches one site's environmental readings:
+	// site = S ∧ (temp >= T ∨ vibration >= V [∨ humidity >= H]), with the
+	// temperature term sometimes a nested conjunction (temp ∧ kind).
+	ClassSiteAlert
+	// ClassFleetAuditor sweeps a few zones of one sensor kind for aging
+	// units: (zone = Z₁ ∨ …) ∧ kind = K ∧ (uptime ∨ battery ∨ firmware).
+	ClassFleetAuditor
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassDeviceWatcher:
+		return "device-watcher"
+	case ClassSiteAlert:
+		return "site-alert"
+	case ClassFleetAuditor:
+		return "fleet-auditor"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Config parameterizes the workload generator.
+type Config struct {
+	// Seed makes the whole workload deterministic.
+	Seed uint64
+	// Devices, Sites, ZonesPerSite size the fleet universe. Zone names are
+	// site-qualified, so zone cardinality is Sites × ZonesPerSite.
+	Devices, Sites, ZonesPerSite int
+	// DeviceSkew is the Zipf exponent of reporting popularity over devices
+	// (gateways and busy sensors report more often, but far less skewed
+	// than the ticker's hot symbols).
+	DeviceSkew float64
+	// ClassWeights gives the relative frequency of the three subscription
+	// classes, in the order device-watcher, site-alert, fleet-auditor.
+	ClassWeights [3]float64
+}
+
+// DefaultConfig returns the fleet-telemetry scenario parameters.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Devices:      3000,
+		Sites:        120,
+		ZonesPerSite: 4,
+		DeviceSkew:   0.9,
+		ClassWeights: [3]float64{0.40, 0.35, 0.25},
+	}
+}
+
+var kindNames = []string{"thermal", "vibration", "power", "flow", "gateway"}
+var kindWeights = []float64{0.30, 0.25, 0.20, 0.15, 0.10}
+
+var firmwareNames = []string{"1.9.2", "2.0.1", "2.1.0", "2.1.3"}
+var firmwareWeights = []float64{0.10, 0.25, 0.40, 0.25}
+
+// device is one fleet unit; readings from the same device share site,
+// zone, kind, and firmware, correlating attributes the way a deployed
+// fleet does.
+type device struct {
+	name     string
+	site     string
+	zone     string
+	kind     string
+	firmware string
+}
+
+// Generator produces telemetry events and subscriptions. Events and
+// subscriptions use independent random streams — each owns its RNG and
+// its own device-popularity picker — so consuming more of one does not
+// perturb the other (property-tested by the golden-seed tests). Not safe
+// for concurrent use.
+type Generator struct {
+	cfg     Config
+	devices []device
+	sites   []string
+	evRNG   *dist.RNG
+	subRNG  *dist.RNG
+	evPick  *dist.Zipf // event-stream popularity over devices
+	subPick *dist.Zipf // subscription-stream popularity over devices
+
+	zoneSeen  map[string]bool // construction-time scratch for zoneCount
+	zoneCount int             // distinct zones actually held by devices
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	total := cfg.ClassWeights[0] + cfg.ClassWeights[1] + cfg.ClassWeights[2]
+	if total <= 0 {
+		return nil, fmt.Errorf("sensornet: class weights sum to %v", total)
+	}
+	if cfg.Devices < 1 || cfg.Sites < 1 || cfg.ZonesPerSite < 1 {
+		return nil, fmt.Errorf("sensornet: fleet sizes must be positive (devices=%d sites=%d zones=%d)",
+			cfg.Devices, cfg.Sites, cfg.ZonesPerSite)
+	}
+	root := dist.New(cfg.Seed)
+	uniRNG := root.Split()
+	g := &Generator{
+		cfg:      cfg,
+		devices:  make([]device, cfg.Devices),
+		sites:    make([]string, cfg.Sites),
+		evRNG:    root.Split(),
+		subRNG:   root.Split(),
+		zoneSeen: make(map[string]bool),
+	}
+	for i := range g.sites {
+		g.sites[i] = "site-" + strconv.Itoa(i)
+	}
+	// Site occupancy is mildly skewed: big depots hold more devices.
+	sitePick, err := dist.NewZipf(uniRNG, 0.8, cfg.Sites)
+	if err != nil {
+		return nil, err
+	}
+	for i := range g.devices {
+		site := g.sites[sitePick.Draw()]
+		g.devices[i] = device{
+			name:     "dev-" + strconv.Itoa(i),
+			site:     site,
+			zone:     site + "/z" + strconv.Itoa(uniRNG.Intn(cfg.ZonesPerSite)),
+			kind:     kindNames[uniRNG.Weighted(kindWeights)],
+			firmware: firmwareNames[uniRNG.Weighted(firmwareWeights)],
+		}
+		if !g.zoneSeen[g.devices[i].zone] {
+			g.zoneSeen[g.devices[i].zone] = true
+			g.zoneCount++
+		}
+	}
+	g.zoneSeen = nil
+	if g.evPick, err = dist.NewZipf(g.evRNG, cfg.DeviceSkew, cfg.Devices); err != nil {
+		return nil, err
+	}
+	if g.subPick, err = dist.NewZipf(g.subRNG, cfg.DeviceSkew, cfg.Devices); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Name returns the registry name of the scenario.
+func (g *Generator) Name() string { return "sensornet" }
+
+// Event generates the next telemetry reading for a popularity-weighted
+// device. Readings are mostly nominal with alert-worthy tails — low
+// batteries, heat spikes, weak radio — so the alert-tree subscriptions
+// fire on a small share of the traffic.
+func (g *Generator) Event(id uint64) *event.Message {
+	r := g.evRNG
+	d := &g.devices[g.evPick.Draw()]
+	return event.Build(id).
+		Str("device", d.name).
+		Str("site", d.site).
+		Str("zone", d.zone).
+		Str("kind", d.kind).
+		Str("firmware", d.firmware).
+		Num("temp", round1(r.Normal(45, 18, -20, 120))).
+		Num("humidity", round1(r.Normal(40, 15, 0, 100))).
+		Num("battery", round1(100-r.Exponential(25, 100))).
+		Num("vibration", round1(r.Exponential(1.2, 30))).
+		Int("rssi", int64(r.Normal(-72, 12, -110, -30))).
+		Int("uptime_h", int64(r.Exponential(400, 20000))).
+		Flag("fault", r.Bool(0.04)).
+		Msg()
+}
+
+// Events generates n events with ascending IDs starting at startID.
+func (g *Generator) Events(startID uint64, n int) []*event.Message {
+	out := make([]*event.Message, n)
+	for i := range out {
+		out[i] = g.Event(startID + uint64(i))
+	}
+	return out
+}
+
+// Subscription generates the next subscription with the given ID and
+// subscriber, drawing its class from the configured weights.
+func (g *Generator) Subscription(id uint64, subscriber string) (*subscription.Subscription, error) {
+	w := g.cfg.ClassWeights
+	u := g.subRNG.Float64() * (w[0] + w[1] + w[2])
+	switch {
+	case u < w[0]:
+		return g.OfClass(ClassDeviceWatcher, id, subscriber)
+	case u < w[0]+w[1]:
+		return g.OfClass(ClassSiteAlert, id, subscriber)
+	default:
+		return g.OfClass(ClassFleetAuditor, id, subscriber)
+	}
+}
+
+// OfClass generates a subscription of a specific class.
+func (g *Generator) OfClass(c Class, id uint64, subscriber string) (*subscription.Subscription, error) {
+	var root *subscription.Node
+	switch c {
+	case ClassDeviceWatcher:
+		root = g.deviceWatcher()
+	case ClassSiteAlert:
+		root = g.siteAlert()
+	case ClassFleetAuditor:
+		root = g.fleetAuditor()
+	default:
+		return nil, fmt.Errorf("sensornet: unknown class %d", int(c))
+	}
+	return subscription.New(id, subscriber, root)
+}
+
+// pickDevice draws a popularity-weighted device for the subscription
+// stream (watchers track the units that report most).
+func (g *Generator) pickDevice() *device { return &g.devices[g.subPick.Draw()] }
+
+// deviceWatcher: device = D ∧ (battery <= B ∨ fault = true [∨ rssi <= R]).
+// The device equality predicate carries the fleet's full cardinality —
+// thousands of distinct values that almost never repeat across watchers.
+func (g *Generator) deviceWatcher() *subscription.Node {
+	r := g.subRNG
+	d := g.pickDevice()
+	alerts := []*subscription.Node{
+		subscription.Le("battery", event.Float(round1(r.Range(20, 55)))),
+		subscription.Eq("fault", event.Bool(true)),
+	}
+	if r.Bool(0.5) {
+		alerts = append(alerts,
+			subscription.Le("rssi", event.Int(int64(r.IntRange(-100, -85)))))
+	}
+	return subscription.And(
+		subscription.Eq("device", event.String(d.name)),
+		subscription.Or(alerts...),
+	)
+}
+
+// siteAlert: site = S ∧ (temp-term ∨ vibration >= V [∨ humidity >= H]),
+// where the temperature term is sometimes a nested conjunction
+// (temp >= T ∧ kind = "thermal") — AND below OR, the shape on which the
+// §3.2 innermost pruning restriction bites.
+func (g *Generator) siteAlert() *subscription.Node {
+	r := g.subRNG
+	d := g.pickDevice()
+	tempTerm := subscription.Ge("temp", event.Float(round1(r.Range(60, 85))))
+	if r.Bool(0.3) {
+		tempTerm = subscription.And(tempTerm,
+			subscription.Eq("kind", event.String("thermal")))
+	}
+	alerts := []*subscription.Node{
+		tempTerm,
+		subscription.Ge("vibration", event.Float(round1(r.Range(4, 12)))),
+	}
+	if r.Bool(0.5) {
+		alerts = append(alerts,
+			subscription.Ge("humidity", event.Float(round1(r.Range(70, 90)))))
+	}
+	return subscription.And(
+		subscription.Eq("site", event.String(d.site)),
+		subscription.Or(alerts...),
+	)
+}
+
+// fleetAuditor: (zone = Z₁ ∨ … ∨ zone = Zₖ) ∧ kind = K ∧
+// (uptime_h >= U ∨ battery <= B ∨ firmware = F) — wide disjunctions over
+// site-qualified zone names (hundreds of distinct values) hunting aging
+// or outdated units.
+func (g *Generator) fleetAuditor() *subscription.Node {
+	r := g.subRNG
+	k := r.IntRange(2, 3)
+	// A degenerate fleet can hold fewer distinct zones than the audit
+	// wants; clamp so the dedup loop below always terminates.
+	if k > g.zoneCount {
+		k = g.zoneCount
+	}
+	seen := make(map[string]bool, k)
+	zones := make([]*subscription.Node, 0, k)
+	for len(zones) < k {
+		z := g.pickDevice().zone
+		if seen[z] {
+			continue
+		}
+		seen[z] = true
+		zones = append(zones, subscription.Eq("zone", event.String(z)))
+	}
+	aging := []*subscription.Node{
+		subscription.Ge("uptime_h", event.Int(int64(r.IntRange(1000, 8000)))),
+		subscription.Le("battery", event.Float(round1(r.Range(15, 40)))),
+	}
+	if r.Bool(0.4) {
+		aging = append(aging,
+			subscription.Eq("firmware", event.String(firmwareNames[0])))
+	}
+	return subscription.And(
+		subscription.Or(zones...),
+		subscription.Eq("kind", event.String(kindNames[r.Weighted(kindWeights)])),
+		subscription.Or(aging...),
+	)
+}
+
+// round1 keeps readings to one decimal so rendered subscriptions stay
+// readable.
+func round1(f float64) float64 {
+	if f < 0 {
+		return -float64(int(-f*10+0.5)) / 10
+	}
+	return float64(int(f*10+0.5)) / 10
+}

@@ -1,0 +1,282 @@
+package sensornet
+
+import (
+	"testing"
+
+	"dimprune/internal/subscription"
+)
+
+func TestDefaultConfigGenerates(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Event(1)
+	for _, attr := range []string{"device", "site", "zone", "kind", "firmware",
+		"temp", "humidity", "battery", "vibration", "rssi", "uptime_h", "fault"} {
+		if !m.Has(attr) {
+			t.Errorf("event missing attribute %q: %s", attr, m)
+		}
+	}
+	s, err := g.Subscription(1, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Root.Validate(); err != nil {
+		t.Errorf("generated subscription invalid: %v", err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	gen := func() (string, string) {
+		g, err := NewGenerator(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := g.Event(1).String()
+		s, _ := g.Subscription(1, "x")
+		return ev, s.String()
+	}
+	e1, s1 := gen()
+	e2, s2 := gen()
+	if e1 != e2 {
+		t.Errorf("event streams diverge:\n%s\n%s", e1, e2)
+	}
+	if s1 != s2 {
+		t.Errorf("subscription streams diverge:\n%s\n%s", s1, s2)
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	g1, _ := NewGenerator(cfg)
+	cfg.Seed = 2
+	g2, _ := NewGenerator(cfg)
+	if g1.Event(1).String() == g2.Event(1).String() {
+		t.Error("different seeds produced identical first events")
+	}
+}
+
+func TestEventValueRanges(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		m := g.Event(uint64(i))
+		if b, _ := m.Get("battery"); b.AsFloat() < 0 || b.AsFloat() > 100 {
+			t.Fatalf("battery out of range: %v", b)
+		}
+		if temp, _ := m.Get("temp"); temp.AsFloat() < -20 || temp.AsFloat() > 120 {
+			t.Fatalf("temp out of range: %v", temp)
+		}
+		if rssi, _ := m.Get("rssi"); rssi.AsInt() < -110 || rssi.AsInt() > -30 {
+			t.Fatalf("rssi out of range: %v", rssi)
+		}
+		if h, _ := m.Get("humidity"); h.AsFloat() < 0 || h.AsFloat() > 100 {
+			t.Fatalf("humidity out of range: %v", h)
+		}
+	}
+}
+
+func TestHighAttributeCardinality(t *testing.T) {
+	// The scenario's defining property: equality predicates draw from
+	// thousands of device names and hundreds of zone names, so values
+	// rarely repeat across subscribers (covering-hostile).
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices := map[string]bool{}
+	zones := map[string]bool{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		m := g.Event(uint64(i))
+		d, _ := m.Get("device")
+		devices[d.AsString()] = true
+		z, _ := m.Get("zone")
+		zones[z.AsString()] = true
+	}
+	if len(devices) < 500 {
+		t.Errorf("only %d distinct devices in %d events; cardinality too low", len(devices), n)
+	}
+	if len(zones) < 100 {
+		t.Errorf("only %d distinct zones in %d events; cardinality too low", len(zones), n)
+	}
+}
+
+func TestClassShapes(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		dw, err := g.OfClass(ClassDeviceWatcher, uint64(i*3+1), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasLeafOn(dw.Root, "device") || !hasLeafOn(dw.Root, "battery") {
+			t.Fatalf("device watcher missing core predicates: %s", dw)
+		}
+		sa, err := g.OfClass(ClassSiteAlert, uint64(i*3+2), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasLeafOn(sa.Root, "site") || !hasLeafOn(sa.Root, "temp") {
+			t.Fatalf("site alert missing core predicates: %s", sa)
+		}
+		fa, err := g.OfClass(ClassFleetAuditor, uint64(i*3+3), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		zoneLeaves := 0
+		fa.Root.Walk(func(n, _ *subscription.Node) bool {
+			if n.Kind == subscription.NodeLeaf && n.Pred.Attr == "zone" {
+				zoneLeaves++
+			}
+			return true
+		})
+		if zoneLeaves < 2 {
+			t.Fatalf("fleet auditor has %d zone leaves: %s", zoneLeaves, fa)
+		}
+	}
+}
+
+func TestShapesAreDisjunctiveAlertTrees(t *testing.T) {
+	// Every class anchors an OR alert tree under its root conjunction —
+	// the covering-hostile shape the scenario exists to exercise.
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOr := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		s, err := g.Subscription(uint64(i+1), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasOr := false
+		s.Root.Walk(func(node, _ *subscription.Node) bool {
+			if node.Kind == subscription.NodeOr {
+				hasOr = true
+			}
+			return !hasOr
+		})
+		if hasOr {
+			withOr++
+		}
+	}
+	if withOr < n*9/10 {
+		t.Errorf("only %d/%d subscriptions contain a disjunction; alert trees missing", withOr, n)
+	}
+}
+
+func TestSubscriptionsArePrunable(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s, err := g.Subscription(uint64(i), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(subscription.Candidates(s.Root, nil)) == 0 {
+			t.Fatalf("unprunable subscription generated: %s", s)
+		}
+	}
+}
+
+func TestSubscriptionsMatchSomeEvents(t *testing.T) {
+	// Liveness: a reasonable share of subscriptions match at least one
+	// event in a large sample, and the overall match rate is neither zero
+	// nor saturated (the auction's "workload too cold" check).
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := g.Events(1, 5000)
+	subs := make([]*subscription.Subscription, 300)
+	for i := range subs {
+		s, err := g.Subscription(uint64(i+1), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+	matchedSubs := 0
+	totalMatches := 0
+	for _, s := range subs {
+		hit := 0
+		for _, m := range events {
+			if s.Matches(m) {
+				hit++
+			}
+		}
+		if hit > 0 {
+			matchedSubs++
+		}
+		totalMatches += hit
+	}
+	if matchedSubs < len(subs)/10 {
+		t.Errorf("only %d/%d subscriptions ever match; workload too cold", matchedSubs, len(subs))
+	}
+	rate := float64(totalMatches) / float64(len(events)*len(subs))
+	if rate <= 0 || rate > 0.5 {
+		t.Errorf("average match rate %v; want sparse but nonzero", rate)
+	}
+	t.Logf("matched subs: %d/%d, avg match rate %.4f", matchedSubs, len(subs), rate)
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ClassWeights = [3]float64{0, 0, 0}
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("zero class weights accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Devices = 0
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+func TestDegenerateFleetTerminates(t *testing.T) {
+	// A fleet with a single zone must still generate fleet auditors (the
+	// zone disjunction clamps to the distinct zones that exist) instead of
+	// spinning forever looking for a second zone.
+	cfg := DefaultConfig()
+	cfg.Devices, cfg.Sites, cfg.ZonesPerSite = 1, 1, 1
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s, err := g.OfClass(ClassFleetAuditor, uint64(i+1), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Root.Validate(); err != nil {
+			t.Fatalf("degenerate-fleet auditor invalid: %v\n%s", err, s)
+		}
+	}
+}
+
+func TestOfClassUnknown(t *testing.T) {
+	g, _ := NewGenerator(DefaultConfig())
+	if _, err := g.OfClass(Class(99), 1, "c"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func hasLeafOn(n *subscription.Node, attr string) bool {
+	found := false
+	n.Walk(func(node, _ *subscription.Node) bool {
+		if node.Kind == subscription.NodeLeaf && node.Pred.Attr == attr {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

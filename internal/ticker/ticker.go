@@ -1,0 +1,311 @@
+// Package ticker generates a stock-ticker workload: a small universe of
+// symbols with strongly skewed trading popularity, a high-rate stream of
+// quote events, and shallow conjunctive subscriptions built from numeric
+// range predicates (price limits, momentum thresholds).
+//
+// The scenario is deliberately covering-friendly — the opposite pole from
+// internal/sensornet. Interest piles onto a few hot symbols, so routing
+// tables hold many subscriptions that share the identical symbol-equality
+// predicate and differ only in nested numeric thresholds; subscription
+// covering and aggregation thrive in this regime, and dimension-based
+// pruning has comparatively little left to win (see EXPERIMENTS.md for
+// the expected figure shapes).
+package ticker
+
+import (
+	"fmt"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+	"dimprune/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Info{
+		Name:        "ticker",
+		Description: "stock ticker: few hot symbols, numeric range predicates, shallow conjunctions (covering-friendly)",
+		New: func(seed uint64) (workload.Generator, error) {
+			cfg := DefaultConfig()
+			cfg.Seed = seed
+			return NewGenerator(cfg)
+		},
+	})
+}
+
+// Class identifies the three subscription classes of the workload.
+type Class int
+
+// Subscription classes.
+const (
+	// ClassPriceAlert waits for one symbol to cross a price level — the
+	// shallowest shape: symbol equality plus one price bound.
+	ClassPriceAlert Class = iota + 1
+	// ClassMomentumScreen watches one symbol for a move on volume:
+	// symbol = S ∧ change >= C ∧ volume >= V.
+	ClassMomentumScreen
+	// ClassSectorScanner watches a whole sector for drops — the broadest
+	// equality predicate in the workload (sector cardinality is tiny).
+	ClassSectorScanner
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassPriceAlert:
+		return "price-alert"
+	case ClassMomentumScreen:
+		return "momentum-screen"
+	case ClassSectorScanner:
+		return "sector-scanner"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Config parameterizes the workload generator.
+type Config struct {
+	// Seed makes the whole workload deterministic.
+	Seed uint64
+	// Symbols sizes the listed universe; Sectors and Exchanges cap the
+	// respective name lists.
+	Symbols, Sectors, Exchanges int
+	// SymbolSkew is the Zipf exponent of trading popularity over symbols;
+	// the default keeps a handful of symbols carrying most of the tape.
+	SymbolSkew float64
+	// ClassWeights gives the relative frequency of the three subscription
+	// classes, in the order price-alert, momentum-screen, sector-scanner.
+	ClassWeights [3]float64
+}
+
+// DefaultConfig returns the stock-ticker scenario parameters.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Symbols:      48,
+		Sectors:      10,
+		Exchanges:    3,
+		SymbolSkew:   1.25,
+		ClassWeights: [3]float64{0.45, 0.30, 0.25},
+	}
+}
+
+var sectorNames = []string{
+	"tech", "energy", "finance", "health", "consumer",
+	"industrials", "materials", "utilities", "telecom", "realestate",
+}
+
+var exchangeNames = []string{"NYX", "NSQ", "LSE"}
+
+// symbol is one listed instrument; quotes about the same symbol share
+// sector, exchange, and hover around the same base price.
+type symbol struct {
+	name      string
+	sector    string
+	exchange  string
+	basePrice float64
+}
+
+// Generator produces ticker events and subscriptions. Events and
+// subscriptions use independent random streams — each owns its RNG and
+// its own symbol-popularity picker — so consuming more of one does not
+// perturb the other (property-tested by the golden-seed tests). Not safe
+// for concurrent use.
+type Generator struct {
+	cfg     Config
+	symbols []symbol
+	evRNG   *dist.RNG
+	subRNG  *dist.RNG
+	evPick  *dist.Zipf // event-stream popularity over symbols
+	subPick *dist.Zipf // subscription-stream popularity over symbols
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	total := cfg.ClassWeights[0] + cfg.ClassWeights[1] + cfg.ClassWeights[2]
+	if total <= 0 {
+		return nil, fmt.Errorf("ticker: class weights sum to %v", total)
+	}
+	if cfg.Symbols < 1 || cfg.Sectors < 1 || cfg.Exchanges < 1 {
+		return nil, fmt.Errorf("ticker: universe sizes must be positive (symbols=%d sectors=%d exchanges=%d)",
+			cfg.Symbols, cfg.Sectors, cfg.Exchanges)
+	}
+	if cfg.Sectors > len(sectorNames) {
+		cfg.Sectors = len(sectorNames)
+	}
+	if cfg.Exchanges > len(exchangeNames) {
+		cfg.Exchanges = len(exchangeNames)
+	}
+	root := dist.New(cfg.Seed)
+	uniRNG := root.Split()
+	g := &Generator{
+		cfg:     cfg,
+		symbols: make([]symbol, cfg.Symbols),
+		evRNG:   root.Split(),
+		subRNG:  root.Split(),
+	}
+	// Sectors follow a mild popularity skew (tech lists more symbols than
+	// realestate), exchanges are near-uniform.
+	sectorPick, err := dist.NewZipf(uniRNG, 0.7, cfg.Sectors)
+	if err != nil {
+		return nil, err
+	}
+	for i := range g.symbols {
+		g.symbols[i] = symbol{
+			name:      symbolName(i),
+			sector:    sectorNames[sectorPick.Draw()],
+			exchange:  exchangeNames[uniRNG.Intn(cfg.Exchanges)],
+			basePrice: uniRNG.Exponential(60, 900) + 4, // long-tailed, >= 4
+		}
+	}
+	if g.evPick, err = dist.NewZipf(g.evRNG, cfg.SymbolSkew, cfg.Symbols); err != nil {
+		return nil, err
+	}
+	if g.subPick, err = dist.NewZipf(g.subRNG, cfg.SymbolSkew, cfg.Symbols); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Name returns the registry name of the scenario.
+func (g *Generator) Name() string { return "ticker" }
+
+// symbolName builds a deterministic unique three-letter code.
+func symbolName(i int) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return string([]byte{
+		letters[(i/(26*26))%26],
+		letters[(i/26)%26],
+		letters[i%26],
+	})
+}
+
+// Event generates the next quote: a trade snapshot for a popularity-
+// weighted symbol. Prices wander tightly around the symbol's base, so
+// alert thresholds set near the base keep the workload live without
+// saturating it.
+func (g *Generator) Event(id uint64) *event.Message {
+	r := g.evRNG
+	s := &g.symbols[g.evPick.Draw()]
+	price := s.basePrice * r.Normal(1.0, 0.045, 0.75, 1.3)
+	change := r.Normal(0, 1.6, -9, 9)
+	return event.Build(id).
+		Str("symbol", s.name).
+		Str("sector", s.sector).
+		Str("exchange", s.exchange).
+		Num("price", round2(price)).
+		Num("change", round2(change)).
+		Int("volume", int64(r.Exponential(20000, 500000))).
+		Int("trades", int64(r.Exponential(150, 5000))).
+		Flag("halted", r.Bool(0.002)).
+		Msg()
+}
+
+// Events generates n events with ascending IDs starting at startID.
+func (g *Generator) Events(startID uint64, n int) []*event.Message {
+	out := make([]*event.Message, n)
+	for i := range out {
+		out[i] = g.Event(startID + uint64(i))
+	}
+	return out
+}
+
+// Subscription generates the next subscription with the given ID and
+// subscriber, drawing its class from the configured weights.
+func (g *Generator) Subscription(id uint64, subscriber string) (*subscription.Subscription, error) {
+	w := g.cfg.ClassWeights
+	u := g.subRNG.Float64() * (w[0] + w[1] + w[2])
+	switch {
+	case u < w[0]:
+		return g.OfClass(ClassPriceAlert, id, subscriber)
+	case u < w[0]+w[1]:
+		return g.OfClass(ClassMomentumScreen, id, subscriber)
+	default:
+		return g.OfClass(ClassSectorScanner, id, subscriber)
+	}
+}
+
+// OfClass generates a subscription of a specific class.
+func (g *Generator) OfClass(c Class, id uint64, subscriber string) (*subscription.Subscription, error) {
+	var root *subscription.Node
+	switch c {
+	case ClassPriceAlert:
+		root = g.priceAlert()
+	case ClassMomentumScreen:
+		root = g.momentumScreen()
+	case ClassSectorScanner:
+		root = g.sectorScanner()
+	default:
+		return nil, fmt.Errorf("ticker: unknown class %d", int(c))
+	}
+	return subscription.New(id, subscriber, root)
+}
+
+// priceAlert: symbol = S ∧ price <= L (bargain) or symbol = S ∧ price >= U
+// (breakout) [∧ exchange = E]. Thresholds sit near the symbol's base price;
+// many alerts on the same hot symbol differ only in the bound — the nesting
+// structure subscription covering exploits.
+func (g *Generator) priceAlert() *subscription.Node {
+	r := g.subRNG
+	s := &g.symbols[g.subPick.Draw()]
+	children := []*subscription.Node{
+		subscription.Eq("symbol", event.String(s.name)),
+	}
+	if r.Bool(0.7) {
+		children = append(children,
+			subscription.Le("price", event.Float(round2(s.basePrice*r.Range(0.92, 1.06)))))
+	} else {
+		children = append(children,
+			subscription.Ge("price", event.Float(round2(s.basePrice*r.Range(0.97, 1.12)))))
+	}
+	if r.Bool(0.2) {
+		children = append(children,
+			subscription.Eq("exchange", event.String(s.exchange)))
+	}
+	return subscription.And(children...)
+}
+
+// momentumScreen: symbol = S ∧ change >= C ∧ volume >= V [∧ trades >= T].
+func (g *Generator) momentumScreen() *subscription.Node {
+	r := g.subRNG
+	s := &g.symbols[g.subPick.Draw()]
+	children := []*subscription.Node{
+		subscription.Eq("symbol", event.String(s.name)),
+		subscription.Ge("change", event.Float(round2(r.Range(0.5, 3)))),
+		subscription.Ge("volume", event.Int(int64(r.Exponential(15000, 250000)))),
+	}
+	if r.Bool(0.3) {
+		children = append(children,
+			subscription.Ge("trades", event.Int(int64(r.Exponential(100, 2000)))))
+	}
+	return subscription.And(children...)
+}
+
+// sectorScanner: sector = X ∧ change <= -C [∧ volume >= V] [∧ exchange = E]
+// — a drop alert over a whole sector, the workload's broadest shape.
+func (g *Generator) sectorScanner() *subscription.Node {
+	r := g.subRNG
+	s := &g.symbols[g.subPick.Draw()]
+	children := []*subscription.Node{
+		subscription.Eq("sector", event.String(s.sector)),
+		subscription.Le("change", event.Float(round2(-r.Range(0.5, 2.5)))),
+	}
+	if r.Bool(0.4) {
+		children = append(children,
+			subscription.Ge("volume", event.Int(int64(r.Exponential(10000, 150000)))))
+	}
+	if r.Bool(0.3) {
+		children = append(children,
+			subscription.Eq("exchange", event.String(exchangeNames[r.Intn(g.cfg.Exchanges)])))
+	}
+	return subscription.And(children...)
+}
+
+// round2 keeps prices and percentages to two decimals so rendered
+// subscriptions stay readable.
+func round2(f float64) float64 {
+	if f < 0 {
+		return -float64(int(-f*100+0.5)) / 100
+	}
+	return float64(int(f*100+0.5)) / 100
+}

@@ -1,0 +1,257 @@
+package ticker
+
+import (
+	"testing"
+
+	"dimprune/internal/subscription"
+)
+
+func TestDefaultConfigGenerates(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Event(1)
+	for _, attr := range []string{"symbol", "sector", "exchange", "price", "change", "volume", "trades", "halted"} {
+		if !m.Has(attr) {
+			t.Errorf("event missing attribute %q: %s", attr, m)
+		}
+	}
+	s, err := g.Subscription(1, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Root.Validate(); err != nil {
+		t.Errorf("generated subscription invalid: %v", err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	gen := func() (string, string) {
+		g, err := NewGenerator(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := g.Event(1).String()
+		s, _ := g.Subscription(1, "x")
+		return ev, s.String()
+	}
+	e1, s1 := gen()
+	e2, s2 := gen()
+	if e1 != e2 {
+		t.Errorf("event streams diverge:\n%s\n%s", e1, e2)
+	}
+	if s1 != s2 {
+		t.Errorf("subscription streams diverge:\n%s\n%s", s1, s2)
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	g1, _ := NewGenerator(cfg)
+	cfg.Seed = 2
+	g2, _ := NewGenerator(cfg)
+	if g1.Event(1).String() == g2.Event(1).String() {
+		t.Error("different seeds produced identical first events")
+	}
+}
+
+func TestEventValueRanges(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		m := g.Event(uint64(i))
+		if price, _ := m.Get("price"); price.AsFloat() <= 0 || price.AsFloat() > 1200 {
+			t.Fatalf("price out of range: %v", price)
+		}
+		if change, _ := m.Get("change"); change.AsFloat() < -9 || change.AsFloat() > 9 {
+			t.Fatalf("change out of range: %v", change)
+		}
+		if v, _ := m.Get("volume"); v.AsInt() < 0 || v.AsInt() > 500000 {
+			t.Fatalf("volume out of range: %v", v)
+		}
+	}
+}
+
+func TestSymbolPopularitySkewed(t *testing.T) {
+	// "Few hot symbols" is the scenario's defining property: the head of
+	// the Zipf must carry a large share of the tape.
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sym, _ := g.Event(uint64(i)).Get("symbol")
+		counts[sym.AsString()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf s=1.25 over 48 symbols: the top symbol carries >20% of events.
+	if max < n/10 {
+		t.Errorf("top symbol seen %d times out of %d; tape not concentrated", max, n)
+	}
+	if len(counts) < 10 {
+		t.Errorf("only %d distinct symbols in %d events; tail missing", len(counts), n)
+	}
+}
+
+func TestClassShapes(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		pa, err := g.OfClass(ClassPriceAlert, uint64(i*3+1), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasLeafOn(pa.Root, "symbol") || !hasLeafOn(pa.Root, "price") {
+			t.Fatalf("price alert missing core predicates: %s", pa)
+		}
+		ms, err := g.OfClass(ClassMomentumScreen, uint64(i*3+2), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasLeafOn(ms.Root, "symbol") || !hasLeafOn(ms.Root, "change") || !hasLeafOn(ms.Root, "volume") {
+			t.Fatalf("momentum screen missing core predicates: %s", ms)
+		}
+		ss, err := g.OfClass(ClassSectorScanner, uint64(i*3+3), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasLeafOn(ss.Root, "sector") || !hasLeafOn(ss.Root, "change") {
+			t.Fatalf("sector scanner missing core predicates: %s", ss)
+		}
+	}
+}
+
+func TestShapesAreShallowConjunctions(t *testing.T) {
+	// Covering-friendliness rests on the subscriptions being conjunctions
+	// of leaves — no OR nodes anywhere in this workload.
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s, err := g.Subscription(uint64(i+1), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Root.Walk(func(n, _ *subscription.Node) bool {
+			if n.Kind == subscription.NodeOr {
+				t.Fatalf("ticker subscription contains an OR node: %s", s)
+			}
+			return true
+		})
+	}
+}
+
+func TestSubscriptionsArePrunable(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s, err := g.Subscription(uint64(i), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(subscription.Candidates(s.Root, nil)) == 0 {
+			t.Fatalf("unprunable subscription generated: %s", s)
+		}
+	}
+}
+
+func TestSubscriptionsMatchSomeEvents(t *testing.T) {
+	// Liveness: a reasonable share of subscriptions match at least one
+	// event in a large sample, and the overall match rate is neither zero
+	// nor saturated (the auction's "workload too cold" check).
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := g.Events(1, 5000)
+	subs := make([]*subscription.Subscription, 300)
+	for i := range subs {
+		s, err := g.Subscription(uint64(i+1), "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+	matchedSubs := 0
+	totalMatches := 0
+	for _, s := range subs {
+		hit := 0
+		for _, m := range events {
+			if s.Matches(m) {
+				hit++
+			}
+		}
+		if hit > 0 {
+			matchedSubs++
+		}
+		totalMatches += hit
+	}
+	if matchedSubs < len(subs)/10 {
+		t.Errorf("only %d/%d subscriptions ever match; workload too cold", matchedSubs, len(subs))
+	}
+	rate := float64(totalMatches) / float64(len(events)*len(subs))
+	if rate <= 0 || rate > 0.5 {
+		t.Errorf("average match rate %v; want sparse but nonzero", rate)
+	}
+	t.Logf("matched subs: %d/%d, avg match rate %.4f", matchedSubs, len(subs), rate)
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ClassWeights = [3]float64{0, 0, 0}
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("zero class weights accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Symbols = 0
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("empty universe accepted")
+	}
+}
+
+func TestOfClassUnknown(t *testing.T) {
+	g, _ := NewGenerator(DefaultConfig())
+	if _, err := g.OfClass(Class(99), 1, "c"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestSymbolNamesUnique(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range g.symbols {
+		if seen[s.name] {
+			t.Fatalf("duplicate symbol name %q", s.name)
+		}
+		seen[s.name] = true
+	}
+}
+
+func hasLeafOn(n *subscription.Node, attr string) bool {
+	found := false
+	n.Walk(func(node, _ *subscription.Node) bool {
+		if node.Kind == subscription.NodeLeaf && node.Pred.Attr == attr {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,107 @@
+package workload_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/filter"
+	"dimprune/internal/subscription"
+	"dimprune/internal/workload"
+)
+
+// FuzzWorkloadShape drives every registered workload with arbitrary seeds
+// and checks the structural guarantees the rest of the system assumes of
+// generated traffic:
+//
+//   - every generated subscription tree validates and compiles into the
+//     counting filter engine;
+//   - the filter engine and direct tree evaluation agree on every
+//     generated event (a miniature differential oracle per seed);
+//   - the FuzzPruneSuperset invariant holds on generated shapes: every
+//     pruning step's match set is a superset of its predecessor's and the
+//     original's — a pruning that loses a match would turn routing false
+//     positives into lost deliveries.
+//
+// The subscription-level fuzzer (internal/subscription.FuzzPruneSuperset)
+// explores random trees; this one explores the trees the scenarios
+// actually emit, including each generator's class mix. Run longer with:
+// go test -fuzz=FuzzWorkloadShape ./internal/workload
+func FuzzWorkloadShape(f *testing.F) {
+	f.Add(uint64(1), uint8(4))
+	f.Add(uint64(42), uint8(16))
+	f.Add(uint64(2026), uint8(1))
+	f.Add(uint64(0xfeedface), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, steps uint8) {
+		for _, name := range workload.Names() {
+			gen, err := workload.New(name, seed)
+			if err != nil {
+				t.Fatalf("%s: generator rejected seed %d: %v", name, seed, err)
+			}
+			events := gen.Events(1, 24)
+			const nSubs = 8
+			subs := make([]*subscription.Subscription, nSubs)
+			table := filter.New()
+			for i := range subs {
+				s, err := gen.Subscription(uint64(i+1), fmt.Sprintf("s%d", i+1))
+				if err != nil {
+					t.Fatalf("%s: subscription %d: %v", name, i, err)
+				}
+				if err := s.Root.Validate(); err != nil {
+					t.Fatalf("%s: generated invalid tree: %v\n%s", name, err, s)
+				}
+				if err := table.Register(s); err != nil {
+					t.Fatalf("%s: tree does not compile into the filter engine: %v\n%s", name, err, s)
+				}
+				subs[i] = s
+			}
+
+			// Engine vs. direct evaluation must agree event by event.
+			for _, m := range events {
+				direct := 0
+				for _, s := range subs {
+					if s.Matches(m) {
+						direct++
+					}
+				}
+				if got := table.MatchCount(m); got != direct {
+					t.Fatalf("%s: filter engine matched %d subscriptions, direct evaluation %d\nevent: %s",
+						name, got, direct, m)
+				}
+			}
+
+			// Match-superset under pruning, on the scenario's own shapes.
+			r := dist.New(seed ^ 0x9e3779b97f4a7c15)
+			for _, s := range subs {
+				original := s.Root
+				current := original
+				for step := 0; step < int(steps)%12; step++ {
+					cands := subscription.Candidates(current, nil)
+					if len(cands) == 0 {
+						break
+					}
+					pruned := subscription.PruneAt(current, cands[r.Intn(len(cands))])
+					if pruned == nil {
+						t.Fatalf("%s: PruneAt rejected a candidate of its own tree:\n%s", name, current)
+					}
+					if err := pruned.Validate(); err != nil {
+						t.Fatalf("%s: pruning produced invalid tree: %v\nfrom: %s\nto:   %s",
+							name, err, current, pruned)
+					}
+					for _, m := range events {
+						got := pruned.Matches(m)
+						if original.Matches(m) && !got {
+							t.Fatalf("%s: step %d lost a match of the original tree:\noriginal: %s\npruned:   %s\nevent:    %s",
+								name, step, original, pruned, m)
+						}
+						if current.Matches(m) && !got {
+							t.Fatalf("%s: step %d lost a match of its immediate predecessor:\nfrom:  %s\nto:    %s\nevent: %s",
+								name, step, current, pruned, m)
+						}
+					}
+					current = pruned
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,113 @@
+// Package workload makes traffic scenarios first-class: a workload is a
+// deterministic seeded generator of events and classed subscriptions,
+// registered under a name so the experiment harness, the CLIs, and the
+// differential oracles can run any scenario interchangeably.
+//
+// The paper's evaluation rests on one workload (the online book auction,
+// internal/auction); pruning and covering trade-offs shift drastically
+// with predicate shape and attribute cardinality, so the registry carries
+// scenarios with qualitatively different behavior — internal/ticker
+// (covering-friendly: few hot symbols, shallow numeric conjunctions) and
+// internal/sensornet (covering-hostile: high-cardinality attributes,
+// disjunctive alert trees). Generator packages register themselves in
+// their init functions; import them (blank imports suffice) to populate
+// the registry.
+//
+// Determinism contract, shared by every registered workload and enforced
+// by the tests in this package and the golden-seed tests in each
+// generator package: one seed names one workload, byte-stable across
+// refactors; and the event and subscription streams are independent —
+// consuming more of one never perturbs the other.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dimprune/internal/event"
+	"dimprune/internal/subscription"
+)
+
+// Generator produces one scenario's deterministic event and subscription
+// streams. Implementations are not safe for concurrent use; build one
+// generator per goroutine.
+type Generator interface {
+	// Name returns the registry name of the scenario this generator
+	// implements.
+	Name() string
+	// Event generates the next event message with the given ID. The event
+	// stream is independent of the subscription stream.
+	Event(id uint64) *event.Message
+	// Events generates n events with ascending IDs starting at startID.
+	Events(startID uint64, n int) []*event.Message
+	// Subscription generates the next subscription with the given ID and
+	// subscriber, drawing its class from the scenario's class mix.
+	Subscription(id uint64, subscriber string) (*subscription.Subscription, error)
+}
+
+// Info describes one registered workload.
+type Info struct {
+	// Name keys the registry ("auction", "ticker", "sensornet", …).
+	Name string
+	// Description is a one-line scenario summary for CLI help output.
+	Description string
+	// New builds a generator with the scenario's default parameters and
+	// the given seed.
+	New func(seed uint64) (Generator, error)
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Info{}
+)
+
+// Register adds a workload to the registry. It panics on an empty name,
+// a nil constructor, or a duplicate registration — all programmer errors
+// in a generator package's init.
+func Register(info Info) {
+	if info.Name == "" {
+		panic("workload: Register with empty name")
+	}
+	if info.New == nil {
+		panic("workload: Register " + info.Name + " with nil constructor")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		panic("workload: Register called twice for " + info.Name)
+	}
+	registry[info.Name] = info
+}
+
+// Lookup returns the registration for name.
+func Lookup(name string) (Info, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	info, ok := registry[name]
+	return info, ok
+}
+
+// New builds a generator for the named workload with the given seed. The
+// error for an unknown name lists what is registered.
+func New(name string, seed uint64) (Generator, error) {
+	info, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return info.New(seed)
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,155 @@
+package workload_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"testing"
+
+	"dimprune/internal/subscription"
+	"dimprune/internal/workload"
+
+	_ "dimprune/internal/auction"
+	_ "dimprune/internal/sensornet"
+	_ "dimprune/internal/ticker"
+)
+
+func TestStandardScenariosRegistered(t *testing.T) {
+	names := workload.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for _, want := range []string{"auction", "sensornet", "ticker"} {
+		info, ok := workload.Lookup(want)
+		if !ok {
+			t.Errorf("standard workload %q not registered (have %v)", want, names)
+			continue
+		}
+		if info.Name != want || info.Description == "" || info.New == nil {
+			t.Errorf("registration for %q incomplete: %+v", want, info)
+		}
+	}
+}
+
+func TestNewUnknownListsRegistered(t *testing.T) {
+	_, err := workload.New("bogus", 1)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !strings.Contains(err.Error(), "auction") {
+		t.Errorf("error does not list registered workloads: %v", err)
+	}
+}
+
+func TestRegisterRejectsBadInfo(t *testing.T) {
+	mustPanic := func(name string, info workload.Info) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		workload.Register(info)
+	}
+	ctor := func(uint64) (workload.Generator, error) { return nil, nil }
+	mustPanic("empty name", workload.Info{New: ctor})
+	mustPanic("nil constructor", workload.Info{Name: "t-nilctor"})
+	mustPanic("duplicate", workload.Info{Name: "auction", New: ctor})
+}
+
+// streamHashes renders the first n events and subscriptions of a fresh
+// generator into two FNV-64a hashes; interleave consumes the two streams
+// alternately instead of in sequence.
+func streamHashes(t *testing.T, name string, seed uint64, n int, interleave bool) (uint64, uint64) {
+	t.Helper()
+	gen, err := workload.New(name, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Name() != name {
+		t.Fatalf("generator for %q reports Name() = %q", name, gen.Name())
+	}
+	he := fnv.New64a()
+	hs := fnv.New64a()
+	sub := func(i int) {
+		s, err := gen.Subscription(uint64(i+1), fmt.Sprintf("s%d", i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(hs, "%d|%s|%s\n", i, s.Subscriber, s)
+	}
+	if interleave {
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(he, "%d|%s\n", i, gen.Event(uint64(i+1)))
+			sub(i)
+		}
+	} else {
+		for i, m := range gen.Events(1, n) {
+			fmt.Fprintf(he, "%d|%s\n", i, m)
+		}
+		for i := 0; i < n; i++ {
+			sub(i)
+		}
+	}
+	return he.Sum64(), hs.Sum64()
+}
+
+// TestDeterminismContract checks the registry-wide guarantees every
+// scenario must earn (the per-package golden tests additionally pin the
+// concrete bytes): same seed → identical streams, different seed →
+// different streams, and event/subscription stream independence.
+func TestDeterminismContract(t *testing.T) {
+	for _, name := range workload.Names() {
+		t.Run(name, func(t *testing.T) {
+			e1, s1 := streamHashes(t, name, 7, 64, false)
+			e2, s2 := streamHashes(t, name, 7, 64, false)
+			if e1 != e2 || s1 != s2 {
+				t.Errorf("same-seed runs diverge: events %#x vs %#x, subs %#x vs %#x", e1, e2, s1, s2)
+			}
+			e3, s3 := streamHashes(t, name, 8, 64, false)
+			if e1 == e3 || s1 == s3 {
+				t.Errorf("different seeds produced identical streams")
+			}
+			ei, si := streamHashes(t, name, 7, 64, true)
+			if ei != e1 || si != s1 {
+				t.Errorf("interleaved consumption perturbs the streams: events %#x vs %#x, subs %#x vs %#x",
+					ei, e1, si, s1)
+			}
+		})
+	}
+}
+
+// TestScenariosLiveAndPrunable checks, through the registry interface,
+// that every scenario can feed the experiment harness: subscriptions are
+// prunable and some of them match some events (the full liveness bars
+// live in each generator package).
+func TestScenariosLiveAndPrunable(t *testing.T) {
+	for _, name := range workload.Names() {
+		t.Run(name, func(t *testing.T) {
+			gen, err := workload.New(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := gen.Events(1, 2000)
+			matches := 0
+			for i := 0; i < 100; i++ {
+				s, err := gen.Subscription(uint64(i+1), "c")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(subscription.Candidates(s.Root, nil)) == 0 {
+					t.Fatalf("unprunable subscription: %s", s)
+				}
+				for _, m := range events {
+					if s.Matches(m) {
+						matches++
+					}
+				}
+			}
+			if matches == 0 {
+				t.Error("no subscription matched any event; workload dead through the registry")
+			}
+		})
+	}
+}

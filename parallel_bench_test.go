@@ -17,13 +17,13 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"dimprune/internal/auction"
 	"dimprune/internal/event"
+	"dimprune/internal/workload"
 )
 
-// benchEmbedded builds an Embedded instance with nSubs auction
-// subscriptions and returns it with a pre-generated event stream.
-func benchEmbedded(b *testing.B, workers, shards, nSubs, nEvents int) (*Embedded, []*event.Message) {
+// benchEmbedded builds an Embedded instance with nSubs subscriptions of
+// the named workload and returns it with a pre-generated event stream.
+func benchEmbedded(b *testing.B, wl string, workers, shards, nSubs, nEvents int) (*Embedded, []*event.Message) {
 	b.Helper()
 	ps, err := NewEmbedded(EmbeddedConfig{
 		MatchWorkers:    workers,
@@ -33,7 +33,7 @@ func benchEmbedded(b *testing.B, workers, shards, nSubs, nEvents int) (*Embedded
 	if err != nil {
 		b.Fatal(err)
 	}
-	gen, err := auction.NewGenerator(auction.DefaultConfig())
+	gen, err := workload.New(wl, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -50,8 +50,13 @@ func benchEmbedded(b *testing.B, workers, shards, nSubs, nEvents int) (*Embedded
 }
 
 // BenchmarkPublishParallel sweeps the worker/shard layout with a single
-// publisher. events/sec at workers=4 or 8 versus workers=1 is the
-// acceptance ratio recorded in CHANGES.md.
+// publisher, for every registered workload scenario — the per-workload
+// perf trajectory (BENCH_5.json, re-measured by the CI bench-workloads
+// job). events/sec at workers=4 or 8 versus workers=1 is the acceptance
+// ratio recorded in CHANGES.md; the cross-workload spread shows how
+// match cost depends on predicate shape (ticker's hot symbols match an
+// order of magnitude more entries per event than sensornet's
+// high-cardinality alert trees).
 func BenchmarkPublishParallel(b *testing.B) {
 	layouts := []struct{ workers, shards int }{
 		{1, 1},
@@ -60,22 +65,24 @@ func BenchmarkPublishParallel(b *testing.B) {
 		{8, 16},
 	}
 	const nSubs = 20000
-	for _, l := range layouts {
-		b.Run(fmt.Sprintf("workers=%d/shards=%d", l.workers, l.shards), func(b *testing.B) {
-			ps, events := benchEmbedded(b, l.workers, l.shards, nSubs, 4096)
-			var sink atomic.Uint64
-			ps.OnNotify(func(Notification) { sink.Add(1) })
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := ps.Publish(events[i%len(events)]); err != nil {
-					b.Fatal(err)
+	for _, wl := range workload.Names() {
+		for _, l := range layouts {
+			b.Run(fmt.Sprintf("workload=%s/workers=%d/shards=%d", wl, l.workers, l.shards), func(b *testing.B) {
+				ps, events := benchEmbedded(b, wl, l.workers, l.shards, nSubs, 4096)
+				var sink atomic.Uint64
+				ps.OnNotify(func(Notification) { sink.Add(1) })
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ps.Publish(events[i%len(events)]); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-			b.StopTimer()
-			if sink.Load() == 0 {
-				b.Fatal("benchmark workload matched nothing")
-			}
-		})
+				b.StopTimer()
+				if sink.Load() == 0 {
+					b.Fatal("benchmark workload matched nothing")
+				}
+			})
+		}
 	}
 }
 
@@ -89,7 +96,7 @@ func BenchmarkPublishBatch(b *testing.B) {
 			if workers > 1 {
 				shards = 16
 			}
-			ps, events := benchEmbedded(b, workers, shards, nSubs, 4096)
+			ps, events := benchEmbedded(b, "auction", workers, shards, nSubs, 4096)
 			b.ResetTimer()
 			for i := 0; i < b.N; i += batch {
 				lo := i % (len(events) - batch)
@@ -106,7 +113,7 @@ func BenchmarkPublishBatch(b *testing.B) {
 // plane, no intra-match fan-out.
 func BenchmarkPublishConcurrentPublishers(b *testing.B) {
 	const nSubs = 20000
-	ps, events := benchEmbedded(b, 1, 1, nSubs, 4096)
+	ps, events := benchEmbedded(b, "auction", 1, 1, nSubs, 4096)
 	var n atomic.Uint64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
