@@ -28,7 +28,6 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -60,23 +59,13 @@ func run(args []string, stop <-chan os.Signal) error {
 		statsEvery   = fs.Duration("stats-every", time.Minute, "interval between stats log lines (0: never)")
 		snapshot     = fs.String("snapshot", "", "routing-table snapshot file: loaded on start if present, written on shutdown")
 		matchWorkers = fs.Int("match-workers", 0, "goroutines one match fans out across (0: GOMAXPROCS, 1: serial)")
-		matchShards  = fs.Int("match-shards", 0, "subscription-table shards (0: 2x match workers)")
+		matchShards  = fs.Int("match-shards", 0, "subscription-table shards (0: auto from match workers)")
+		covering     = fs.Bool("covering", true, "covering forest on the control plane (off = forward every subscription to every peer)")
 	)
 	var peerAddrs addrList
 	fs.Var(&peerAddrs, "peer", "neighbor address to dial as a managed peer link (handshake + reconnect; repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-
-	workers := *matchWorkers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	shards := *matchShards
-	if shards <= 0 {
-		// A small multiple of the worker count keeps shards fine-grained
-		// enough that uneven subscription popularity still balances.
-		shards = 2 * workers
 	}
 
 	var dim core.Dimension
@@ -91,12 +80,14 @@ func run(args []string, stop <-chan os.Signal) error {
 		return fmt.Errorf("unknown -dimension %q (want sel, eff, mem)", *dimension)
 	}
 
+	// Workers and shards auto-size from GOMAXPROCS when left at 0.
 	b, err := broker.New(broker.Config{
-		ID:            *id,
-		Dimension:     dim,
-		ObserveEvents: true,
-		MatchWorkers:  workers,
-		MatchShards:   shards,
+		ID:              *id,
+		Dimension:       dim,
+		ObserveEvents:   true,
+		MatchWorkers:    *matchWorkers,
+		MatchShards:     *matchShards,
+		DisableCovering: !*covering,
 	})
 	if err != nil {
 		return err
@@ -163,7 +154,8 @@ func run(args []string, stop <-chan os.Signal) error {
 		statsTick = t.C
 	}
 
-	logger.Printf("running (dimension %s, %d match workers, %d shards)", dim, workers, shards)
+	logger.Printf("running (dimension %s, match workers %d, shards %d, covering %v; 0 = auto)",
+		dim, *matchWorkers, *matchShards, *covering)
 	for {
 		select {
 		case <-stop:

@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		format      = fs.String("format", "table", "output format: table, csv, plot, or summary")
 		innermost   = fs.String("innermost", "default", "innermost pruning restriction: default, on, off")
 		noTieBreak  = fs.Bool("no-tiebreak", false, "disable the secondary/tertiary dimension orders")
+		covering    = fs.Bool("covering", true, "covering forest on distributed brokers (off = forward every subscription to every peer)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	cfg.Workload = *wl
 	cfg.Seed = *seed
 	cfg.PruneOptions.DisableTieBreak = *noTieBreak
+	cfg.DisableCovering = !*covering
 	switch *innermost {
 	case "default":
 	case "on":

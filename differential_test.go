@@ -153,11 +153,11 @@ func exactDeliveries(t *testing.T, w *diffWorkload) map[delivPair]bool {
 
 // simnetDeliveries runs the deterministic line-overlay oracle, returning
 // the delivery set and the count of publish-frame transmissions.
-func simnetDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair]bool, uint64) {
+func simnetDeliveries(t *testing.T, w *diffWorkload, prune, covering bool) (map[delivPair]bool, uint64) {
 	t.Helper()
 	brokers := make([]*broker.Broker, diffBrokers)
 	for i := range brokers {
-		b, err := broker.New(broker.Config{ID: fmt.Sprintf("sim%d", i)})
+		b, err := broker.New(broker.Config{ID: fmt.Sprintf("sim%d", i), DisableCovering: !covering})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,8 +195,12 @@ func simnetDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair]
 // (sentinels filtered), whether any delivery arrived twice, the count of
 // publish-frame transmissions (sentinel flushes included), and the number
 // of prunings performed.
-func networkDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair]bool, bool, uint64, int) {
+func networkDeliveries(t *testing.T, w *diffWorkload, prune, covering bool) (map[delivPair]bool, bool, uint64, int) {
 	t.Helper()
+	var overlayOpts []OverlayOption
+	if !covering {
+		overlayOpts = append(overlayOpts, WithoutCovering())
+	}
 	var mu sync.Mutex
 	got := make(map[delivPair]bool)
 	dup := false
@@ -216,7 +220,7 @@ func networkDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair
 			dup = true
 		}
 		got[p] = true
-	})
+	}, overlayOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,22 +244,27 @@ func networkDeliveries(t *testing.T, w *diffWorkload, prune bool) (map[delivPair
 	}
 	// Subscription propagation must quiesce before events flow — an event
 	// racing its audience's subscribe frame would be dropped legitimately
-	// and break the oracle comparison.
-	local := make([]int, diffBrokers) // sentinel included
-	for j := range local {
-		local[j] = 1
-	}
-	for i := range w.subs {
-		local[i%diffBrokers]++
-	}
-	total := len(w.subs) + diffBrokers
+	// and break the oracle comparison. With covering on, the per-broker
+	// remote-entry count is not predictable (covered subscriptions are
+	// legitimately withheld), so quiescence is control-plane drain: every
+	// control frame sent fleet-wide has been received and applied, and the
+	// counters hold still across three consecutive polls.
+	stable := 0
+	var prevSent, prevRecv uint64
 	waitForCond(t, 10*time.Second, func() bool {
-		for j, s := range servers {
-			if s.Stats().RemoteSubs != total-local[j] {
-				return false
-			}
+		var sent, recv uint64
+		for _, s := range servers {
+			c := s.Stats().Counters
+			sent += c.ControlSent
+			recv += c.ControlRecv
 		}
-		return true
+		if sent == 0 || sent != recv || sent != prevSent || recv != prevRecv {
+			prevSent, prevRecv = sent, recv
+			stable = 0
+			return false
+		}
+		stable++
+		return stable >= 3
 	})
 
 	prunings := 0
@@ -328,45 +337,58 @@ func runDifferential(t *testing.T, name string) {
 		t.Fatal("workload produced no matches; differential comparison is vacuous")
 	}
 
-	t.Run("pruning-off", func(t *testing.T) {
-		sim, simFrames := simnetDeliveries(t, w, false)
-		net, dup, netFrames, _ := networkDeliveries(t, w, false)
-		if dup {
-			t.Error("networked overlay delivered a (subscription, event) pair twice")
+	// The covering plane must be invisible to delivery semantics: an
+	// advertised set per link is a subset of the full set that covers it,
+	// so per-event forwarding decisions — and therefore delivery sets and
+	// publish-frame counts — are identical covering on and off.
+	for _, covering := range []bool{true, false} {
+		covering := covering
+		label := "covering-on"
+		if !covering {
+			label = "covering-off"
 		}
-		assertSameDeliveries(t, "simnet", sim, exact)
-		assertSameDeliveries(t, "network", net, exact)
-		// Without pruning, routing is deterministic, so the real overlay
-		// must transmit exactly the simulated number of publish frames —
-		// plus the 3 sentinel flush events crossing 2 links each.
-		sentinelFrames := uint64(diffBrokers * (diffBrokers - 1))
-		if netFrames != simFrames+sentinelFrames {
-			t.Errorf("networked overlay forwarded %d publish frames, simnet %d (+%d sentinel) — traffic diverges",
-				netFrames, simFrames, sentinelFrames)
-		}
-		t.Logf("pruning off: %d deliveries, %d forwarded frames, all three runs identical", len(exact), simFrames)
-	})
+		t.Run(label, func(t *testing.T) {
+			t.Run("pruning-off", func(t *testing.T) {
+				sim, simFrames := simnetDeliveries(t, w, false, covering)
+				net, dup, netFrames, _ := networkDeliveries(t, w, false, covering)
+				if dup {
+					t.Error("networked overlay delivered a (subscription, event) pair twice")
+				}
+				assertSameDeliveries(t, "simnet", sim, exact)
+				assertSameDeliveries(t, "network", net, exact)
+				// Without pruning, routing is deterministic, so the real overlay
+				// must transmit exactly the simulated number of publish frames —
+				// plus the 3 sentinel flush events crossing 2 links each.
+				sentinelFrames := uint64(diffBrokers * (diffBrokers - 1))
+				if netFrames != simFrames+sentinelFrames {
+					t.Errorf("networked overlay forwarded %d publish frames, simnet %d (+%d sentinel) — traffic diverges",
+						netFrames, simFrames, sentinelFrames)
+				}
+				t.Logf("pruning off: %d deliveries, %d forwarded frames, all three runs identical", len(exact), simFrames)
+			})
 
-	t.Run("pruning-on", func(t *testing.T) {
-		sim, simFrames := simnetDeliveries(t, w, true)
-		net, _, netFrames, prunings := networkDeliveries(t, w, true)
-		if prunings == 0 {
-			t.Fatal("pruned run performed no prunings; superset assertion would be vacuous")
-		}
-		missSim := missingFrom(sim, exact)
-		missNet := missingFrom(net, exact)
-		if len(missSim) > 0 {
-			t.Errorf("simnet pruning lost %d deliveries (first: %+v)", len(missSim), missSim[0])
-		}
-		if len(missNet) > 0 {
-			t.Errorf("networked pruning lost %d deliveries (first: %+v)", len(missNet), missNet[0])
-		}
-		// Deliveries stay exact because the subscription's home broker
-		// post-filters with the never-pruned tree; pruning's false positives
-		// surface as extra forwarded frames at inner brokers instead.
-		t.Logf("pruning on: %d prunings; deliveries exact=%d simnet=%d network=%d; forwarded frames simnet=%d network=%d",
-			prunings, len(exact), len(sim), len(net), simFrames, netFrames)
-	})
+			t.Run("pruning-on", func(t *testing.T) {
+				sim, simFrames := simnetDeliveries(t, w, true, covering)
+				net, _, netFrames, prunings := networkDeliveries(t, w, true, covering)
+				if prunings == 0 {
+					t.Fatal("pruned run performed no prunings; superset assertion would be vacuous")
+				}
+				missSim := missingFrom(sim, exact)
+				missNet := missingFrom(net, exact)
+				if len(missSim) > 0 {
+					t.Errorf("simnet pruning lost %d deliveries (first: %+v)", len(missSim), missSim[0])
+				}
+				if len(missNet) > 0 {
+					t.Errorf("networked pruning lost %d deliveries (first: %+v)", len(missNet), missNet[0])
+				}
+				// Deliveries stay exact because the subscription's home broker
+				// post-filters with the never-pruned tree; pruning's false positives
+				// surface as extra forwarded frames at inner brokers instead.
+				t.Logf("pruning on: %d prunings; deliveries exact=%d simnet=%d network=%d; forwarded frames simnet=%d network=%d",
+					prunings, len(exact), len(sim), len(net), simFrames, netFrames)
+			})
+		})
+	}
 }
 
 // assertSameDeliveries fails unless got and want are identical sets.

@@ -19,13 +19,15 @@ type EmbeddedConfig struct {
 	// event (default true), keeping Δ≈sel ratings current.
 	DisableLearning bool
 	// Shards partitions the matching engine's subscription table so one
-	// match can fan out across workers. 0 keeps the serial single-shard
-	// layout; a small multiple of MatchWorkers is a good setting.
+	// match can fan out across workers. 0 auto-sizes from the worker
+	// count (one shard when matching is serial, a small multiple of
+	// MatchWorkers otherwise).
 	Shards int
 	// MatchWorkers bounds the goroutines one Publish fans its matching out
-	// across (capped at Shards). 0 or 1 matches on the publishing
-	// goroutine. Independent of this setting, Publish may be called from
-	// many goroutines at once and the calls run concurrently.
+	// across (capped at Shards). 0 auto-sizes from GOMAXPROCS; 1 matches
+	// on the publishing goroutine. Independent of this setting, Publish
+	// may be called from many goroutines at once and the calls run
+	// concurrently.
 	MatchWorkers int
 }
 
@@ -92,6 +94,9 @@ func NewEmbedded(cfg EmbeddedConfig) (*Embedded, error) {
 		ObserveEvents: !cfg.DisableLearning,
 		MatchShards:   cfg.Shards,
 		MatchWorkers:  cfg.MatchWorkers,
+		// The covering plane decides what to advertise to peers; the
+		// embedded engine has none, so skip the forest maintenance.
+		DisableCovering: true,
 	})
 	if err != nil {
 		return nil, err

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"dimprune/internal/core"
+	"dimprune/internal/covering"
 	"dimprune/internal/event"
 	"dimprune/internal/filter"
 	"dimprune/internal/metrics"
@@ -119,13 +120,20 @@ type Config struct {
 	// broker filters, so Δ≈sel ratings track the live workload.
 	ObserveEvents bool
 	// MatchShards partitions the filtering table so one match call can fan
-	// out across workers. 0 or 1 keeps the serial single-shard layout.
+	// out across workers. 0 picks an automatic layout from MatchWorkers
+	// (serial when the worker count resolves to 1); 1 forces the serial
+	// single-shard layout.
 	MatchShards int
 	// MatchWorkers bounds the goroutines one match call fans out across
-	// (capped at MatchShards). 0 or 1 matches on the calling goroutine.
-	// Concurrent publishes parallelize regardless of this setting; workers
-	// additionally parallelize within a single large match.
+	// (capped at MatchShards). 0 sizes from GOMAXPROCS; 1 matches on the
+	// calling goroutine. Concurrent publishes parallelize regardless of
+	// this setting; workers additionally parallelize within a single large
+	// match.
 	MatchWorkers int
+	// DisableCovering turns off the covering forest (default on): without
+	// it every subscription is forwarded to every neighbor, as in the
+	// pre-covering control plane. The differential oracle runs both modes.
+	DisableCovering bool
 }
 
 // DeliveryMeter counts one routing entry's delivery outcomes: how many
@@ -194,6 +202,14 @@ type Broker struct {
 	entries map[uint64]*routeEntry
 	observe bool
 
+	// forest is the covering plane: the partial-order index deciding which
+	// entries are advertised on which links (nil when covering is
+	// disabled). It tracks original, never-pruned trees — pruning
+	// generalizes this broker's copy of a routing entry, covering decides
+	// which entries neighbors need at all; the two compose (prune the
+	// cover, not the member).
+	forest *covering.Forest
+
 	counters metrics.AtomicCounters
 
 	// routeScratch pools per-call routing buffers so concurrent publishes
@@ -224,14 +240,18 @@ func New(cfg Config) (*Broker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("broker %s: %w", cfg.ID, err)
 	}
-	return &Broker{
+	b := &Broker{
 		id:      cfg.ID,
 		table:   filter.NewSharded(cfg.MatchShards, cfg.MatchWorkers),
 		model:   model,
 		pruner:  pruner,
 		entries: make(map[uint64]*routeEntry),
 		observe: cfg.ObserveEvents,
-	}, nil
+	}
+	if !cfg.DisableCovering {
+		b.forest = covering.NewForest()
+	}
+	return b, nil
 }
 
 // ID returns the broker's name.
@@ -282,19 +302,33 @@ func (b *Broker) DropLink(l LinkID) ([]Outgoing, int) {
 	}
 	sortIDs(ids) // deterministic retraction order
 	var out []Outgoing
-	for _, id := range ids {
-		b.table.Unregister(id)
-		b.pruner.Unregister(id)
-		delete(b.entries, id)
-		out = append(out, b.forwardControl(wire.UnsubscribeFrame(id), l)...)
+	if b.forest != nil {
+		// Batch removal: covered entries retract only toward their cover's
+		// origin, and children of dying covers are re-advertised (late
+		// subscribe frames) before any retraction goes out.
+		for _, id := range ids {
+			b.table.Unregister(id)
+			b.pruner.Unregister(id)
+			delete(b.entries, id)
+		}
+		out = b.applyTransitions(b.forest.RemoveBatch(ids), 0)
+	} else {
+		for _, id := range ids {
+			b.table.Unregister(id)
+			b.pruner.Unregister(id)
+			delete(b.entries, id)
+			out = append(out, b.forwardControl(wire.UnsubscribeFrame(id), l)...)
+		}
 	}
 	return out, len(ids)
 }
 
 // SyncFrames returns the subscribe frames that bring a newly attached
-// neighbor up to date: one per routing entry this broker would have
-// forwarded to it — every entry not originated on that link — carrying
-// the entry's original (never pruned) tree, in ascending ID order.
+// neighbor up to date: one per routing entry this broker would advertise
+// to it, carrying the entry's original (never pruned) tree, in ascending
+// ID order. With the covering plane on that is covers only — roots of the
+// covering forest plus opaque (uncoverable) entries, skipping every
+// covered member; without it, every entry not originated on that link.
 // Transports send them right after a peer link is (re)established; this
 // is what makes reconnects converge, since the peer dropped this broker's
 // entries when the old link died.
@@ -306,9 +340,15 @@ func (b *Broker) SyncFrames(to LinkID) ([]Outgoing, error) {
 	}
 	ids := make([]uint64, 0, len(b.entries))
 	for id, ent := range b.entries {
-		if ent.origin != to {
-			ids = append(ids, id)
+		if ent.origin == to {
+			continue
 		}
+		if b.forest != nil {
+			if covered, coverOrigin, _, ok := b.forest.State(id); ok && covered && coverOrigin != int(to) {
+				continue // an advertised ancestor subsumes it on this link
+			}
+		}
+		ids = append(ids, id)
 	}
 	sortIDs(ids)
 	out := make([]Outgoing, 0, len(ids))
@@ -345,11 +385,13 @@ func (b *Broker) HandleSubscribe(from LinkID, s *subscription.Subscription) ([]O
 	if err := b.checkLink(from); err != nil {
 		return nil, err
 	}
+	b.counters.ControlRecv.Add(1)
 	return b.addSubscription(s, from)
 }
 
 // addSubscription mutates the routing table; callers hold the write lock.
 func (b *Broker) addSubscription(s *subscription.Subscription, origin LinkID) ([]Outgoing, error) {
+	replaced := false
 	if prev, dup := b.entries[s.ID]; dup {
 		if prev.origin == LocalLink && origin != LocalLink &&
 			prev.original.Subscriber == s.Subscriber && prev.original.Root.Equal(s.Root) {
@@ -376,6 +418,7 @@ func (b *Broker) addSubscription(s *subscription.Subscription, origin LinkID) ([
 		b.table.Unregister(s.ID)
 		b.pruner.Unregister(s.ID)
 		delete(b.entries, s.ID)
+		replaced = true
 	}
 	if err := b.table.Register(s); err != nil {
 		return nil, fmt.Errorf("broker %s: %w", b.id, err)
@@ -390,7 +433,20 @@ func (b *Broker) addSubscription(s *subscription.Subscription, origin LinkID) ([
 			return nil, fmt.Errorf("broker %s: pruner: %w", b.id, err)
 		}
 	}
-	return b.forwardControl(wire.SubscribeFrame(s), origin), nil
+	if b.forest == nil {
+		return b.forwardControl(wire.SubscribeFrame(s), origin), nil
+	}
+	// The forest reports which advertisements change: the new entry itself
+	// (nowhere, when covered by a same-origin entry; one link, when covered
+	// by a remote one; everywhere else otherwise) plus any roots it demotes,
+	// whose now-redundant advertisements are retracted. A replaced entry is
+	// re-advertised wherever it remains advertised so remote replace
+	// semantics converge the content.
+	resub := uint64(0)
+	if replaced {
+		resub = s.ID
+	}
+	return b.applyTransitions(b.forest.Insert(s, int(origin)), resub), nil
 }
 
 // UnsubscribeLocal retracts a local client's subscription.
@@ -407,6 +463,7 @@ func (b *Broker) HandleUnsubscribe(from LinkID, id uint64) ([]Outgoing, error) {
 	if err := b.checkLink(from); err != nil {
 		return nil, err
 	}
+	b.counters.ControlRecv.Add(1)
 	return b.removeSubscription(id, from)
 }
 
@@ -442,7 +499,14 @@ func (b *Broker) removeSubscription(id uint64, origin LinkID) ([]Outgoing, error
 		b.pruner.Unregister(id)
 	}
 	delete(b.entries, id)
-	return b.forwardControl(wire.UnsubscribeFrame(id), origin), nil
+	if b.forest == nil {
+		return b.forwardControl(wire.UnsubscribeFrame(id), origin), nil
+	}
+	// Children covered by the retracted entry promote: they re-parent (a
+	// subscribe toward the new cover's origin when it differs) or become
+	// roots (late subscribe frames everywhere). Subscribes are emitted
+	// before the retraction so no link ever has a coverage gap.
+	return b.applyTransitions(b.forest.Remove(id), 0), nil
 }
 
 // forwardControl emits a control frame on every live link except the
@@ -468,6 +532,117 @@ func (b *Broker) forwardControl(f wire.Frame, except LinkID) []Outgoing {
 		b.counters.BytesSent.Add(size)
 	}
 	return out
+}
+
+// advertSet appends to dst the live links entry state (origin, covered,
+// coverOrigin) is advertised on: a covered entry only toward its cover's
+// origin (and not even there when it is the entry's own origin), anything
+// else — roots and opaque entries — everywhere except its origin.
+func (b *Broker) advertSet(dst []LinkID, origin LinkID, covered bool, coverOrigin LinkID) []LinkID {
+	if covered {
+		if coverOrigin == origin {
+			return dst
+		}
+		for _, l := range b.live {
+			if l == coverOrigin {
+				return append(dst, l)
+			}
+		}
+		return dst
+	}
+	for _, l := range b.live {
+		if l != origin {
+			dst = append(dst, l)
+		}
+	}
+	return dst
+}
+
+// applyTransitions converts a forest mutation's transitions into control
+// frames: per affected entry, the diff between its old and new
+// advertisement sets. All subscribe frames are emitted before any
+// unsubscribe — per-link FIFO then guarantees a neighbor always holds a
+// cover of everything it is meant to know, even mid-churn. resubID, when
+// non-zero, names a replaced entry whose content changed: it is
+// re-advertised on its whole new set (remote replace semantics converge
+// the content), not just on newly added links. Callers hold the write
+// lock.
+func (b *Broker) applyTransitions(trs []covering.Transition, resubID uint64) []Outgoing {
+	if len(trs) == 0 {
+		return nil
+	}
+	// Merge per entry: the first transition's old state and the last's new
+	// state bracket the mutation (an entry can transition twice, e.g.
+	// promoted by a removal then demoted by the replacing insert).
+	first := make(map[uint64]int, len(trs))
+	last := make(map[uint64]int, len(trs))
+	ids := make([]uint64, 0, len(trs))
+	for i, tr := range trs {
+		if _, seen := first[tr.ID]; !seen {
+			first[tr.ID] = i
+			ids = append(ids, tr.ID)
+		}
+		last[tr.ID] = i
+	}
+	sortIDs(ids)
+
+	var out []Outgoing
+	var oldSet, newSet []LinkID
+	emit := func(f wire.Frame, links []LinkID) {
+		enc, size := encodeShared(f, len(links))
+		for _, l := range links {
+			out = append(out, Outgoing{Link: l, Frame: f, Enc: enc})
+			b.counters.ControlSent.Add(1)
+			b.counters.BytesSent.Add(size)
+		}
+	}
+	var retractions []uint64
+	var retractLinks [][]LinkID
+	for _, id := range ids {
+		o, n := trs[first[id]], trs[last[id]]
+		oldSet, newSet = oldSet[:0], newSet[:0]
+		if o.Existed {
+			oldSet = b.advertSet(oldSet, LinkID(o.OldOrigin), o.OldCovered, LinkID(o.OldCoverOrigin))
+		}
+		if n.Exists {
+			newSet = b.advertSet(newSet, LinkID(n.NewOrigin), n.NewCovered, LinkID(n.NewCoverOrigin))
+		}
+		var subs, unsubs []LinkID
+		for _, l := range newSet {
+			if id == resubID || !containsLink(oldSet, l) {
+				subs = append(subs, l)
+			}
+		}
+		for _, l := range oldSet {
+			if !containsLink(newSet, l) {
+				unsubs = append(unsubs, l)
+			}
+		}
+		if len(subs) > 0 {
+			ent := b.entries[id]
+			if ent == nil {
+				continue // unreachable: advertised entries are registered
+			}
+			emit(wire.SubscribeFrame(ent.original), subs)
+		}
+		if len(unsubs) > 0 {
+			retractions = append(retractions, id)
+			retractLinks = append(retractLinks, append([]LinkID(nil), unsubs...))
+		}
+	}
+	for i, id := range retractions {
+		emit(wire.UnsubscribeFrame(id), retractLinks[i])
+	}
+	return out
+}
+
+func containsLink(set []LinkID, l LinkID) bool {
+	for _, x := range set {
+		if x == l {
+			return true
+		}
+	}
+	return false
 }
 
 // PublishLocal routes an event injected by a local client.
@@ -775,7 +950,13 @@ type Stats struct {
 	Predicates    int
 	PruningsDone  int
 	PruneRemained int
-	Counters      metrics.Counters
+	// Covering-plane shape (all zero when covering is disabled):
+	// CoverRoots + CoverOpaque is the number of entries this broker
+	// advertises per link; CoverCovered entries ride under a cover.
+	CoverRoots   int
+	CoverCovered int
+	CoverOpaque  int
+	Counters     metrics.Counters
 	// Delivery holds per-entry delivery metadata, ordered by SubID.
 	Delivery []EntryDelivery
 }
@@ -808,6 +989,11 @@ func (b *Broker) Stats() Stats {
 		PruningsDone:  b.pruner.Steps(),
 		PruneRemained: b.pruner.Remaining(),
 		Counters:      b.counters.Snapshot(),
+	}
+	if b.forest != nil {
+		st.CoverRoots = b.forest.Roots()
+		st.CoverOpaque = b.forest.Opaque()
+		st.CoverCovered = b.forest.Len() - st.CoverRoots - st.CoverOpaque
 	}
 	b.mu.RUnlock()
 

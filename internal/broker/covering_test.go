@@ -1,0 +1,175 @@
+package broker
+
+import (
+	"testing"
+
+	"dimprune/internal/event"
+	"dimprune/internal/wire"
+)
+
+// The covering control plane: a broker forwards a subscription to a peer
+// only when no already-forwarded entry covers it, retractions promote
+// now-uncovered entries with their subscribes emitted before any
+// unsubscribe, and resync replays advertisement sets, not tables.
+
+func TestCoveringSuppressesCoveredForwarding(t *testing.T) {
+	b := newBroker(t, "b0")
+	l0 := b.AddLink()
+	l1 := b.AddLink()
+
+	// The general entry goes everywhere.
+	out, err := b.SubscribeLocal(mustSub(t, 1, "alice", `price <= 50`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("general subscribe emitted %d frames, want 2", len(out))
+	}
+	// A locally covered entry is advertised nowhere: its cover shares its
+	// origin, so every neighbor already holds a subsuming entry.
+	out, err = b.SubscribeLocal(mustSub(t, 2, "bob", `price <= 20 and sector = "tech"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("covered subscribe emitted %d frames, want 0: %+v", len(out), out)
+	}
+	st := b.Stats()
+	if st.CoverRoots != 1 || st.CoverCovered != 1 || st.CoverOpaque != 0 {
+		t.Errorf("cover stats = %d/%d/%d, want 1 root, 1 covered, 0 opaque",
+			st.CoverRoots, st.CoverCovered, st.CoverOpaque)
+	}
+
+	// A remote entry covered by an entry from a different link is still
+	// advertised toward its cover's origin — that neighbor never received
+	// the cover (entries are not echoed to their origin).
+	out, err = b.HandleSubscribe(l0, mustSub(t, 3, "r0", `price <= 10`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry 3 is covered by local entry 1 (coverOrigin = LocalLink ≠ l0),
+	// but the advertisement set excludes the entry's own origin; toward l1
+	// it is suppressed by the cover. Local covers advertise nowhere.
+	if len(out) != 0 {
+		t.Fatalf("covered remote subscribe emitted %d frames, want 0: %+v", len(out), out)
+	}
+
+	// An opaque (disjunctive) entry always forwards.
+	out, err = b.SubscribeLocal(mustSub(t, 4, "carol", `price <= 5 or sector = "oil"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("opaque subscribe emitted %d frames, want 2", len(out))
+	}
+	if st := b.Stats(); st.CoverOpaque != 1 {
+		t.Errorf("CoverOpaque = %d, want 1", st.CoverOpaque)
+	}
+	_ = l1
+}
+
+func TestCoveringRetractionPromotesCovered(t *testing.T) {
+	b := newBroker(t, "b0")
+	l0 := b.AddLink()
+	l1 := b.AddLink()
+	if _, err := b.SubscribeLocal(mustSub(t, 1, "alice", `price <= 50`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubscribeLocal(mustSub(t, 2, "bob", `price <= 20`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retracting the cover promotes the covered entry: its subscribe must
+	// reach both links before the cover's unsubscribe, per link.
+	out, err := b.UnsubscribeLocal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("retraction emitted %d frames, want 4: %+v", len(out), out)
+	}
+	seenSub := map[LinkID]bool{}
+	for _, o := range out {
+		switch o.Frame.Type {
+		case wire.FrameSubscribe:
+			if o.Frame.Sub.ID != 2 {
+				t.Errorf("promotion subscribe for %d, want 2", o.Frame.Sub.ID)
+			}
+			seenSub[o.Link] = true
+		case wire.FrameUnsubscribe:
+			if o.Frame.SubID != 1 {
+				t.Errorf("unsubscribe for %d, want 1", o.Frame.SubID)
+			}
+			if !seenSub[o.Link] {
+				t.Errorf("unsubscribe reached link %d before the promotion subscribe", o.Link)
+			}
+		}
+	}
+	if !seenSub[l0] || !seenSub[l1] {
+		t.Errorf("promotion subscribe missing on a link: %+v", seenSub)
+	}
+
+	// The promoted entry still routes: a matching publish from l0 forwards
+	// nowhere (it is local), but matches locally.
+	_, dels := b.PublishLocal(event.Build(1).Int("price", int64(10)).Msg())
+	if len(dels) != 1 || dels[0].Subscriber != "bob" {
+		t.Errorf("deliveries after promotion = %+v", dels)
+	}
+}
+
+func TestCoveringSyncFramesReplaysAdvertisementSet(t *testing.T) {
+	b := newBroker(t, "b0")
+	l0 := b.AddLink()
+	if _, err := b.SubscribeLocal(mustSub(t, 1, "alice", `price <= 50`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubscribeLocal(mustSub(t, 2, "bob", `price <= 20`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubscribeLocal(mustSub(t, 3, "carol", `a = 1 or b = 2`)); err != nil {
+		t.Fatal(err)
+	}
+	// A remote entry covered by the local root is advertised only toward
+	// its cover's origin — which for a local cover is no link at all.
+	if _, err := b.HandleSubscribe(l0, mustSub(t, 4, "r0", `price <= 5`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh link receives the root and the opaque entry; the covered
+	// local entry and the covered remote entry are both suppressed.
+	l1 := b.AddLink()
+	out, err := b.SyncFrames(l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[uint64]bool{}
+	for _, o := range out {
+		if o.Link != l1 || o.Frame.Type != wire.FrameSubscribe {
+			t.Fatalf("sync frame = link %d %s", o.Link, o.Frame.Type)
+		}
+		ids[o.Frame.Sub.ID] = true
+	}
+	if len(ids) != 2 || !ids[1] || !ids[3] {
+		t.Errorf("sync replayed %v, want {1, 3}", ids)
+	}
+}
+
+func TestDisableCoveringForwardsEverything(t *testing.T) {
+	b, err := New(Config{ID: "b0", DisableCovering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddLink()
+	for i, expr := range []string{`price <= 50`, `price <= 20`, `price <= 5`} {
+		out, err := b.SubscribeLocal(mustSub(t, uint64(i+1), "alice", expr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 {
+			t.Fatalf("subscribe %d emitted %d frames with covering off, want 1", i+1, len(out))
+		}
+	}
+	if st := b.Stats(); st.CoverRoots != 0 || st.CoverCovered != 0 || st.CoverOpaque != 0 {
+		t.Errorf("cover stats nonzero with covering disabled: %+v", st)
+	}
+}

@@ -28,13 +28,19 @@ func TestDropLinkRemovesEntriesAndForwardsRetractions(t *testing.T) {
 	if removed != 2 {
 		t.Fatalf("DropLink removed %d entries, want 2", removed)
 	}
-	// Retractions for 1 and 2 forwarded to l1 only, in ascending ID order.
-	if len(out) != 2 {
-		t.Fatalf("DropLink emitted %d frames, want 2: %+v", len(out), out)
+	// Local entry 4 (x = 1) was covered by remote entry 1 (identical tree,
+	// lower ID), so l1 never saw it. The drop promotes it — its late
+	// subscribe frame must precede the retractions of 1 and 2, which go to
+	// l1 only, in ascending ID order.
+	if len(out) != 3 {
+		t.Fatalf("DropLink emitted %d frames, want 3: %+v", len(out), out)
 	}
-	for i, o := range out {
+	if o := out[0]; o.Link != l1 || o.Frame.Type != wire.FrameSubscribe || o.Frame.Sub.ID != 4 {
+		t.Errorf("frame 0 = link %d %s, want promotion subscribe for entry 4", o.Link, o.Frame.Type)
+	}
+	for i, o := range out[1:] {
 		if o.Link != l1 || o.Frame.Type != wire.FrameUnsubscribe || o.Frame.SubID != uint64(i+1) {
-			t.Errorf("frame %d = link %d %s sub %d", i, o.Link, o.Frame.Type, o.Frame.SubID)
+			t.Errorf("frame %d = link %d %s sub %d", i+1, o.Link, o.Frame.Type, o.Frame.SubID)
 		}
 	}
 	st := b.Stats()
@@ -150,13 +156,17 @@ func TestDuplicateSubscribeFromNetworkConverges(t *testing.T) {
 		t.Errorf("RemoteSubs = %d after duplicate", st.RemoteSubs)
 	}
 
-	// Same ID from a different link (peer moved): replace, forward.
+	// Same ID from a different link (peer moved): replace, forward toward
+	// the old origin, and retract the now-wrong advertisement on the new
+	// origin (the remote there re-homed the entry itself, so the retraction
+	// is a converging no-op on its side).
 	out, err = b.HandleSubscribe(l1, mustSub(t, 1, "r0", `x = 1`))
 	if err != nil {
 		t.Fatalf("origin change rejected: %v", err)
 	}
-	if len(out) != 1 || out[0].Link != l0 {
-		t.Errorf("replacement forwarded %+v, want only link %d", out, l0)
+	if len(out) != 2 || out[0].Link != l0 || out[0].Frame.Type != wire.FrameSubscribe ||
+		out[1].Link != l1 || out[1].Frame.Type != wire.FrameUnsubscribe {
+		t.Errorf("replacement forwarded %+v, want subscribe to %d then unsubscribe to %d", out, l0, l1)
 	}
 	// Routing follows the new origin: an event matching x=1 arriving on l0
 	// now forwards to l1.

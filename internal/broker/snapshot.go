@@ -131,6 +131,12 @@ func (b *Broker) ReadSnapshot(r io.Reader) error {
 				return fmt.Errorf("broker %s: restore pruner: %w", b.id, err)
 			}
 		}
+		if b.forest != nil {
+			// Rebuild the covering plane over the originals; restore emits
+			// no frames (peers resync through the reconnect replay), so the
+			// transitions are discarded.
+			b.forest.Insert(original, int(origin))
+		}
 	}
 	if len(data) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(data))

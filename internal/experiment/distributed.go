@@ -38,10 +38,11 @@ func buildOverlay(cfg Config, w *inputs, dim core.Dimension) (*simnet.Network, e
 	brokers := make([]*broker.Broker, cfg.Brokers)
 	for i := range brokers {
 		b, err := broker.New(broker.Config{
-			ID:           fmt.Sprintf("b%d", i),
-			Dimension:    dim,
-			PruneOptions: cfg.PruneOptions,
-			Model:        w.model, // shared pre-trained model; read-only here
+			ID:              fmt.Sprintf("b%d", i),
+			Dimension:       dim,
+			PruneOptions:    cfg.PruneOptions,
+			Model:           w.model, // shared pre-trained model; read-only here
+			DisableCovering: cfg.DisableCovering,
 		})
 		if err != nil {
 			return nil, err
@@ -93,6 +94,7 @@ func runDistributedSweep(cfg Config, w *inputs, dim core.Dimension) (*Sweep, err
 	if err != nil {
 		return nil, err
 	}
+	routing := captureRouting(cfg, net)
 
 	initialNonLocal := 0
 	initialAssocs := 0
@@ -108,7 +110,7 @@ func runDistributedSweep(cfg Config, w *inputs, dim core.Dimension) (*Sweep, err
 		}
 	}
 
-	sweep := &Sweep{Dimension: dim, Total: grand}
+	sweep := &Sweep{Dimension: dim, Total: grand, Routing: routing}
 	var baselineFrames uint64
 	var baselineDeliveries uint64
 	done := make([]int, cfg.Brokers)
@@ -149,6 +151,25 @@ func runDistributedSweep(cfg Config, w *inputs, dim core.Dimension) (*Sweep, err
 		sweep.Points = append(sweep.Points, pt)
 	}
 	return sweep, nil
+}
+
+// captureRouting snapshots the routing state and control traffic the
+// subscription phase produced; called after buildOverlay, before events.
+func captureRouting(cfg Config, net *simnet.Network) RoutingStats {
+	r := RoutingStats{
+		CoveringOn: !cfg.DisableCovering,
+		Brokers:    cfg.Brokers,
+		Links:      net.Links(),
+	}
+	for i := 0; i < cfg.Brokers; i++ {
+		st := net.Broker(i).Stats()
+		r.RemoteEntries += st.RemoteSubs
+		r.CoverRoots += st.CoverRoots + st.CoverOpaque
+	}
+	t := net.Traffic()
+	r.ControlFrames = t.ControlFrames
+	r.ControlBytes = t.ControlBytes
+	return r
 }
 
 // measureDistributed publishes the measurement events round-robin across

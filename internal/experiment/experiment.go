@@ -46,6 +46,11 @@ type Config struct {
 	Seed uint64
 	// PruneOptions feeds through to the engines (ablations).
 	PruneOptions core.Options
+	// DisableCovering turns off the covering plane on the distributed
+	// brokers: every subscription is forwarded to every peer. The default
+	// (covering on) is what a deployment runs; the off switch isolates the
+	// covering plane's routing-state and control-traffic contribution.
+	DisableCovering bool
 }
 
 // DefaultConfig returns a laptop-scale configuration; cmd/prunesim raises
@@ -121,6 +126,49 @@ type Sweep struct {
 	Dimension core.Dimension
 	Total     int // prunings at exhaustion (the abscissa normalizer)
 	Points    []Point
+	// Routing captures the distributed control plane after subscription
+	// propagation (zero value in the centralized setting). It is a
+	// per-sweep capture, but covering is dimension-independent, so every
+	// sweep of a run reports the same numbers.
+	Routing RoutingStats
+}
+
+// RoutingStats summarizes the routing state and control traffic the
+// subscription phase of a distributed run left behind — the covering
+// plane's two cost metrics (routing-table entries per hop, control bytes
+// per hop).
+type RoutingStats struct {
+	// CoveringOn records whether the covering plane was active.
+	CoveringOn bool
+	// Brokers and Links describe the overlay (a line has Brokers-1 links).
+	Brokers, Links int
+	// RemoteEntries is the system-wide count of non-local routing entries —
+	// the O(covers) state the overlay holds after forwarding.
+	RemoteEntries int
+	// CoverRoots is the system-wide count of advertised entries (forest
+	// roots plus opaque entries); zero when covering is off.
+	CoverRoots int
+	// ControlFrames and ControlBytes count the subscribe/unsubscribe
+	// transmissions that built the tables.
+	ControlFrames, ControlBytes uint64
+}
+
+// EntriesPerHop returns the average non-local routing entries per overlay
+// link.
+func (r RoutingStats) EntriesPerHop() float64 {
+	if r.Links == 0 {
+		return 0
+	}
+	return float64(r.RemoteEntries) / float64(r.Links)
+}
+
+// ControlBytesPerHop returns the average control bytes transmitted per
+// overlay link during the subscription phase.
+func (r RoutingStats) ControlBytesPerHop() float64 {
+	if r.Links == 0 {
+		return 0
+	}
+	return float64(r.ControlBytes) / float64(r.Links)
 }
 
 // Result bundles the sweeps of one setting.

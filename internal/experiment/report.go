@@ -121,6 +121,20 @@ func Summary(res *Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "setting: %s (%d subscriptions, %d events)\n",
 		res.Setting, res.Config.Subs, res.Config.Events)
+	if res.Setting == "distributed" && len(res.Sweeps) > 0 {
+		r := res.Sweeps[0].Routing
+		covering := "on"
+		if !r.CoveringOn {
+			covering = "off"
+		}
+		fmt.Fprintf(&b, "  routing: covering %s; %d brokers / %d hops; %d remote entries (%.1f/hop)",
+			covering, r.Brokers, r.Links, r.RemoteEntries, r.EntriesPerHop())
+		if r.CoveringOn {
+			fmt.Fprintf(&b, ", %d advertised roots", r.CoverRoots)
+		}
+		fmt.Fprintf(&b, "; control %d frames, %d bytes (%.1f/hop)\n",
+			r.ControlFrames, r.ControlBytes, r.ControlBytesPerHop())
+	}
 	for _, sweep := range res.Sweeps {
 		last := sweep.Points[len(sweep.Points)-1]
 		fmt.Fprintf(&b, "  %s: total prunings %d;", sweep.Dimension, sweep.Total)

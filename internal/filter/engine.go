@@ -40,6 +40,7 @@ package filter
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"dimprune/internal/event"
@@ -66,10 +67,13 @@ type Engine struct {
 	registry registry
 	attrs    map[string]*attrIndex
 
-	// negScan lists predicates that can be fulfilled by the *absence* of
+	// negScan tracks predicates that can be fulfilled by the *absence* of
 	// their attribute (negated predicates); they are evaluated against the
-	// whole message once per match call.
-	negScan map[predID]struct{}
+	// whole message once per match call. The map holds each predicate's
+	// position in negList; the dense slice is what the hot path iterates,
+	// so Phase 1 never walks map buckets.
+	negScan map[predID]int
+	negList []predID
 
 	subs     map[uint64]*subEntry
 	dense    []*subEntry // dense index -> entry (nil for free slots)
@@ -116,18 +120,34 @@ func New() *Engine { return NewSharded(1, 1) }
 // NewSharded returns an empty engine with the given shard and worker
 // layout. Shards partition the subscription table; workers bound the
 // goroutines one match call fans out across (capped at the shard count).
-// Values below 1 are treated as 1; shards are capped at 64 (the occupancy
-// mask width). Useful layouts set shards to the worker count or a small
-// multiple of it.
+//
+// Zero means auto-size: workers == 0 resolves to GOMAXPROCS, and
+// shards == 0 picks a layout from the resolved worker count — the serial
+// single-shard engine when workers resolve to 1 (so a serial deployment
+// never pays the sharding tax), twice the workers otherwise (bounded
+// fan-out imbalance without oversharding small tables; the
+// minParallelSubs gate already keeps small populations serial). Negative
+// values are treated as 1; shards are capped at 64 (the occupancy mask
+// width).
 func NewSharded(shards, workers int) *Engine {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if shards == 0 {
+		if workers == 1 {
+			shards = 1
+		} else {
+			shards = workers * 2
+		}
+	}
 	if shards < 1 {
 		shards = 1
 	}
 	if shards > maxShards {
 		shards = maxShards
-	}
-	if workers < 1 {
-		workers = 1
 	}
 	if workers > shards {
 		workers = shards
@@ -137,7 +157,7 @@ func NewSharded(shards, workers int) *Engine {
 		workers:  workers,
 		registry: newRegistry(shards),
 		attrs:    make(map[string]*attrIndex),
-		negScan:  make(map[predID]struct{}),
+		negScan:  make(map[predID]int),
 		subs:     make(map[uint64]*subEntry),
 	}
 }
@@ -248,7 +268,8 @@ func (e *Engine) detach(se *subEntry) {
 // indexAdd routes a new predicate into the right per-attribute structure.
 func (e *Engine) indexAdd(id predID, p subscription.Predicate) {
 	if p.Negated {
-		e.negScan[id] = struct{}{}
+		e.negScan[id] = len(e.negList)
+		e.negList = append(e.negList, id)
 		return
 	}
 	ai := e.attrs[p.Attr]
@@ -261,6 +282,12 @@ func (e *Engine) indexAdd(id predID, p subscription.Predicate) {
 
 func (e *Engine) indexRemove(id predID, p subscription.Predicate) {
 	if p.Negated {
+		pos := e.negScan[id]
+		lastIdx := len(e.negList) - 1
+		moved := e.negList[lastIdx]
+		e.negList[pos] = moved
+		e.negScan[moved] = pos
+		e.negList = e.negList[:lastIdx]
 		delete(e.negScan, id)
 		return
 	}
@@ -329,7 +356,7 @@ func (e *Engine) MatchVisit(m *event.Message, fn func(*subscription.Subscription
 			ai.collect(a.Value, mark)
 		}
 	}
-	for id := range e.negScan {
+	for _, id := range e.negList {
 		if e.registry.pred(id).Matches(m) {
 			mark(id)
 		}

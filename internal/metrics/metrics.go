@@ -30,6 +30,10 @@ type Counters struct {
 	EventsForwarded uint64
 	// ControlSent counts subscribe/unsubscribe frames sent to neighbors.
 	ControlSent uint64
+	// ControlRecv counts subscribe/unsubscribe frames received from
+	// neighbors and applied. The overlay's control plane is drained
+	// exactly when fleet-wide ControlSent equals fleet-wide ControlRecv.
+	ControlRecv uint64
 	// BytesSent accumulates encoded frame bytes sent to neighbors.
 	BytesSent uint64
 	// Deliveries counts notifications handed to local subscribers.
@@ -47,6 +51,7 @@ func (c *Counters) Add(o Counters) {
 	c.EventsPublished += o.EventsPublished
 	c.EventsForwarded += o.EventsForwarded
 	c.ControlSent += o.ControlSent
+	c.ControlRecv += o.ControlRecv
 	c.BytesSent += o.BytesSent
 	c.Deliveries += o.Deliveries
 	c.DeliveriesDropped += o.DeliveriesDropped
@@ -64,9 +69,9 @@ func (c Counters) FilterTimePerEvent() time.Duration {
 // String renders the counters compactly for logs and tools.
 func (c Counters) String() string {
 	return fmt.Sprintf(
-		"filtered=%d filterTime=%v matched=%d published=%d forwarded=%d control=%d bytes=%d delivered=%d dropped=%d",
+		"filtered=%d filterTime=%v matched=%d published=%d forwarded=%d control=%d/%d bytes=%d delivered=%d dropped=%d",
 		c.EventsFiltered, c.FilterTime, c.MatchedEntries, c.EventsPublished,
-		c.EventsForwarded, c.ControlSent, c.BytesSent, c.Deliveries, c.DeliveriesDropped)
+		c.EventsForwarded, c.ControlSent, c.ControlRecv, c.BytesSent, c.Deliveries, c.DeliveriesDropped)
 }
 
 // AtomicCounters accumulates the same measurements as Counters but is safe
@@ -80,6 +85,7 @@ type AtomicCounters struct {
 	EventsPublished   atomic.Uint64
 	EventsForwarded   atomic.Uint64
 	ControlSent       atomic.Uint64
+	ControlRecv       atomic.Uint64
 	BytesSent         atomic.Uint64
 	Deliveries        atomic.Uint64
 	DeliveriesDropped atomic.Uint64
@@ -100,6 +106,7 @@ func (a *AtomicCounters) Snapshot() Counters {
 		EventsPublished:   a.EventsPublished.Load(),
 		EventsForwarded:   a.EventsForwarded.Load(),
 		ControlSent:       a.ControlSent.Load(),
+		ControlRecv:       a.ControlRecv.Load(),
 		BytesSent:         a.BytesSent.Load(),
 		Deliveries:        a.Deliveries.Load(),
 		DeliveriesDropped: a.DeliveriesDropped.Load(),
@@ -114,6 +121,7 @@ func (a *AtomicCounters) Reset() {
 	a.EventsPublished.Store(0)
 	a.EventsForwarded.Store(0)
 	a.ControlSent.Store(0)
+	a.ControlRecv.Store(0)
 	a.BytesSent.Store(0)
 	a.Deliveries.Store(0)
 	a.DeliveriesDropped.Store(0)

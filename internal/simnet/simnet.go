@@ -37,6 +37,9 @@ type TrafficCounters struct {
 	ControlFrames uint64
 	// Bytes counts encoded frame bytes over links.
 	Bytes uint64
+	// ControlBytes counts the share of Bytes carried by control frames —
+	// the covering plane's cost metric (control bytes per hop).
+	ControlBytes uint64
 }
 
 // Delivery tags a broker.Delivery with the index of the broker that
@@ -75,6 +78,15 @@ func (n *Network) NumBrokers() int { return len(n.brokers) }
 
 // Traffic returns the accumulated link-level counters.
 func (n *Network) Traffic() TrafficCounters { return n.traffic }
+
+// Links returns the number of overlay edges (hops).
+func (n *Network) Links() int {
+	total := 0
+	for _, p := range n.peers {
+		total += len(p)
+	}
+	return total / 2
+}
 
 // ResetTraffic zeroes the link-level counters (topology unchanged).
 func (n *Network) ResetTraffic() { n.traffic = TrafficCounters{} }
@@ -170,17 +182,20 @@ func (n *Network) send(from int, out []broker.Outgoing) error {
 			return fmt.Errorf("simnet: broker %d emitted frame on unconnected link %d", from, o.Link)
 		}
 		n.queue = append(n.queue, envelope{to: n.peers[from][o.Link], frame: o.Frame})
+		var size uint64
+		if o.Enc != nil {
+			size = uint64(o.Enc.FrameLen())
+			o.ReleaseEnc()
+		} else {
+			size = uint64(wire.FrameSize(o.Frame))
+		}
+		n.traffic.Bytes += size
 		switch o.Frame.Type {
 		case wire.FramePublish:
 			n.traffic.PublishFrames++
 		default:
 			n.traffic.ControlFrames++
-		}
-		if o.Enc != nil {
-			n.traffic.Bytes += uint64(o.Enc.FrameLen())
-			o.ReleaseEnc()
-		} else {
-			n.traffic.Bytes += uint64(wire.FrameSize(o.Frame))
+			n.traffic.ControlBytes += size
 		}
 	}
 	return nil

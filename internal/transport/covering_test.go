@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"testing"
+
+	"dimprune/internal/event"
+)
+
+// The peer-link replay is covers-only: a handshake resync carries a
+// broker's advertisement set for the link, and a retraction that uncovers
+// an entry replays the promoted cover before the retraction, so the
+// remote table never has a coverage gap.
+func TestPeerCoveringResyncAndPromotion(t *testing.T) {
+	s0, dels0 := newPeerServer(t, "b0")
+	s1, dels1 := newPeerServer(t, "b1")
+	defer s0.Shutdown()
+	defer s1.Shutdown()
+
+	// Pre-link state at b0: a general entry covering a specific one.
+	if _, err := s0.Subscribe(mustSub(t, 1, "alice", `price <= 50`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Subscribe(mustSub(t, 2, "bob", `price <= 20`)); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.DialPeer(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replay carries only the cover. Quiesce on a round trip: a probe
+	// subscription from b1 landing at b0 proves the b0→b1 replay (sent
+	// first on the same FIFO link) has been applied.
+	if _, err := s1.Subscribe(mustSub(t, 10, "probe", `probe = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s0.Stats().RemoteSubs == 1 })
+	if got := s1.Stats().RemoteSubs; got != 1 {
+		t.Fatalf("replay installed %d remote entries at b1, want 1 (the cover only)", got)
+	}
+
+	// The covered entry still receives: an event matching only through the
+	// cover's generality routes to b0 and post-filters exactly.
+	s1.Publish(event.Build(1).Int("price", int64(10)).Msg())
+	got := waitDeliveries(t, dels0, 2)
+	names := map[string]bool{}
+	for _, d := range got {
+		names[d.Subscriber] = true
+	}
+	if !names["alice"] || !names["bob"] {
+		t.Fatalf("deliveries through the cover = %v, want alice and bob", names)
+	}
+
+	// Retracting the cover promotes the covered entry at b1 — no window
+	// where b1 holds neither (subscribes precede unsubscribes per link).
+	if err := s0.Unsubscribe(1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		st := s1.Stats()
+		if st.RemoteSubs != 1 {
+			return false
+		}
+		for _, ed := range st.Delivery {
+			if ed.SubID == 2 && !ed.Local {
+				return true
+			}
+		}
+		return false
+	})
+	s1.Publish(event.Build(2).Int("price", int64(10)).Msg())
+	got = waitDeliveries(t, dels0, 1)
+	if got[0].Subscriber != "bob" || got[0].SubID != 2 {
+		t.Fatalf("post-promotion delivery = %+v, want bob/2", got[0])
+	}
+	select {
+	case d := <-dels1:
+		t.Fatalf("unexpected delivery at b1: %+v", d)
+	default:
+	}
+}

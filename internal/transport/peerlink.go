@@ -37,15 +37,20 @@ import (
 //
 // After the handshake the link carries ordinary frames. Each side
 // immediately replays its routing table to the other (broker.SyncFrames) —
-// every entry the link's peer has not seen, as original, never-pruned
-// trees. This same replay is what makes reconnects converge: when a link
-// dies, both sides drop the entries learned through it (broker.DropLink)
-// and forward the retractions; when the dialing side re-establishes the
-// link, the replay restores them. Forwarded (non-local) entries learned
-// over peer links are prunable routing state, exactly as in the
-// simulation: covering and dimension-based pruning generalize them, and
-// downstream brokers re-filter, so pruning on a networked overlay can add
-// forwarded traffic but never lose a delivery.
+// as original, never-pruned trees, and covers only: with the covering
+// plane on, the replay carries the broker's advertisement set for that
+// link (forest roots, opaque entries, and entries covered toward the
+// link's peer), not every entry — the same O(covers) set incremental
+// forwarding would have built. This same replay is what makes reconnects
+// converge: when a link dies, both sides drop the entries learned through
+// it (broker.DropLink), promote local entries whose cover died, and
+// forward the retractions plus promotion subscribes; when the dialing
+// side re-establishes the link, the replay restores the advertisement
+// set. Forwarded (non-local) entries learned over peer links are prunable
+// routing state, exactly as in the simulation: covering and
+// dimension-based pruning generalize them, and downstream brokers
+// re-filter, so pruning on a networked overlay can add forwarded traffic
+// but never lose a delivery.
 
 // Peer is a dialed broker-to-broker link that the server keeps alive:
 // when the connection drops, the server redials with backoff and replays

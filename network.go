@@ -37,21 +37,47 @@ type Delivery = broker.Delivery
 // NewBroker creates a routing broker.
 func NewBroker(cfg BrokerConfig) (*Broker, error) { return broker.New(cfg) }
 
+// OverlayOption customizes the brokers an overlay constructor builds
+// (NewLineOverlay, NewNetworkedLine).
+type OverlayOption func(*overlayOptions)
+
+type overlayOptions struct {
+	disableCovering bool
+}
+
+// WithoutCovering disables the covering plane on every broker of the
+// overlay: each subscription is forwarded to every peer regardless of
+// covers already advertised. Covering is on by default; this knob exists
+// for measuring its effect and for differential testing.
+func WithoutCovering() OverlayOption {
+	return func(o *overlayOptions) { o.disableCovering = true }
+}
+
+func applyOverlayOptions(opts []OverlayOption) overlayOptions {
+	var o overlayOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 // NewLineOverlay builds n brokers connected as a line (the paper's
 // distributed topology), all pruning with the given dimension. Simulated
 // brokers match serially so overlay runs stay deterministic; use
 // BrokerConfig's MatchWorkers/MatchShards with NewBroker + NewServer for
 // parallel matching over real connections.
-func NewLineOverlay(n int, dim Dimension) (*Overlay, error) {
+func NewLineOverlay(n int, dim Dimension, opts ...OverlayOption) (*Overlay, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("dimprune: line network needs >= 2 brokers, got %d", n)
 	}
+	o := applyOverlayOptions(opts)
 	brokers := make([]*broker.Broker, n)
 	for i := range brokers {
 		b, err := broker.New(broker.Config{
-			ID:            fmt.Sprintf("b%d", i),
-			Dimension:     dim,
-			ObserveEvents: true,
+			ID:              fmt.Sprintf("b%d", i),
+			Dimension:       dim,
+			ObserveEvents:   true,
+			DisableCovering: o.disableCovering,
 		})
 		if err != nil {
 			return nil, err
@@ -134,10 +160,11 @@ func DialPeer(s *Server, addr string) (*BrokerPeer, error) {
 // receives every local delivery tagged with the index of the broker that
 // made it — the networked counterpart of the simulated overlay's
 // SimDelivery stream. The returned shutdown function stops all servers.
-func NewNetworkedLine(n int, dim Dimension, onDeliver func(atBroker int, d Delivery)) ([]*Server, func(), error) {
+func NewNetworkedLine(n int, dim Dimension, onDeliver func(atBroker int, d Delivery), opts ...OverlayOption) ([]*Server, func(), error) {
 	if n < 2 {
 		return nil, nil, fmt.Errorf("dimprune: line overlay needs >= 2 brokers, got %d", n)
 	}
+	o := applyOverlayOptions(opts)
 	servers := make([]*Server, 0, n)
 	shutdown := func() {
 		for _, s := range servers {
@@ -146,9 +173,10 @@ func NewNetworkedLine(n int, dim Dimension, onDeliver func(atBroker int, d Deliv
 	}
 	for i := 0; i < n; i++ {
 		b, err := broker.New(broker.Config{
-			ID:            fmt.Sprintf("b%d", i),
-			Dimension:     dim,
-			ObserveEvents: true,
+			ID:              fmt.Sprintf("b%d", i),
+			Dimension:       dim,
+			ObserveEvents:   true,
+			DisableCovering: o.disableCovering,
 		})
 		if err != nil {
 			shutdown()
