@@ -300,6 +300,8 @@ func (e *Embedded) PublishBatch(ms []*Message) (int, error) {
 }
 
 // scratch fetches pooled publish buffers.
+//
+//dimlint:pooled
 func (e *Embedded) scratch() *publishBuffers {
 	pb, _ := e.pubScratch.Get().(*publishBuffers)
 	if pb == nil {

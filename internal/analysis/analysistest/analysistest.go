@@ -1,0 +1,145 @@
+// Package analysistest runs analyzers over fixture packages and compares
+// the diagnostics against expectations embedded in the fixture source, in
+// the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	for range m { // want "map iteration on the hot path"
+//
+// A comment containing `want` followed by one or more double-quoted
+// regular expressions asserts that each regexp matches exactly one
+// diagnostic on that line; lines with several diagnostics carry several
+// quoted patterns. Block-comment form (`/* want "..." */`) is also
+// recognized, for lines whose diagnostic is positioned inside a trailing
+// line comment (e.g. a malformed //dimlint:ignore). Every diagnostic must
+// be matched by a want and every want must match a diagnostic.
+//
+// Fixtures live in their own module (testdata/src/go.mod) so the loader
+// resolves them like any real package while the enclosing repo's builds
+// and tests ignore them (testdata directories are invisible to the go
+// tool).
+package analysistest
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"dimprune/internal/analysis"
+	"dimprune/internal/analysis/load"
+)
+
+var (
+	wantMarker = regexp.MustCompile(`(?://|/\*)\s*want\s`)
+	wantQuoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	line    int
+	matched bool
+}
+
+// Run loads pattern (e.g. "./refbalance") relative to dir and checks the
+// given analyzers' diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir, pattern string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Load(dir, []string{pattern})
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages matched %s under %s", pattern, dir)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Types.Path(), err)
+		}
+
+		wants := make(map[string][]*expectation) // filename -> expectations
+		seen := make(map[string]bool)
+		for _, f := range pkg.Files {
+			filename := pkg.Fset.Position(f.Pos()).Filename
+			if seen[filename] {
+				continue
+			}
+			seen[filename] = true
+			exps, err := parseWants(filename)
+			if err != nil {
+				t.Fatalf("%s: %v", filename, err)
+			}
+			wants[filename] = exps
+		}
+
+		for _, d := range diags {
+			if !consume(wants[d.Pos.Filename], d) {
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+		}
+		for filename, exps := range wants {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %q", filename, e.line, e.re)
+				}
+			}
+		}
+	}
+}
+
+// consume marks the first unmatched expectation on d's line whose pattern
+// matches d's message (analyzer-qualified, so wants can pin the analyzer).
+func consume(exps []*expectation, d analysis.Diagnostic) bool {
+	full := d.Analyzer + ": " + d.Message
+	for _, e := range exps {
+		if e.matched || e.line != d.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(full) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the want expectations from one fixture file.
+func parseWants(filename string) ([]*expectation, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	var exps []*expectation
+	line := 0
+	for len(data) > 0 {
+		line++
+		nl := -1
+		for i, b := range data {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		var text string
+		if nl < 0 {
+			text, data = string(data), nil
+		} else {
+			text, data = string(data[:nl]), data[nl+1:]
+		}
+		loc := wantMarker.FindStringIndex(text)
+		if loc == nil {
+			continue
+		}
+		for _, q := range wantQuoted.FindAllString(text[loc[1]:], -1) {
+			pat, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, err
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, err
+			}
+			exps = append(exps, &expectation{re: re, line: line})
+		}
+	}
+	return exps, nil
+}

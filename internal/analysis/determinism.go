@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Determinism checks the golden-seed contract of workload generator
+// packages: a generator's event stream must be a pure function of its
+// seed, so the cross-target oracles can replay it bit-for-bit. Inside a
+// generator package (one that registers itself with the workload registry,
+// or carries a //dimlint:generator mark), the analyzer forbids
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until,
+//   - the global math/rand source: any top-level rand function other than
+//     the constructors (New, NewSource, NewZipf, NewPCG, NewChaCha8, ...)
+//     — streams must own a seeded *rand.Rand, and
+//   - ranging over a map: iteration order would leak into the emitted
+//     event order.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "check that workload generator packages derive everything from their seed: " +
+		"no wall clock, no global rand source, no map-iteration order in the stream",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !isGeneratorPackage(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if isMapType(pass.TypesInfo.Types[x.X].Type) {
+					pass.Reportf(x.Pos(),
+						"map iteration in a workload generator: runtime map order would leak into the event stream (collect keys and sort, or keep a dense slice)")
+				}
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isGeneratorPackage reports whether the package is in determinism scope:
+// it carries a //dimlint:generator mark, or it calls Register on the
+// workload registry (how real scenario packages plug themselves in).
+func isGeneratorPackage(pass *Pass) bool {
+	if pass.Dirs.PkgHas("generator") {
+		return true
+	}
+	found := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Register" {
+				return true
+			}
+			if strings.HasSuffix(PkgPathOf(pass.TypesInfo, sel), "internal/workload") {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// randConstructors are the top-level math/rand functions that build an
+// owned source rather than touching the process-global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	path := PkgPathOf(pass.TypesInfo, sel)
+	name := sel.Sel.Name
+	switch path {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"time.%s in a workload generator: the stream must be a pure function of its seed (derive timestamps from the event index)", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if randConstructors[name] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"global %s.%s in a workload generator: streams own their RNGs — draw from a seeded *rand.Rand so replays are bit-identical", shortPkg(path), name)
+	}
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		// math/rand/v2 reads better as rand/v2 than v2.
+		if base := path[i+1:]; base == "v2" {
+			return "rand/v2"
+		}
+		return path[i+1:]
+	}
+	return path
+}

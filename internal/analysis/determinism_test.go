@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dimprune/internal/analysis"
+	"dimprune/internal/analysis/analysistest"
+)
+
+// TestDeterminism covers the //dimlint:generator-marked fixture;
+// TestDeterminismRegisterDetection covers scope detection through a
+// workload.Register call, the way real scenario packages opt in.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "./determinism", analysis.Determinism)
+}
+
+func TestDeterminismRegisterDetection(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "./determreg", analysis.Determinism)
+}

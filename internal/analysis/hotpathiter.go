@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpathiter checks functions annotated //dimlint:hotpath — the
+// per-event match path. Two constructs are banned there, both learned the
+// hard way:
+//
+//   - ranging over a map: randomized iteration order made the negative-
+//     dimension pass nondeterministic (and cache-hostile) until it was
+//     rebuilt on a dense slice; the annotation keeps the slice from
+//     quietly regressing back to a map walk, and
+//   - calling into package fmt: fmt formats reflectively and allocates on
+//     every call, which is unacceptable per event.
+//
+// Function literals declared inside a hotpath function inherit the
+// restriction (they run on the same path).
+var Hotpathiter = &Analyzer{
+	Name: "hotpathiter",
+	Doc: "check that //dimlint:hotpath functions never range over maps or call fmt " +
+		"(per-event work must be deterministic and allocation-free)",
+	Run: runHotpathiter,
+}
+
+func runHotpathiter(pass *Pass) error {
+	WalkFuncs(pass.Files, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+		if !pass.Dirs.FuncHas(fd, "hotpath") {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if isMapType(pass.TypesInfo.Types[x.X].Type) {
+					pass.Reportf(x.Pos(),
+						"map iteration on the hot path: order is randomized and the walk defeats the cache — keep a dense slice alongside the map (see the negative-dimension list)")
+				}
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					if PkgPathOf(pass.TypesInfo, sel) == "fmt" {
+						pass.Reportf(x.Pos(),
+							"fmt.%s on the hot path: reflective formatting allocates per event — format off-path or use strconv", sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dimprune/internal/analysis"
+	"dimprune/internal/analysis/analysistest"
+)
+
+// TestHotpathiter includes the reverted PR 6 shape — Phase 1 ranging over
+// the negScan map — as its positive fixture.
+func TestHotpathiter(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "./hotpathiter", analysis.Hotpathiter)
+}

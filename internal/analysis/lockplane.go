@@ -1,0 +1,489 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lockplane checks the broker/transport two-plane locking discipline on
+// every method of a struct that carries a guarding mutex field — a
+// sync.RWMutex, or a sync.Mutex named "mu" (auxiliary mutexes with
+// descriptive names guard sub-concerns, not the receiver's state, and are
+// exempt):
+//
+//   - Mutations of receiver state (field assignment, map write, delete)
+//     must happen while a write lock owned by the receiver is held — or the
+//     method must be marked //dimlint:locked, which shifts the obligation
+//     to its callers.
+//   - Data-plane methods (route, MatchEntries*) must never take the write
+//     lock: they run shared, and an exclusive acquisition there would
+//     serialize the whole match path.
+//   - WaitGroup.Add on a mutex-guarded struct's WaitGroup field must be
+//     dominated by a lock acquisition on that same struct — the lock that
+//     proves !closed, so a concurrent Shutdown's Wait can never observe a
+//     zero counter a reservation is about to invalidate.
+//   - A call to a //dimlint:locked function requires a write lock held at
+//     the call site (or the caller being marked itself).
+//
+// Lock state is tracked lexically through each function body: branch
+// bodies fork a copy of the held-set, and deferred unlocks keep the lock
+// held to the end of the function. The tracker never assumes a lock from a
+// conditional branch, so diagnostics are straight-line facts.
+var Lockplane = &Analyzer{
+	Name: "lockplane",
+	Doc: "check the two-plane locking rules: receiver mutations under the write lock, " +
+		"no write lock in data-plane methods, WaitGroup.Add dominated by the lock that proves !closed",
+	Run: runLockplane,
+}
+
+// lockHeld maps a mutex expression key ("s.mu") to the strongest hold:
+// 1 = read lock, 2 = write lock.
+type lockHeld map[string]int
+
+func (h lockHeld) clone() lockHeld {
+	c := make(lockHeld, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// ownedLock reports the strongest lock in h whose key is a field of owner
+// (e.g. owner "s" matches "s.mu").
+func (h lockHeld) ownedLock(owner string) int {
+	best := 0
+	for k, v := range h {
+		if strings.HasPrefix(k, owner+".") && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+type lockplaneChecker struct {
+	pass *Pass
+	// lockedFuncs holds the objects of //dimlint:locked functions, so call
+	// sites can be checked against the held set.
+	lockedFuncs map[types.Object]bool
+	// inLocked is set while checking a //dimlint:locked function: its body
+	// may call other locked functions freely (the lock obligation already
+	// sits with its callers).
+	inLocked bool
+}
+
+func runLockplane(pass *Pass) error {
+	c := &lockplaneChecker{pass: pass, lockedFuncs: make(map[types.Object]bool)}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !pass.Dirs.FuncHas(fd, "locked") {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				c.lockedFuncs[obj] = true
+			}
+		}
+	}
+	WalkFuncs(pass.Files, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+		c.checkFunc(fd, body)
+	})
+	return nil
+}
+
+func (c *lockplaneChecker) checkFunc(fd *ast.FuncDecl, body *ast.BlockStmt) {
+	recv := ""
+	guarded := false // receiver type carries a guarding mutex field
+	if id := ReceiverIdent(fd); id != nil {
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			if named := NamedOf(obj.Type()); named != nil && hasGuardMutex(named) {
+				recv = id.Name
+				guarded = true
+			}
+		}
+	}
+	locked := c.pass.Dirs.FuncHas(fd, "locked")
+	dataPlane := guarded && isDataPlaneName(fd.Name.Name)
+	c.inLocked = locked
+	c.checkStmts(body.List, make(lockHeld), recv, guarded && !locked, dataPlane)
+	c.inLocked = false
+}
+
+// isDataPlaneName reports whether a method name belongs to the shared data
+// plane, where only the read lock is permitted.
+func isDataPlaneName(name string) bool {
+	return name == "route" || strings.HasPrefix(name, "MatchEntries")
+}
+
+// hasGuardMutex reports whether named carries a mutex that guards the
+// struct's state in the two-plane sense: an RWMutex field (the two-plane
+// signature itself) or a mutex field named "mu" (the canonical guard
+// name). Auxiliary mutexes with descriptive names — a sortMu serializing
+// one lazy sort — guard a sub-concern, not the receiver's fields, and do
+// not put the type under the mutation rule.
+func hasGuardMutex(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if kind := MutexKind(f.Type()); kind == 2 || (kind == 1 && f.Name() == "mu") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkStmts walks one statement list, threading the held-lock set through
+// sequential statements and forking it into branches.
+func (c *lockplaneChecker) checkStmts(list []ast.Stmt, held lockHeld, recv string, checkMutations, dataPlane bool) {
+	for _, stmt := range list {
+		c.checkStmt(stmt, held, recv, checkMutations, dataPlane)
+	}
+}
+
+func (c *lockplaneChecker) checkStmt(stmt ast.Stmt, held lockHeld, recv string, checkMutations, dataPlane bool) {
+	// Every expression in the statement (minus nested function literals,
+	// which run at another time with their own state) is checked for
+	// WaitGroup.Add, locked-function calls, and data-plane violations.
+	c.scanExprs(stmt, held, recv, dataPlane)
+
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, kind, isAcquire := c.lockOp(s.X); key != "" {
+			if isAcquire {
+				held[key] = kind
+			} else {
+				delete(held, key)
+			}
+		}
+		// delete(recv.m, k) mutates receiver state like an assignment does.
+		if checkMutations {
+			if call, ok := s.X.(*ast.CallExpr); ok && len(call.Args) > 0 {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+					if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						c.checkMutationLHS(call.Args[0], call.Pos(), held, recv)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the rest of the body; a
+		// deferred closure is a separate unit.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.checkStmts(fl.Body.List, make(lockHeld), recv, checkMutations, false)
+		}
+	case *ast.GoStmt:
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.checkStmts(fl.Body.List, make(lockHeld), recv, checkMutations, false)
+		}
+	case *ast.AssignStmt:
+		if checkMutations {
+			c.checkMutation(s, held, recv)
+		}
+		// A closure assigned to a variable may run at any time; check its
+		// body against an empty held-set so it cannot silently inherit the
+		// statement's locks.
+		for _, rhs := range s.Rhs {
+			if fl, ok := rhs.(*ast.FuncLit); ok {
+				c.checkStmts(fl.Body.List, make(lockHeld), recv, checkMutations, false)
+			}
+		}
+	case *ast.IncDecStmt:
+		if checkMutations {
+			c.checkMutationLHS(s.X, s.Pos(), held, recv)
+		}
+	case *ast.BlockStmt:
+		c.checkStmts(s.List, held, recv, checkMutations, dataPlane)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, held, recv, checkMutations, dataPlane)
+		}
+		// `if x.TryLock() { ... }` holds the lock inside the body;
+		// `if !x.TryLock() { return }` (the contention-sampling pattern)
+		// holds it for the rest of the enclosing list.
+		key, kind, negated := c.tryLockCond(s.Cond)
+		bodyHeld := held.clone()
+		if key != "" && !negated {
+			bodyHeld[key] = kind
+		}
+		c.checkStmts(s.Body.List, bodyHeld, recv, checkMutations, dataPlane)
+		if s.Else != nil {
+			c.checkStmt(s.Else, held.clone(), recv, checkMutations, dataPlane)
+		}
+		if key != "" && negated && terminates(s.Body) {
+			held[key] = kind
+		}
+	case *ast.ForStmt:
+		c.checkStmts(s.Body.List, held.clone(), recv, checkMutations, dataPlane)
+	case *ast.RangeStmt:
+		c.checkStmts(s.Body.List, held.clone(), recv, checkMutations, dataPlane)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.checkStmts(clause.Body, held.clone(), recv, checkMutations, dataPlane)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.checkStmts(clause.Body, held.clone(), recv, checkMutations, dataPlane)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				c.checkStmts(clause.Body, held.clone(), recv, checkMutations, dataPlane)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.checkStmt(s.Stmt, held, recv, checkMutations, dataPlane)
+	}
+}
+
+// lockOp classifies expr as a mutex operation: it returns the mutex key,
+// the hold kind it establishes (2 for Lock, 1 for RLock), and whether it
+// acquires (true) or releases (false). key is "" for non-lock expressions.
+func (c *lockplaneChecker) lockOp(expr ast.Expr) (key string, kind int, isAcquire bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", 0, false
+	}
+	if MutexKind(c.pass.TypesInfo.Types[sel.X].Type) == 0 {
+		return "", 0, false
+	}
+	key = ExprKey(sel.X)
+	if key == "" {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return key, 2, true
+	case "RLock":
+		return key, 1, true
+	}
+	return key, 0, false
+}
+
+// tryLockCond classifies an if condition as a TryLock guard: it returns
+// the mutex key and hold kind for `x.TryLock()` / `x.TryRLock()`
+// conditions, with negated set for the `!x.TryLock()` form. key is "" for
+// other conditions.
+func (c *lockplaneChecker) tryLockCond(cond ast.Expr) (key string, kind int, negated bool) {
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		key, kind, _ = c.tryLockCond(u.X)
+		return key, kind, true
+	}
+	call, ok := cond.(*ast.CallExpr)
+	if !ok {
+		return "", 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "TryLock":
+		kind = 2
+	case "TryRLock":
+		kind = 1
+	default:
+		return "", 0, false
+	}
+	if MutexKind(c.pass.TypesInfo.Types[sel.X].Type) == 0 {
+		return "", 0, false
+	}
+	return ExprKey(sel.X), kind, false
+}
+
+// terminates reports whether the block always leaves the enclosing
+// statement list: its last statement is a return, branch, or panic.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanExprs inspects a statement's expressions (excluding nested function
+// literals) for WaitGroup.Add calls, calls to locked-marked functions, and
+// write-lock acquisitions inside data-plane methods.
+func (c *lockplaneChecker) scanExprs(stmt ast.Stmt, held lockHeld, recv string, dataPlane bool) {
+	skipBodies := map[ast.Node]bool{}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return // handled statement by statement
+	case *ast.IfStmt:
+		skipBodies[s.Body] = true
+		if s.Else != nil {
+			skipBodies[s.Else] = true
+		}
+		if s.Init != nil {
+			skipBodies[s.Init] = true
+		}
+	case *ast.ForStmt:
+		skipBodies[s.Body] = true
+	case *ast.RangeStmt:
+		skipBodies[s.Body] = true
+	case *ast.SwitchStmt:
+		skipBodies[s.Body] = true
+	case *ast.TypeSwitchStmt:
+		skipBodies[s.Body] = true
+	case *ast.SelectStmt:
+		skipBodies[s.Body] = true
+	case *ast.LabeledStmt:
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if skipBodies[n] {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate unit with its own lock state
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c.checkCall(call, held, dataPlane)
+		return true
+	})
+}
+
+func (c *lockplaneChecker) checkCall(call *ast.CallExpr, held lockHeld, dataPlane bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.lockedFuncs[obj] {
+				c.requireWriteLock(call, held, id.Name)
+			}
+		}
+		return
+	}
+	if obj := c.pass.TypesInfo.Uses[sel.Sel]; obj != nil && c.lockedFuncs[obj] {
+		c.requireWriteLock(call, held, sel.Sel.Name)
+	}
+
+	switch sel.Sel.Name {
+	case "Lock":
+		if dataPlane && MutexKind(c.pass.TypesInfo.Types[sel.X].Type) == 2 {
+			c.pass.Reportf(call.Pos(),
+				"data-plane method takes the write lock on %s: route/MatchEntries* run shared and may only RLock", ExprKey(sel.X))
+		}
+	case "Add":
+		c.checkWaitGroupAdd(call, sel, held)
+	}
+}
+
+// requireWriteLock reports a locked-function call made without any write
+// lock held. Locked functions calling each other are exempt: the
+// obligation sits with the outermost unlocked caller.
+func (c *lockplaneChecker) requireWriteLock(call *ast.CallExpr, held lockHeld, name string) {
+	if c.inLocked {
+		return
+	}
+	for _, kind := range held {
+		if kind == 2 {
+			return
+		}
+	}
+	c.pass.Reportf(call.Pos(),
+		"call to //dimlint:locked function %s without a write lock held on this path", name)
+}
+
+// checkWaitGroupAdd enforces the reservation rule: Add on a WaitGroup field
+// of a mutex-guarded struct must run while a lock on that struct is held.
+func (c *lockplaneChecker) checkWaitGroupAdd(call *ast.CallExpr, sel *ast.SelectorExpr, held lockHeld) {
+	if !IsWaitGroup(c.pass.TypesInfo.Types[sel.X].Type) {
+		return
+	}
+	wgSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return // local WaitGroup (joined fan-out): no shutdown race to guard
+	}
+	owner := ExprKey(wgSel.X)
+	if owner == "" {
+		return
+	}
+	// Only structs that pair the WaitGroup with a mutex participate in the
+	// reservation discipline.
+	named := NamedOf(c.pass.TypesInfo.Types[wgSel.X].Type)
+	if named == nil || !HasMutexField(named, 1) {
+		return
+	}
+	if held.ownedLock(owner) == 0 {
+		c.pass.Reportf(call.Pos(),
+			"%s.Add without holding a lock on %s: reserve WaitGroup slots under the lock that proves !closed, or Shutdown's Wait can observe a zero counter this Add is about to invalidate", ExprKey(sel.X), owner)
+	}
+}
+
+// checkMutation flags receiver-field writes made without the write lock.
+func (c *lockplaneChecker) checkMutation(as *ast.AssignStmt, held lockHeld, recv string) {
+	for _, lhs := range as.Lhs {
+		c.checkMutationLHS(lhs, as.Pos(), held, recv)
+	}
+}
+
+func (c *lockplaneChecker) checkMutationLHS(lhs ast.Expr, pos token.Pos, held lockHeld, recv string) {
+	if recv == "" {
+		return
+	}
+	root := lhs
+	for {
+		switch x := root.(type) {
+		case *ast.IndexExpr:
+			root = x.X
+			continue
+		case *ast.StarExpr:
+			root = x.X
+			continue
+		case *ast.ParenExpr:
+			root = x.X
+			continue
+		}
+		break
+	}
+	sel, ok := root.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != recv {
+		return
+	}
+	if held.ownedLock(recv) == 2 {
+		return
+	}
+	name := ExprKey(lhs)
+	if name == "" {
+		name = ExprKey(sel) // index/star targets: name the field being written
+	}
+	if held.ownedLock(recv) == 1 {
+		c.pass.Reportf(pos,
+			"write to %s under the read lock: control-plane mutations take the write lock", name)
+		return
+	}
+	c.pass.Reportf(pos,
+		"write to %s without the write lock: control-plane mutations lock first, or mark the method //dimlint:locked when callers hold it", name)
+}

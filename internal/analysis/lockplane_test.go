@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dimprune/internal/analysis"
+	"dimprune/internal/analysis/analysistest"
+)
+
+// TestLockplane also covers the //dimlint:ignore machinery: the fixture
+// includes a reasoned suppression (silent) and a reason-less one, which
+// surfaces both the unsuppressed finding and the malformed-directive
+// diagnostic.
+func TestLockplane(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "./lockplane", analysis.Lockplane)
+}

@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Refbalance checks the encode-once ownership rules of refcounted frame
+// buffers (wire.EncodedFrame and any type shaped like it): a reference
+// obtained from an encode call must be Released exactly once or handed off
+// to another owner, must not be used after an unconditional Release, and
+// must not be Released twice on a straight-line path.
+//
+// A type is refcounted when it has both a Retain and a no-argument Release
+// method; the analyzer is structural so fixtures (and future refcounted
+// types) need no registration.
+//
+// The analysis is intraprocedural and deliberately conservative about
+// control flow: the leak check asks "is this reference released or handed
+// off anywhere in the function", and the use-after/double-release checks
+// only fire on statements that follow an *unconditional* Release in the
+// same statement list — so every diagnostic is a straight-line fact, not a
+// may-path guess.
+var Refbalance = &Analyzer{
+	Name: "refbalance",
+	Doc: "check that refcounted encoded frames (Retain/Release types) are " +
+		"released exactly once per reference and never used after release",
+	Run: runRefbalance,
+}
+
+// IsRefcounted reports whether t (or its pointee) is a named type carrying
+// both Retain and Release methods — the encode-once ownership shape.
+func IsRefcounted(t types.Type) bool {
+	n := NamedOf(t)
+	if n == nil {
+		return false
+	}
+	var retain, release bool
+	for i := 0; i < n.NumMethods(); i++ {
+		switch n.Method(i).Name() {
+		case "Retain":
+			retain = true
+		case "Release":
+			sig, ok := n.Method(i).Type().(*types.Signature)
+			release = ok && sig.Params().Len() == 0
+		}
+	}
+	return retain && release
+}
+
+func runRefbalance(pass *Pass) error {
+	WalkFuncs(pass.Files, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+		checkRefLeaks(pass, body)
+		checkRetainHandoff(pass, body)
+		checkRefSequencing(pass, body)
+	})
+	return nil
+}
+
+// checkRetainHandoff flags statement-level Retain calls in functions that
+// never hand the value off. The only reason to Retain is to create
+// references for other owners (an outbox, a fan-out, a cache); a function
+// that Retains and at most Releases its own reference leaves the retained
+// ones dangling.
+func checkRetainHandoff(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Retain" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !IsRefcounted(obj.Type()) {
+			return true
+		}
+		moved := false
+		ast.Inspect(body, func(u ast.Node) bool {
+			if moved {
+				return false
+			}
+			uid, ok := u.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[uid] != obj || uid == id {
+				return true
+			}
+			if refOwnershipMoves(body, uid) {
+				moved = true
+				return false
+			}
+			return true
+		})
+		if !moved {
+			pass.Reportf(call.Pos(),
+				"Retain on %s in a function that never hands the frame off: the added references have no owner to Release them", id.Name)
+		}
+		return true
+	})
+}
+
+// checkRefLeaks flags references acquired from a call (a variable of
+// refcounted type initialized from a function's result) that the enclosing
+// declaration neither Releases nor hands off.
+func checkRefLeaks(pass *Pass, body *ast.BlockStmt) {
+	type acquisition struct {
+		obj types.Object
+		pos ast.Node
+	}
+	var acquired []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// A method call on a refcounted value (x.Retain, x.Bytes) is not an
+		// acquisition; only plain/function results are.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if IsRefcounted(pass.TypesInfo.Types[sel.X].Type) {
+				return true
+			}
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || !IsRefcounted(obj.Type()) {
+				continue
+			}
+			acquired = append(acquired, acquisition{obj: obj, pos: id})
+		}
+		return true
+	})
+
+	for _, acq := range acquired {
+		balanced := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if balanced {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != acq.obj {
+				return true
+			}
+			if isReleaseCallOn(pass, body, id) || refOwnershipMoves(body, id) {
+				balanced = true
+				return false
+			}
+			return true
+		})
+		if !balanced {
+			pass.Reportf(acq.pos.Pos(),
+				"refcounted frame acquired here is neither Released nor handed off in this function (encode-once ownership: every reference is dropped exactly once)")
+		}
+	}
+}
+
+// isReleaseCallOn reports whether id appears as the receiver of a Release
+// call within body.
+func isReleaseCallOn(pass *Pass, body *ast.BlockStmt, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Release" {
+			return true
+		}
+		if sel.X == ast.Expr(id) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// refOwnershipMoves reports whether the given use of a refcounted variable
+// transfers its reference to another owner: passed as a call argument,
+// placed in a composite literal, assigned to another variable or field,
+// returned, or sent on a channel. Method calls on the value itself are
+// reads, not transfers.
+func refOwnershipMoves(body *ast.BlockStmt, use *ast.Ident) bool {
+	path := nodePath(body, use)
+	if len(path) < 2 {
+		return false
+	}
+	parent := path[len(path)-2]
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if arg == ast.Expr(use) {
+				return true
+			}
+		}
+		return false
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ReturnStmt, *ast.SendStmt:
+		return true
+	case *ast.AssignStmt:
+		for _, r := range p.Rhs {
+			if r == ast.Expr(use) {
+				return true
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		return true // &x: address escapes
+	}
+	return false
+}
+
+// nodePath returns the chain of nodes from root down to target, inclusive,
+// or nil when target is not under root.
+func nodePath(root ast.Node, target ast.Node) []ast.Node {
+	var path []ast.Node
+	var found bool
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		path = append(path, n)
+		if n == target {
+			found = true
+			return false
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if found || c == nil || c == n {
+				return c == n
+			}
+			visit(c)
+			return false
+		})
+		if !found {
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	visit(root)
+	if !found {
+		return nil
+	}
+	return path
+}
+
+// checkRefSequencing flags straight-line use-after-Release and
+// double-Release: within one statement list, a statement that follows an
+// unconditional x.Release() must not use x again (the buffer may already be
+// back in the pool) and must not Release it a second time.
+func checkRefSequencing(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		checkStmtListSequencing(pass, list)
+		return true
+	})
+}
+
+func checkStmtListSequencing(pass *Pass, list []ast.Stmt) {
+	// released[obj] = true once an unconditional Release of obj ran.
+	released := make(map[types.Object]bool)
+	for _, stmt := range list {
+		if len(released) > 0 {
+			reportReleasedUses(pass, stmt, released)
+		}
+		// Reassignment revives the variable.
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						delete(released, obj)
+					}
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						delete(released, obj)
+					}
+				}
+			}
+		}
+		if obj := unconditionalReleaseOf(pass, stmt); obj != nil {
+			released[obj] = true
+		}
+	}
+}
+
+// unconditionalReleaseOf returns the object whose Release the statement
+// unconditionally calls (an ExprStmt `x.Release()` on a refcounted x), or
+// nil.
+func unconditionalReleaseOf(pass *Pass, stmt ast.Stmt) types.Object {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !IsRefcounted(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// reportReleasedUses flags every use of an already-released object inside
+// stmt, distinguishing a second Release from a plain use.
+func reportReleasedUses(pass *Pass, stmt ast.Stmt, released map[types.Object]bool) {
+	// Assignment targets are not uses: `f = encode()` revives f, it does
+	// not read the released buffer.
+	assignTargets := make(map[ast.Expr]bool)
+	if as, ok := stmt.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			assignTargets[lhs] = true
+		}
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			_ = fl
+			return false // deferred/spawned bodies run at another time
+		}
+		if e, ok := n.(ast.Expr); ok && assignTargets[e] {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !released[obj] {
+			return true
+		}
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && sel.X == ast.Expr(id) {
+					pass.Reportf(id.Pos(), "frame %s Released twice on this path (each reference is dropped exactly once)", id.Name)
+					return true
+				}
+			}
+		}
+		pass.Reportf(id.Pos(), "use of frame %s after Release: the buffer may already be recycled by the pool", id.Name)
+		return true
+	})
+}

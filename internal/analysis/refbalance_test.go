@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dimprune/internal/analysis"
+	"dimprune/internal/analysis/analysistest"
+)
+
+func TestRefbalance(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "./refbalance", analysis.Refbalance)
+}

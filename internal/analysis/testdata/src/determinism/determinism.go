@@ -1,0 +1,48 @@
+// Package determinism exercises the golden-seed rules via the package
+// mark (real generator packages are detected by their workload.Register
+// call; see the determreg fixture).
+//
+//dimlint:generator
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+type event struct{ key string }
+
+func emitTimestamp() int64 {
+	return time.Now().UnixNano() // want "determinism: time.Now in a workload generator"
+}
+
+func emitElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "determinism: time.Since in a workload generator"
+}
+
+func emitGlobalRand() int {
+	return rand.Intn(10) // want "determinism: global rand.Intn in a workload generator"
+}
+
+// ownedRand is the blessed shape: the stream owns a seeded source.
+func ownedRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "determinism: map iteration in a workload generator"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sliceOrder is deterministic: dense slices iterate in index order.
+func sliceOrder(evs []event) []string {
+	var keys []string
+	for _, e := range evs {
+		keys = append(keys, e.key)
+	}
+	return keys
+}

@@ -1,0 +1,18 @@
+// Package determreg carries no //dimlint:generator mark: determinism
+// detects it as a generator package by its workload.Register call, the
+// way real scenario packages (ticker, sensornet, auction) register.
+package determreg
+
+import (
+	"time"
+
+	"fixtures/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Info{Name: "fixture"})
+}
+
+func emit() int64 {
+	return time.Now().UnixNano() // want "determinism: time.Now in a workload generator"
+}

@@ -1,0 +1,67 @@
+// Package hotpathiter reproduces the negative-dimension list bug class:
+// before the dense negList slice existed, the match hot path ranged over
+// the negScan map on every event — nondeterministic order and a bucket
+// walk per event. matchNegMap is that reverted shape; matchNegDense is
+// the fix.
+package hotpathiter
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type engine struct {
+	negScan map[int]int
+	negList []int
+}
+
+// matchNegMap is the pre-fix Phase 1: walking the map per event.
+//
+//dimlint:hotpath
+func (e *engine) matchNegMap(visit func(int)) {
+	for id := range e.negScan { // want "hotpathiter: map iteration on the hot path"
+		visit(id)
+	}
+}
+
+// matchNegDense is the fixed Phase 1: the dense slice kept alongside the
+// map.
+//
+//dimlint:hotpath
+func (e *engine) matchNegDense(visit func(int)) {
+	for _, id := range e.negList {
+		visit(id)
+	}
+}
+
+//dimlint:hotpath
+func (e *engine) describe(id int) string {
+	return fmt.Sprintf("sub-%d", id) // want "hotpathiter: fmt.Sprintf on the hot path"
+}
+
+// describeFast formats without reflection.
+//
+//dimlint:hotpath
+func (e *engine) describeFast(id int) string {
+	return "sub-" + strconv.Itoa(id)
+}
+
+// nestedLiteral: function literals inside a hotpath function inherit the
+// restriction — they run on the same path.
+//
+//dimlint:hotpath
+func (e *engine) nestedLiteral() func() {
+	return func() {
+		for range e.negScan { // want "hotpathiter: map iteration on the hot path"
+		}
+	}
+}
+
+// coldPath is unannotated: map iteration is fine off the hot path.
+func (e *engine) coldPath() int {
+	n := 0
+	for range e.negScan {
+		n++
+	}
+	return n
+}

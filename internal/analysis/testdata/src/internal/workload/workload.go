@@ -1,0 +1,10 @@
+// Package workload mirrors the real registry's shape so fixtures can
+// exercise the Register-based generator detection (determinism scopes by
+// the "internal/workload" import-path suffix).
+package workload
+
+// Info describes one registered scenario.
+type Info struct{ Name string }
+
+// Register records a scenario.
+func Register(info Info) {}

@@ -1,0 +1,111 @@
+// Package lockplane exercises the two-plane locking rules on a struct
+// shaped like the broker: a guard RWMutex, a WaitGroup, and guarded state.
+package lockplane
+
+import "sync"
+
+// S pairs a guard mutex with the state it protects.
+type S struct {
+	mu    sync.RWMutex
+	wg    sync.WaitGroup
+	m     map[int]int
+	count int
+}
+
+func (s *S) badWrite() {
+	s.count = 1 // want "lockplane: write to s.count without the write lock"
+}
+
+func (s *S) badReadLocked() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.count++ // want "lockplane: write to s.count under the read lock"
+}
+
+func (s *S) goodWrite() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count = 2
+	s.m[1] = 1
+	delete(s.m, 1)
+}
+
+func (s *S) badDelete() {
+	delete(s.m, 1) // want "lockplane: write to s.m without the write lock"
+}
+
+func (s *S) route() {
+	s.mu.Lock() // want "lockplane: data-plane method takes the write lock on s.mu"
+	s.mu.Unlock()
+}
+
+func (s *S) MatchEntriesAll() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+}
+
+func (s *S) badAdd() {
+	s.wg.Add(1) // want "lockplane: s.wg.Add without holding a lock on s"
+	go func() { s.wg.Done() }()
+}
+
+func (s *S) goodAdd() {
+	s.mu.Lock()
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() { s.wg.Done() }()
+}
+
+// applyTransitions mutates guarded state; callers hold the write lock.
+//
+//dimlint:locked
+func (s *S) applyTransitions() {
+	s.count++
+	s.helperLocked()
+}
+
+// helperLocked also relies on the caller's lock.
+//
+//dimlint:locked
+func (s *S) helperLocked() {
+	s.m[2] = 2
+}
+
+func (s *S) badCaller() {
+	s.applyTransitions() // want "lockplane: call to //dimlint:locked function applyTransitions without a write lock"
+}
+
+func (s *S) goodCaller() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyTransitions()
+}
+
+// trySample is the contention-sampling pattern: skip under contention,
+// hold the lock on the fall-through path.
+func (s *S) trySample() {
+	if !s.mu.TryLock() {
+		return
+	}
+	defer s.mu.Unlock()
+	s.count++
+}
+
+func (s *S) suppressed() {
+	s.count = 9 //dimlint:ignore lockplane single-goroutine construction phase, no concurrent readers yet
+}
+
+func (s *S) badIgnore() {
+	s.count = 9 /* want "dimlint: dimlint:ignore needs an analyzer name and a non-empty reason" "lockplane: write to s.count without the write lock" */ //dimlint:ignore lockplane
+}
+
+// aux carries only a descriptively-named auxiliary mutex: it guards one
+// sub-concern, so the mutation rule does not apply.
+type aux struct {
+	sortMu sync.Mutex
+	items  []int
+}
+
+func (a *aux) add(v int) {
+	a.items = append(a.items, v)
+}

@@ -1,0 +1,174 @@
+// Package unit speaks cmd/go's vet unit-checker protocol, so dimlint can
+// run as `go vet -vettool=$(command -v dimlint) ./...`. The go command
+// drives the tool once per package: it writes a vet.cfg JSON file into the
+// package's work directory describing the unit — source files, the import
+// map after vendoring, and the export-data file for every dependency — and
+// invokes the tool with that path as its sole positional argument. The
+// protocol also probes the tool with -V=full (cache key) and -flags
+// (flag discovery); cmd/dimlint answers those before delegating here.
+package unit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"dimprune/internal/analysis"
+)
+
+// config mirrors the vetConfig JSON written by cmd/go (see
+// cmd/go/internal/work.vetConfig). Unknown fields are ignored.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run analyzes the unit described by the vet.cfg at cfgPath and returns
+// the process exit code: 0 for success (including JSON mode, where
+// diagnostics are data, not failure), 1 for driver errors, 2 when
+// diagnostics were reported in plain mode.
+func Run(cfgPath string, analyzers []*analysis.Analyzer, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dimlint: %v\n", err)
+		return 1
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dimlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.Compiler == "gccgo" {
+		fmt.Fprintln(os.Stderr, "dimlint: gccgo export data is not supported")
+		return 1
+	}
+
+	// cmd/go caches vet results keyed by the tool's buildID and the facts
+	// file the tool writes. dimlint keeps no cross-package facts, so the
+	// vetx output is an empty placeholder — written even in VetxOnly mode so
+	// dependency passes succeed and the cache engages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "dimlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "dimlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	// Dependencies come from the export data cmd/go already compiled,
+	// located through ImportMap (vendoring/module resolution has happened;
+	// source import paths map to resolved ones) then PackageFile.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet config", path)
+		}
+		return os.Open(file)
+	}
+
+	info := analysis.NewInfo()
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect everything; Check returns the first
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "dimlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.RunAnalyzers(&analysis.Package{
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dimlint: %v\n", err)
+		return 1
+	}
+
+	if asJSON {
+		WriteJSON(os.Stdout, map[string][]analysis.Diagnostic{cfg.ImportPath: diags})
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// jsonDiagnostic is the per-finding JSON shape, compatible with the
+// x/tools unitchecker output that `go vet -json` consumers expect.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// WriteJSON emits diagnostics grouped by import path then analyzer:
+//
+//	{"pkg/path": {"analyzer": [{"posn": "file:line:col", "message": "..."}]}}
+func WriteJSON(w io.Writer, byPkg map[string][]analysis.Diagnostic) {
+	out := make(map[string]map[string][]jsonDiagnostic, len(byPkg))
+	for pkg, diags := range byPkg {
+		grouped := make(map[string][]jsonDiagnostic)
+		for _, d := range diags {
+			grouped[d.Analyzer] = append(grouped[d.Analyzer], jsonDiagnostic{
+				Posn:    d.Pos.String(),
+				Message: d.Message,
+			})
+		}
+		out[pkg] = grouped
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(out) //nolint:errcheck // best-effort stdout
+}

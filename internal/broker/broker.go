@@ -390,6 +390,8 @@ func (b *Broker) HandleSubscribe(from LinkID, s *subscription.Subscription) ([]O
 }
 
 // addSubscription mutates the routing table; callers hold the write lock.
+//
+//dimlint:locked
 func (b *Broker) addSubscription(s *subscription.Subscription, origin LinkID) ([]Outgoing, error) {
 	replaced := false
 	if prev, dup := b.entries[s.ID]; dup {
@@ -468,6 +470,8 @@ func (b *Broker) HandleUnsubscribe(from LinkID, id uint64) ([]Outgoing, error) {
 }
 
 // removeSubscription mutates the routing table; callers hold the write lock.
+//
+//dimlint:locked
 func (b *Broker) removeSubscription(id uint64, origin LinkID) ([]Outgoing, error) {
 	ent, ok := b.entries[id]
 	if !ok {
@@ -691,6 +695,8 @@ func (b *Broker) HandlePublish(from LinkID, m *event.Message) ([]Outgoing, []Del
 // forwarded copy. The link the event arrived on never gets a copy back.
 // Callers hold the read lock; scratch comes from the pool so concurrent
 // routes never share buffers.
+//
+//dimlint:hotpath
 func (b *Broker) route(m *event.Message, arrived LinkID) ([]Outgoing, []Delivery) {
 	if b.observe {
 		b.model.Observe(m)

@@ -300,6 +300,8 @@ func (e *Engine) indexRemove(id predID, p subscription.Predicate) {
 // engine's current predicate and subscription capacities. Counters are zero
 // whenever a scratch sits in the pool (the counting phase resets the slots
 // it touched), so growth only needs to preserve that invariant.
+//
+//dimlint:pooled
 func (e *Engine) getScratch() *matchScratch {
 	sc, _ := e.scratch.Get().(*matchScratch)
 	if sc == nil {
@@ -339,6 +341,8 @@ func (e *Engine) MatchCount(m *event.Message) int {
 
 // MatchVisit invokes fn for every subscription whose tree matches m.
 // fn runs on the calling goroutine and must not mutate the engine.
+//
+//dimlint:hotpath
 func (e *Engine) MatchVisit(m *event.Message, fn func(*subscription.Subscription)) {
 	sc := e.getScratch()
 	sc.epoch++
@@ -409,6 +413,8 @@ func (e *Engine) matchWorkers(fulfilled int) int {
 // predicates with no association in this shard (the common case once
 // shards are fine-grained) with one contiguous load. Counters are reset on
 // the way out so the scratch returns to its all-zero pool state.
+//
+//dimlint:hotpath
 func (e *Engine) matchShard(sc *matchScratch, s int) {
 	ss := &sc.shards[s]
 	table := e.registry.assoc[s]
@@ -438,11 +444,17 @@ func (e *Engine) matchShard(sc *matchScratch, s int) {
 
 // evalTree evaluates the Boolean tree of se using the epoch-stamped
 // fulfilled set; leaves are consumed in pre-order, mirroring attach.
+//
+//dimlint:hotpath
 func (e *Engine) evalTree(sc *matchScratch, se *subEntry) bool {
 	pos := 0
 	return evalNode(sc, se.sub.Root, se.leafs, &pos)
 }
 
+// evalNode evaluates one tree node, consuming its leaves from leafs in
+// pre-order via pos.
+//
+//dimlint:hotpath
 func evalNode(sc *matchScratch, n *subscription.Node, leafs []predID, pos *int) bool {
 	switch n.Kind {
 	case subscription.NodeLeaf:
