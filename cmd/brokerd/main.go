@@ -35,6 +35,7 @@ import (
 	"dimprune/internal/broker"
 	"dimprune/internal/core"
 	"dimprune/internal/transport"
+	"dimprune/internal/wal"
 )
 
 func main() {
@@ -61,6 +62,8 @@ func run(args []string, stop <-chan os.Signal) error {
 		matchWorkers = fs.Int("match-workers", 0, "goroutines one match fans out across (0: GOMAXPROCS, 1: serial)")
 		matchShards  = fs.Int("match-shards", 0, "subscription-table shards (0: auto from match workers)")
 		covering     = fs.Bool("covering", true, "covering forest on the control plane (off = forward every subscription to every peer)")
+		walDir       = fs.String("wal-dir", "", "event-log directory for durable subscriptions (empty: durables disabled)")
+		walFsync     = fs.Bool("wal-fsync", false, "fsync each event-log append (stronger crash durability, much slower)")
 	)
 	var peerAddrs addrList
 	fs.Var(&peerAddrs, "peer", "neighbor address to dial as a managed peer link (handshake + reconnect; repeatable)")
@@ -100,6 +103,18 @@ func run(args []string, stop <-chan os.Signal) error {
 	})
 	defer srv.Shutdown()
 	srv.SetLogf(logger.Printf)
+	if *walDir != "" {
+		w, err := wal.Open(wal.Options{Dir: *walDir, Sync: *walFsync})
+		if err != nil {
+			return fmt.Errorf("open wal %s: %w", *walDir, err)
+		}
+		// Close after Shutdown (LIFO defers): the durable pumps must stop
+		// before the store flushes its cursors and closes the segments.
+		defer func() { _ = w.Close() }()
+		srv.SetWAL(w)
+		logger.Printf("durable event log in %s (%d registered durables, last seq %d, fsync %v)",
+			*walDir, len(w.Names()), w.LastSeq(), *walFsync)
+	}
 
 	// Dial static raw links first: their link IDs follow flag order, which
 	// is what makes snapshot restore stable across restarts. Listeners and

@@ -1,0 +1,153 @@
+package dimprune
+
+import (
+	"testing"
+	"time"
+
+	"dimprune/internal/subscription"
+)
+
+// Kill/restart oracle for the durable plane, table-driven over registered
+// workload scenarios: a durable subscriber's delivered set must converge
+// to the exact broker's match set even when the broker is killed (WAL
+// frozen mid-state, unsynced ack advances lost, handles torn down without
+// drains) between the two halves of the workload. At-least-once is the
+// contract under test — duplicates across the crash are permitted and
+// expected (unacked records replay), losses and spurious deliveries are
+// not.
+
+// crashDurableExpr picks each scenario's durable subscription: the first
+// broad expression from the differential table, so the durable sees dense
+// traffic rather than one generated class.
+func crashDurableExpr(t *testing.T, name string) string {
+	t.Helper()
+	broad, ok := diffBroadSubs[name]
+	if !ok || len(broad) == 0 {
+		t.Fatalf("workload %q has no broad subscriptions to use as the durable", name)
+	}
+	return broad[0]
+}
+
+func TestDurableCrashReplayOracle(t *testing.T) {
+	for _, name := range []string{"ticker", "sensornet"} {
+		t.Run(name, func(t *testing.T) {
+			w := makeDiffWorkload(t, name)
+			expr := crashDurableExpr(t, name)
+			root := subscription.MustParse(expr)
+
+			// Ground truth: the event IDs the durable must end up with.
+			expected := make(map[uint64]bool)
+			for _, m := range w.events {
+				if root.Matches(m) {
+					expected[m.ID] = true
+				}
+			}
+			if len(expected) < 10 {
+				t.Fatalf("durable expr %q matches only %d/%d events — too sparse to exercise replay",
+					expr, len(expected), len(w.events))
+			}
+
+			dir := t.TempDir()
+			half := len(w.events) / 2
+
+			// Phase 1: publish the first half, consume part of it with
+			// sparse acks, then kill the broker with backlog outstanding.
+			ps1, err := NewEmbedded(EmbeddedConfig{WALDir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h1, err := ps1.SubscribeExpr(expr, WithDurable("crash"), WithBuffer(256))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[uint64]int) // event ID → delivery count
+			for _, m := range w.events[:half] {
+				if _, err := ps1.Publish(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Consume roughly half the phase-1 backlog, acking every third
+			// delivery: the crash then finds acked, delivered-unacked, and
+			// never-delivered records all at once.
+			consume := 0
+		phase1:
+			for {
+				select {
+				case n := <-h1.C():
+					got[n.Msg.ID]++
+					consume++
+					if consume%3 == 0 {
+						if err := h1.Ack(n.Seq); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if consume >= len(expected)/4 {
+						break phase1
+					}
+				case <-time.After(2 * time.Second):
+					break phase1 // fewer matches in the first half than planned
+				}
+			}
+			ps1.Kill()
+
+			// Phase 2: reopen the same directory, reattach, publish the rest,
+			// and drain until every expected ID has arrived at least once.
+			ps2, err := NewEmbedded(EmbeddedConfig{WALDir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ps2.Close()
+			h2, err := ps2.SubscribeExpr(expr, WithDurable("crash"), WithBuffer(256))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range w.events[half:] {
+				if _, err := ps2.Publish(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			remaining := len(expected)
+			for id := range got {
+				if expected[id] {
+					remaining--
+				}
+			}
+			deadline := time.After(30 * time.Second)
+			for remaining > 0 {
+				select {
+				case n := <-h2.C():
+					if got[n.Msg.ID] == 0 && expected[n.Msg.ID] {
+						remaining--
+					}
+					got[n.Msg.ID]++
+					if err := h2.Ack(n.Seq); err != nil {
+						t.Fatal(err)
+					}
+				case <-deadline:
+					t.Fatalf("converged on %d/%d expected deliveries before timeout",
+						len(expected)-remaining, len(expected))
+				}
+			}
+
+			// Losses: impossible by the loop above. Spurious deliveries: every
+			// delivered ID must be in the exact match set.
+			for id, count := range got {
+				if !expected[id] {
+					t.Errorf("event %d delivered %d times but never matched %q", id, count, expr)
+				}
+			}
+			// The crash left delivered-but-unacked records, so at least one
+			// duplicate should have been observed — if none ever is, the test
+			// stopped exercising redelivery and should be revisited.
+			dups := 0
+			for _, count := range got {
+				if count > 1 {
+					dups++
+				}
+			}
+			if consume > 0 && dups == 0 {
+				t.Logf("note: no duplicate deliveries observed (consumed %d before the kill)", consume)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"dimprune/internal/broker"
 	"dimprune/internal/selectivity"
+	"dimprune/internal/wal"
 )
 
 // EmbeddedConfig configures an in-process pub/sub instance.
@@ -29,6 +30,20 @@ type EmbeddedConfig struct {
 	// may be called from many goroutines at once and the calls run
 	// concurrently.
 	MatchWorkers int
+	// WALDir enables the durable plane: published events are logged to a
+	// segmented write-ahead log in this directory whenever durable
+	// subscriptions (WithDurable) are registered, and durable cursors
+	// survive restarts of the same directory. Empty disables durability;
+	// WithDurable then fails.
+	WALDir string
+	// WALSync fsyncs every WAL append. Off by default: the log already
+	// survives process death, and fsync-per-event costs an order of
+	// magnitude in publish throughput. Enable for machine-crash
+	// durability.
+	WALSync bool
+	// WALSegmentBytes overrides the WAL segment rotation size (default
+	// wal.DefaultSegmentBytes).
+	WALSegmentBytes int64
 }
 
 // Notification is one delivered event.
@@ -36,6 +51,9 @@ type Notification struct {
 	Subscriber string
 	SubID      uint64
 	Msg        *Message
+	// Seq is the event's WAL sequence number on durable subscriptions
+	// (pass it to Handle.Ack); zero on ephemeral ones.
+	Seq uint64
 }
 
 // Embedded is a single-process publish/subscribe engine with pruning —
@@ -65,6 +83,11 @@ type Embedded struct {
 	nextID uint64
 	subs   map[uint64]*Handle
 	closed bool
+
+	// wal is the durable plane's event log, non-nil iff WALDir was set.
+	// Its own mutex orders appends; the engine never holds mu across a
+	// WAL call.
+	wal *wal.Store
 
 	// pubScratch pools per-publish buffers: match refs collected under the
 	// broker's shared lock, then resolved handles, so concurrent publishes
@@ -102,6 +125,13 @@ func NewEmbedded(cfg EmbeddedConfig) (*Embedded, error) {
 		return nil, err
 	}
 	e := &Embedded{b: b, subs: make(map[uint64]*Handle)}
+	if cfg.WALDir != "" {
+		w, err := wal.Open(wal.Options{Dir: cfg.WALDir, SegmentBytes: cfg.WALSegmentBytes, Sync: cfg.WALSync})
+		if err != nil {
+			return nil, err
+		}
+		e.wal = w
+	}
 	// A virtual neighbor link makes every subscription a non-local routing
 	// entry, i.e. eligible for pruning; deliveries are synthesized from the
 	// link's forwarding decision.
@@ -138,8 +168,27 @@ func (e *Embedded) SubscribeTree(root *Node, opts ...SubOption) (*Handle, error)
 // its registration returns; an event published concurrently with
 // registration may or may not be delivered.
 func (e *Embedded) register(root *Node, o subOptions, legacy bool) (*Handle, error) {
-	if !o.policy.Valid() {
-		return nil, fmt.Errorf("dimprune: invalid backpressure policy %d", o.policy)
+	if o.durable != "" {
+		// Durable subscriptions are Persist by construction: the default
+		// Block is promoted, the drop policies contradict durability.
+		switch {
+		case e.wal == nil:
+			return nil, fmt.Errorf("dimprune: WithDurable(%q) requires EmbeddedConfig.WALDir", o.durable)
+		case legacy:
+			return nil, fmt.Errorf("dimprune: the deprecated Subscribe API cannot be durable")
+		case o.policy != Block && o.policy != Persist:
+			return nil, fmt.Errorf("dimprune: durable subscriptions are Persist, not %v", o.policy)
+		}
+		o.policy = Persist
+	} else {
+		switch {
+		case o.policy == Persist:
+			return nil, fmt.Errorf("dimprune: the Persist policy requires WithDurable")
+		case o.manualAck:
+			return nil, fmt.Errorf("dimprune: WithManualAck requires WithDurable")
+		case !o.policy.Valid():
+			return nil, fmt.Errorf("dimprune: invalid backpressure policy %d", o.policy)
+		}
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -161,6 +210,19 @@ func (e *Embedded) register(root *Node, o subOptions, legacy bool) (*Handle, err
 		return nil, err
 	}
 	h.meter = e.b.DeliveryMeter(id)
+	if o.durable != "" {
+		// Attach the durable cursor and start the replay pump. First
+		// attach registers the name (durability begins here); reattach
+		// resumes after the persisted ack, redelivering the unacked
+		// suffix.
+		c, err := e.wal.Attach(o.durable)
+		if err != nil {
+			_, _ = e.b.HandleUnsubscribe(0, id)
+			h.retire(true, false)
+			return nil, err
+		}
+		h.startPump(root, c)
+	}
 
 	e.mu.Lock()
 	if e.closed {
@@ -256,6 +318,15 @@ func (e *Embedded) Publish(m *Message) (int, error) {
 	if m == nil {
 		return 0, ErrNilMessage
 	}
+	// Write-ahead: the event is durable before any delivery is attempted,
+	// so a crash after this point redelivers rather than loses. Gated
+	// inside the store on durables being registered — an engine with no
+	// durable subscribers skips the log entirely.
+	if e.wal != nil {
+		if _, err := e.wal.AppendMessage(m); err != nil {
+			return 0, err
+		}
+	}
 	pb := e.scratch()
 	defer e.release(pb)
 	e.b.MatchEntries(m, func(subID uint64, subscriber string) {
@@ -280,6 +351,14 @@ func (e *Embedded) PublishBatch(ms []*Message) (int, error) {
 	for _, m := range ms {
 		if m == nil {
 			return 0, ErrNilMessage
+		}
+	}
+	if e.wal != nil {
+		// Same write-ahead rule as Publish, event by event in batch order.
+		for _, m := range ms {
+			if _, err := e.wal.AppendMessage(m); err != nil {
+				return 0, err
+			}
 		}
 	}
 	pb := e.scratch()
@@ -362,7 +441,40 @@ func (e *Embedded) Close() error {
 	for _, h := range handles {
 		h.retire(false, false)
 	}
+	if e.wal != nil {
+		return e.wal.Close()
+	}
 	return nil
+}
+
+// Kill tears the engine down the way a crash would: handles retire with
+// their backlogs discarded and the WAL is abandoned without flushing, so
+// reopening the same WALDir replays exactly what a process kill at this
+// moment would leave behind. It exists for crash-recovery testing; a
+// clean shutdown uses Close. Durable registrations survive (that is the
+// point); ephemeral subscriptions are simply gone.
+func (e *Embedded) Kill() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	handles := make([]*Handle, 0, len(e.subs))
+	for _, h := range e.subs {
+		handles = append(handles, h)
+	}
+	e.subs = make(map[uint64]*Handle)
+	e.mu.Unlock()
+	if e.wal != nil {
+		// Abandon the log first: pumps blocked in cursor reads unblock
+		// with ErrClosed, mirroring the order a real crash imposes (the
+		// disk state freezes before the goroutines die).
+		e.wal.Crash()
+	}
+	for _, h := range handles {
+		h.retire(true, false)
+	}
 }
 
 // Prune applies up to n pruning steps and returns the number performed.

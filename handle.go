@@ -1,11 +1,14 @@
 package dimprune
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"dimprune/internal/broker"
 	"dimprune/internal/delivery"
+	"dimprune/internal/wal"
+	"dimprune/internal/wire"
 )
 
 // Handle is one registered subscription and the owner of its delivery.
@@ -41,6 +44,19 @@ type Handle struct {
 	discard   atomic.Bool
 	drainDone chan struct{} // closed when the callback drainer exits; nil otherwise
 
+	// consumed counts callback invocations that actually ran — the
+	// delivered figure for callback handles, where enqueue-time counting
+	// would include a discarded backlog (see Delivered).
+	consumed atomic.Uint64
+
+	// Durable plane (WithDurable): the handle is fed by pumpLoop replaying
+	// the engine's WAL through cursor, not by the live deliver path.
+	durable   string
+	manualAck bool
+	cursor    *wal.Cursor
+	pumpStop  chan struct{}
+	pumpDone  chan struct{}
+
 	retireOnce sync.Once
 	retireErr  error
 }
@@ -50,6 +66,18 @@ type Handle struct {
 func newHandle(e *Embedded, id uint64, o subOptions, legacy bool) *Handle {
 	h := &Handle{id: id, subscriber: o.subscriber, e: e, cb: o.callback}
 	if legacy {
+		return h
+	}
+	if o.durable != "" {
+		// Durable: pumpLoop (started by register once the cursor is
+		// attached) feeds the consumer directly in callback mode, or
+		// through an internal Block queue in channel mode — the WAL is
+		// the buffer, so drop policies don't apply.
+		h.durable, h.manualAck = o.durable, o.manualAck
+		h.pumpStop = make(chan struct{})
+		if h.cb == nil {
+			h.q = delivery.New[Notification](o.buffer, delivery.Block)
+		}
 		return h
 	}
 	h.q = delivery.New[Notification](o.buffer, o.policy)
@@ -68,6 +96,67 @@ func (h *Handle) drainLoop() {
 			continue
 		}
 		h.cb(n)
+		// Delivered-at-invocation: counting at enqueue time inflated the
+		// meter with backlog that Unsubscribe later discarded.
+		h.consumed.Add(1)
+		h.meter.NoteDelivered(1)
+	}
+}
+
+// startPump attaches the durable cursor and launches the replay pump.
+// Called by register after the broker-side registration succeeded; a
+// handle unwound before this point has no pump to wait for.
+func (h *Handle) startPump(root *Node, c *wal.Cursor) {
+	h.cursor = c
+	h.pumpDone = make(chan struct{})
+	go h.pumpLoop(root)
+}
+
+// pumpLoop is the delivery goroutine of a durable handle: it replays the
+// engine's WAL from the durable cursor, matching each logged event against
+// the subscription tree exactly (replay matching is unaffected by pruning
+// — the log predates the routing table's approximations). Matching events
+// are delivered with their log sequence; non-matching ones advance the
+// cursor via Skip so retention is not held back. The loop exits when the
+// handle retires, the cursor detaches, or the store closes.
+func (h *Handle) pumpLoop(root *Node) {
+	defer close(h.pumpDone)
+	for {
+		seq, payload, err := h.cursor.Next(h.pumpStop)
+		if err != nil {
+			return
+		}
+		m, _, err := wire.DecodeMessage(payload)
+		if err != nil {
+			// Recovery CRC-checks every record, so a decode failure means
+			// a foreign or future-versioned log; skipping would silently
+			// lose data, so stop the pump instead.
+			return
+		}
+		if !root.Matches(m) {
+			h.cursor.Skip(seq)
+			continue
+		}
+		n := Notification{Subscriber: h.subscriber, SubID: h.id, Seq: seq, Msg: m}
+		if h.cb != nil {
+			if h.discard.Load() {
+				return
+			}
+			h.cb(n)
+			h.consumed.Add(1)
+			h.meter.NoteDelivered(1)
+			if !h.manualAck {
+				if err := h.cursor.Ack(seq); err != nil {
+					return
+				}
+			}
+			continue
+		}
+		accepted, _ := h.q.Enqueue(n)
+		if !accepted {
+			return // queue closed: the handle is retiring
+		}
+		h.meter.NoteDelivered(1)
 	}
 }
 
@@ -90,17 +179,44 @@ func (h *Handle) C() <-chan Notification {
 	return h.q.C()
 }
 
-// Policy returns the handle's backpressure policy.
+// Policy returns the handle's delivery policy: the queue's backpressure
+// policy for buffered subscriptions, Persist for durable ones, and
+// Synchronous for legacy OnNotify subscriptions (which have no queue and
+// previously misreported Block here).
 func (h *Handle) Policy() Policy {
+	if h.durable != "" {
+		return Persist
+	}
 	if h.q == nil {
-		return Block
+		return Synchronous
 	}
 	return h.q.Policy()
 }
 
-// Delivered returns how many notifications the subscription has accepted
-// for delivery.
+// Durable returns the durable name given via WithDurable, or "" for an
+// ephemeral subscription.
+func (h *Handle) Durable() string { return h.durable }
+
+// Ack marks every durable notification up to and including seq (a
+// Notification.Seq) as processed: it is persisted and never redelivered,
+// and the log space it occupies becomes reclaimable. Acks are cumulative.
+// Channel-mode durable consumers must call it; callback mode only under
+// WithManualAck. On a non-durable handle Ack is an error.
+func (h *Handle) Ack(seq uint64) error {
+	if h.cursor == nil {
+		return fmt.Errorf("dimprune: Ack on non-durable subscription %d", h.id)
+	}
+	return h.cursor.Ack(seq)
+}
+
+// Delivered returns how many notifications the subscription's consumer
+// has received: enqueue count for channel handles (the buffer is part of
+// the consumer's side), completed callback invocations for callback
+// handles — backlog discarded by Unsubscribe is not "delivered".
 func (h *Handle) Delivered() uint64 {
+	if h.cb != nil {
+		return h.consumed.Load()
+	}
 	if h.q == nil {
 		return h.meter.Delivered()
 	}
@@ -144,11 +260,28 @@ func (h *Handle) retire(discard, unregister bool) error {
 			h.retireErr = h.e.forget(h.id)
 		}
 		h.discard.Store(discard)
+		if h.pumpStop != nil {
+			close(h.pumpStop)
+		}
 		if h.q != nil {
 			h.q.Close()
 		}
 		if h.drainDone != nil {
 			<-h.drainDone
+		}
+		if h.pumpDone != nil {
+			<-h.pumpDone
+		}
+		if h.cursor != nil {
+			h.cursor.Detach()
+			if unregister {
+				// Unsubscribe ends the durable itself: drop its cursor so
+				// it stops holding log segments. Close/Kill leave the
+				// registration for the next attach.
+				if err := h.e.wal.Forget(h.durable); err != nil && h.retireErr == nil {
+					h.retireErr = err
+				}
+			}
 		}
 	})
 	if !ran {
@@ -170,8 +303,17 @@ func (h *Handle) deliver(n Notification, notify func(Notification)) {
 		}
 		return
 	}
+	if h.cursor != nil {
+		// Durable: the WAL replay pump is the only delivery path, so the
+		// live match is dropped here — the same event reaches the pump
+		// through the log, with its sequence number attached.
+		return
+	}
 	accepted, dropped := h.q.Enqueue(n)
-	if accepted {
+	if accepted && h.cb == nil {
+		// Callback handles count delivery at invocation (drainLoop), not
+		// at enqueue — an enqueued-then-discarded backlog was never
+		// delivered to anyone.
 		h.meter.NoteDelivered(1)
 	}
 	if dropped > 0 {

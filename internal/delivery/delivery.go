@@ -28,7 +28,22 @@ const (
 	// DropNewest discards the new item when the buffer is full; the
 	// consumer sees the oldest notifications until it catches up.
 	DropNewest
+	// Persist marks a durable, WAL-backed subscription: notifications are
+	// replayed from the broker's event log until acked, so nothing is shed
+	// and nothing is lost across reconnects or restarts. It is not a queue
+	// policy — Queue rejects it (Valid is false); the durable plane
+	// implements it with a cursor over the log feeding an internal Block
+	// queue.
+	Persist
 )
+
+// Synchronous is the reported policy of legacy subscriptions that deliver
+// synchronously on the publishing goroutine (the deprecated OnNotify API).
+// They have no queue, so none of the buffered policies applies; reporting
+// Block for them — as earlier versions did — misled consumers of the
+// policy, e.g. brokerd's delivery-hotspot stats. Like Persist it is not a
+// queue policy and Valid is false.
+const Synchronous Policy = -1
 
 // String names the policy for logs and stats.
 func (p Policy) String() string {
@@ -39,12 +54,19 @@ func (p Policy) String() string {
 		return "drop-oldest"
 	case DropNewest:
 		return "drop-newest"
+	case Persist:
+		return "persist"
+	case Synchronous:
+		return "synchronous"
 	default:
 		return "invalid"
 	}
 }
 
-// Valid reports whether p is one of the defined policies.
+// Valid reports whether p is a queue-implementable policy, i.e. one a
+// Queue can be constructed with. Persist and Synchronous are real policies
+// for reporting purposes but are implemented outside the queue, so they
+// are not Valid here.
 func (p Policy) Valid() bool { return p >= Block && p <= DropNewest }
 
 // Queue is a bounded FIFO with a backpressure policy, safe for any number
@@ -142,7 +164,18 @@ func (q *Queue[T]) Enqueue(v T) (accepted bool, dropped int) {
 			select {
 			case q.ch <- v:
 			case <-q.quit:
-				return false, 0
+				// When both cases are ready the runtime picks one at
+				// random, so quit being chosen does not mean the buffer
+				// was full — room may have appeared together with (or
+				// just before) the close. Re-attempt the non-blocking
+				// send once: an item that had room at close time must be
+				// accepted, not refused. Safe under mu's read side — ch
+				// is only closed after Close acquires the write side.
+				select {
+				case q.ch <- v:
+				default:
+					return false, 0
+				}
 			}
 		}
 	}

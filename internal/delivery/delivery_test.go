@@ -2,6 +2,7 @@ package delivery
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -109,7 +110,7 @@ func TestMinimumBuffer(t *testing.T) {
 }
 
 func TestPolicyStrings(t *testing.T) {
-	cases := map[Policy]string{Block: "block", DropOldest: "drop-oldest", DropNewest: "drop-newest", Policy(9): "invalid"}
+	cases := map[Policy]string{Block: "block", DropOldest: "drop-oldest", DropNewest: "drop-newest", Persist: "persist", Synchronous: "synchronous", Policy(9): "invalid"}
 	for p, want := range cases {
 		if p.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
@@ -117,6 +118,75 @@ func TestPolicyStrings(t *testing.T) {
 	}
 	if Policy(9).Valid() || !DropOldest.Valid() {
 		t.Error("Valid misclassifies")
+	}
+	// Persist and Synchronous are reportable but not queue-implementable.
+	if Persist.Valid() || Synchronous.Valid() {
+		t.Error("non-queue policies must not be Valid")
+	}
+}
+
+// TestBlockCloseDoesNotRefuseRoom is the regression test for the Block
+// close race. The racy window is between an enqueuer's failed fast-path
+// poll (buffer momentarily full) and its entry into the blocking select:
+// when a consumer makes room and quit fires inside that window, both
+// select cases are ready and the runtime picks one at random — pre-fix,
+// the quit pick refused an item that had room. The test aligns a
+// drain-then-close against concurrent enqueue attempts with a start gate
+// and a scanned delay so some iterations land in the window. Once the
+// lone buffered item is drained nothing else ever fills the queue, so
+// room exists continuously from the drain onward and any refusal is the
+// bug; post-fix the re-attempt makes acceptance deterministic. Run with
+// -race.
+func TestBlockCloseDoesNotRefuseRoom(t *testing.T) {
+	var sink atomic.Uint64
+	for i := 0; i < 4000; i++ {
+		q := New[int](1, Block)
+		q.Enqueue(0) // full: the enqueuer's fast path must fail
+		start := make(chan struct{})
+		res := make(chan bool)
+		go func() {
+			<-start
+			// Scan alignments: a small, iteration-varying busy delay
+			// sweeps the drain+close across the enqueuer's window.
+			for d := 0; d < i%64; d++ {
+				sink.Add(1)
+			}
+			<-q.ch // room appears…
+			// …and quit fires right behind it. Whitebox: closing quit
+			// directly is the exact moment Close arms the quit case,
+			// without the close fence, so only the select race is under
+			// test (q is discarded afterwards, never Closed).
+			close(q.quit)
+		}()
+		// Created last so the gate wakes it first: the enqueuer must reach
+		// its failed fast-path poll before the drain lands.
+		go func() {
+			<-start
+			ok, _ := q.Enqueue(1)
+			res <- ok
+		}()
+		close(start)
+		if ok := <-res; !ok {
+			t.Fatalf("iteration %d: enqueue refused despite buffer room from close time on", i)
+		}
+	}
+}
+
+// TestBlockCloseStillRejectsWhenFull pins the other side of the fix: a
+// queue that is genuinely full when quit fires must still refuse the item
+// (the re-attempt is non-blocking, not a second wait).
+func TestBlockCloseStillRejectsWhenFull(t *testing.T) {
+	q := New[int](1, Block)
+	q.Enqueue(0)
+	res := make(chan bool, 1)
+	go func() {
+		ok, _ := q.Enqueue(1)
+		res <- ok
+	}()
+	time.Sleep(time.Millisecond)
+	close(q.quit) // whitebox, as above; buffer stays full
+	if ok := <-res; ok {
+		t.Fatal("enqueue accepted while full at close")
 	}
 }
 

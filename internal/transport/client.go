@@ -46,6 +46,7 @@ type Client struct {
 	// cannot collide with a previous session of the same subscriber.
 	mu          sync.RWMutex
 	handles     map[uint64]*Handle
+	durables    map[string]*DurableHandle
 	usedLegacy  bool // deprecated Subscribe was called
 	usedHandles bool // SubscribeNode/SubscribeExpr was called
 	idBase      uint64
@@ -68,6 +69,7 @@ func NewClient(subscriber string, conn Conn) *Client {
 		notifications: make(chan *event.Message, 64),
 		done:          make(chan struct{}),
 		handles:       make(map[uint64]*Handle),
+		durables:      make(map[string]*DurableHandle),
 		idBase:        binary.BigEndian.Uint64(seed[:]) &^ (1<<idSeqBits - 1),
 	}
 	// A hello failure surfaces on the first real operation; the read loop
@@ -87,6 +89,17 @@ func (c *Client) readLoop() {
 		f, err := c.conn.Recv()
 		if err != nil {
 			return
+		}
+		if f.Type == wire.FrameDurablePublish {
+			// Durable replay demultiplexes by name, not by matching: the
+			// broker post-filtered against this durable's own tree.
+			c.mu.RLock()
+			d := c.durables[f.Name]
+			c.mu.RUnlock()
+			if d != nil {
+				d.deliver(DurableEvent{Seq: f.Seq, Msg: f.Msg})
+			}
+			continue
 		}
 		if f.Type != wire.FramePublish {
 			continue // tolerate unknown server frames
@@ -325,9 +338,17 @@ func (c *Client) retireHandles(discard bool) {
 		hs = append(hs, h)
 	}
 	c.handles = make(map[uint64]*Handle)
+	ds := make([]*DurableHandle, 0, len(c.durables))
+	for _, d := range c.durables {
+		ds = append(ds, d)
+	}
+	c.durables = make(map[string]*DurableHandle)
 	c.mu.Unlock()
 	for _, h := range hs {
 		h.retire(discard)
+	}
+	for _, d := range ds {
+		d.retire(discard)
 	}
 }
 

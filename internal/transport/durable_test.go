@@ -1,0 +1,282 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/event"
+	"dimprune/internal/wal"
+)
+
+// durableServer wires a server over a fresh broker with a WAL in dir; the
+// store closes with the test.
+func durableServer(t *testing.T, dir string, onDeliver func(broker.Delivery)) (*Server, *wal.Store) {
+	t.Helper()
+	b, err := broker.New(broker.Config{ID: "hub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(b, onDeliver)
+	srv.SetWAL(w)
+	t.Cleanup(func() {
+		srv.Shutdown()
+		_ = w.Close()
+	})
+	return srv, w
+}
+
+// attachSession connects one client session over an in-memory pipe.
+func attachSession(t *testing.T, srv *Server, name string) *Client {
+	t.Helper()
+	sc, cc := Pipe()
+	if err := srv.AttachClient(name, sc); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(name, cc)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// waitClientGone blocks until the server's reader has noticed the named
+// session's connection closing and detached it — only then may the same
+// subscriber attach again.
+func waitClientGone(t *testing.T, srv *Server, name string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		srv.mu.RLock()
+		_, attached := srv.clients[name]
+		srv.mu.RUnlock()
+		if !attached {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client %q never detached", name)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func recvDurable(t *testing.T, d *DurableHandle, wantID uint64) DurableEvent {
+	t.Helper()
+	select {
+	case ev := <-d.C():
+		if ev.Msg.ID != wantID {
+			t.Fatalf("durable received event %d, want %d", ev.Msg.ID, wantID)
+		}
+		if ev.Seq == 0 {
+			t.Fatalf("durable event %d has no sequence", ev.Msg.ID)
+		}
+		return ev
+	case <-time.After(2 * time.Second):
+		t.Fatalf("timed out waiting for durable event %d", wantID)
+		return DurableEvent{}
+	}
+}
+
+func expectSilence(t *testing.T, d *DurableHandle) {
+	t.Helper()
+	select {
+	case ev := <-d.C():
+		t.Fatalf("unexpected durable delivery: event %d seq %d", ev.Msg.ID, ev.Seq)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestDurableClientReplayAcrossReconnect is the transport-level reattach
+// contract: a durable's unacked records replay when the same name
+// subscribes again from a later session of the same subscriber.
+func TestDurableClientReplayAcrossReconnect(t *testing.T) {
+	srv, _ := durableServer(t, t.TempDir(), nil)
+	c1 := attachSession(t, srv, "eve")
+	d1, err := c1.DurableSubscribeExpr("audit", `kind = "hit"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+
+	srv.Publish(event.Build(1).Str("kind", "hit").Msg())
+	srv.Publish(event.Build(2).Str("kind", "miss").Msg()) // logged, never delivered
+	srv.Publish(event.Build(3).Str("kind", "hit").Msg())
+	srv.Publish(event.Build(4).Str("kind", "hit").Msg())
+
+	first := recvDurable(t, d1, 1)
+	recvDurable(t, d1, 3)
+	recvDurable(t, d1, 4)
+	if err := d1.Ack(first.Seq); err != nil {
+		t.Fatal(err)
+	}
+	// Give the ack frame time to land before the session drops.
+	time.Sleep(20 * time.Millisecond)
+	c1.Close()
+	waitClientGone(t, srv, "eve")
+
+	// Reattach from a new session: events 3 and 4 were never acked.
+	c2 := attachSession(t, srv, "eve")
+	d2, err := c2.DurableSubscribeExpr("audit", `kind = "hit"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev3 := recvDurable(t, d2, 3)
+	ev4 := recvDurable(t, d2, 4)
+	if err := d2.Ack(ev4.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if ev3.Seq >= ev4.Seq {
+		t.Fatalf("replay out of order: seq %d then %d", ev3.Seq, ev4.Seq)
+	}
+	expectSilence(t, d2)
+}
+
+// TestDurableSurvivesBrokerRestart re-opens the WAL directory under a
+// brand-new broker and server: the durable's cursor (and its unacked
+// backlog) must come back from disk alone.
+func TestDurableSurvivesBrokerRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	b1, err := broker.New(broker.Config{ID: "hub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := NewServer(b1, nil)
+	srv1.SetWAL(w1)
+	c1 := attachSession(t, srv1, "eve")
+	d1, err := c1.DurableSubscribeExpr("audit", `n >= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv1, 1)
+	srv1.Publish(event.Build(1).Int("n", 10).Msg())
+	srv1.Publish(event.Build(2).Int("n", 20).Msg())
+	ev := recvDurable(t, d1, 1)
+	recvDurable(t, d1, 2)
+	if err := d1.Ack(ev.Seq); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	c1.Close()
+	srv1.Shutdown()
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh broker over the same log: no routing state survives, only the
+	// WAL. The reattaching subscribe re-establishes the tree and replays
+	// event 2.
+	srv2, _ := durableServer(t, dir, nil)
+	c2 := attachSession(t, srv2, "eve")
+	d2, err := c2.DurableSubscribeExpr("audit", `n >= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2 := recvDurable(t, d2, 2)
+	if err := d2.Ack(ev2.Seq); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, d2)
+}
+
+// TestDurableCallbackAutoAcks: callback mode acks as each invocation
+// returns, so a reattach replays nothing.
+func TestDurableCallbackAutoAcks(t *testing.T) {
+	srv, _ := durableServer(t, t.TempDir(), nil)
+	c1 := attachSession(t, srv, "eve")
+	got := make(chan DurableEvent, 8)
+	_, err := c1.DurableSubscribeExpr("auto", `n >= 0`, DurableCallback(func(ev DurableEvent) {
+		got <- ev
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+	srv.Publish(event.Build(1).Int("n", 1).Msg())
+	srv.Publish(event.Build(2).Int("n", 2).Msg())
+	for i := 0; i < 2; i++ {
+		select {
+		case <-got:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("callback %d never ran", i+1)
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // let the auto-acks land
+	c1.Close()
+	waitClientGone(t, srv, "eve")
+
+	c2 := attachSession(t, srv, "eve")
+	d2, err := c2.DurableSubscribeExpr("auto", `n >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, d2)
+}
+
+// TestDurableUnsubscribeForgets: Unsubscribe ends the durable itself — a
+// later attach under the same name starts fresh at the log tail.
+func TestDurableUnsubscribeForgets(t *testing.T) {
+	srv, w := durableServer(t, t.TempDir(), nil)
+	c := attachSession(t, srv, "eve")
+	d, err := c.DurableSubscribeExpr("gone", `n >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+	srv.Publish(event.Build(1).Int("n", 1).Msg())
+	recvDurable(t, d, 1)
+	if err := d.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	// The broker-side forget is asynchronous from the client's view.
+	deadline := time.Now().Add(2 * time.Second)
+	for w.HasDurables() {
+		if time.Now().After(deadline) {
+			t.Fatal("durable registration never forgotten")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitLocalSubs(t, srv, 0)
+
+	d2, err := c.DurableSubscribeExpr("gone", `n >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+	expectSilence(t, d2) // event 1 predates the fresh registration
+	srv.Publish(event.Build(2).Int("n", 2).Msg())
+	recvDurable(t, d2, 2)
+}
+
+// TestDurableEntryNeverHitsOnDeliver: the mangled routing-table entry
+// backing a durable must not leak into the onDeliver fallback — the WAL
+// pump is its only delivery path, and double delivery here would
+// double-count every durable event for embedded consumers.
+func TestDurableEntryNeverHitsOnDeliver(t *testing.T) {
+	var fallbacks atomic.Int64
+	srv, _ := durableServer(t, t.TempDir(), func(d broker.Delivery) {
+		fallbacks.Add(1)
+	})
+	c := attachSession(t, srv, "eve")
+	d, err := c.DurableSubscribeExpr("audit", `n >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+	srv.Publish(event.Build(1).Int("n", 1).Msg())
+	ev := recvDurable(t, d, 1)
+	if err := d.Ack(ev.Seq); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, d) // exactly one copy through the pump
+	if n := fallbacks.Load(); n != 0 {
+		t.Fatalf("onDeliver saw %d durable deliveries, want 0", n)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"dimprune/internal/broker"
 	"dimprune/internal/event"
 	"dimprune/internal/subscription"
+	"dimprune/internal/wal"
 	"dimprune/internal/wire"
 )
 
@@ -55,6 +56,12 @@ type Server struct {
 	onDeliver func(broker.Delivery)
 	logf      func(format string, args ...any)
 
+	// Durable plane (see durable.go): the broker's event log plus the live
+	// replay pumps, keyed by durable name and by their routing-table IDs.
+	wal          *wal.Store
+	durables     map[string]*durableSession
+	durableNames map[uint64]string
+
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -73,13 +80,15 @@ type peerConn struct {
 // concurrently from publishing goroutines.
 func NewServer(b *broker.Broker, onDeliver func(broker.Delivery)) *Server {
 	return &Server{
-		b:           b,
-		links:       make(map[broker.LinkID]*peerConn),
-		clients:     make(map[string]*peerConn),
-		members:     map[string]struct{}{b.ID(): {}},
-		linkMembers: make(map[broker.LinkID][]string),
-		pending:     make(map[Conn]struct{}),
-		onDeliver:   onDeliver,
+		b:            b,
+		links:        make(map[broker.LinkID]*peerConn),
+		clients:      make(map[string]*peerConn),
+		members:      map[string]struct{}{b.ID(): {}},
+		linkMembers:  make(map[broker.LinkID][]string),
+		pending:      make(map[Conn]struct{}),
+		durables:     make(map[string]*durableSession),
+		durableNames: make(map[uint64]string),
+		onDeliver:    onDeliver,
 	}
 }
 
@@ -368,6 +377,10 @@ func (s *Server) handleLinkFrame(from broker.LinkID, f wire.Frame) error {
 	if f.Type != wire.FramePublish {
 		s.ctl.Lock()
 		defer s.ctl.Unlock()
+	} else {
+		// Forwarded events write-ahead like local ones: a durable's log must
+		// capture everything routed through this broker.
+		s.logEvent(f.Msg)
 	}
 	out, dels, err := s.b.HandleFrame(from, f)
 	s.dispatch(out, dels)
@@ -388,9 +401,20 @@ func (s *Server) handleClientFrame(subscriber string, f wire.Frame) error {
 		_, err := s.Subscribe(f.Sub)
 		return err
 	case wire.FrameUnsubscribe:
+		if s.durableUnsubscribe(f.SubID) {
+			return nil
+		}
 		return s.Unsubscribe(f.SubID)
 	case wire.FramePublish:
 		s.Publish(f.Msg)
+		return nil
+	case wire.FrameDurableSubscribe:
+		if f.Sub.Subscriber != subscriber {
+			return fmt.Errorf("transport: client %q durable-subscribing as %q", subscriber, f.Sub.Subscriber)
+		}
+		return s.DurableSubscribe(subscriber, f.Name, f.Sub)
+	case wire.FrameAck:
+		s.durableAck(f.Name, f.Seq)
 		return nil
 	default:
 		return fmt.Errorf("transport: client sent unknown frame type %d", f.Type)
@@ -434,6 +458,7 @@ func (s *Server) Publish(m *event.Message) {
 	if s.isClosed() {
 		return
 	}
+	s.logEvent(m)
 	out, dels := s.b.PublishLocal(m)
 	s.dispatch(out, dels)
 }
@@ -444,6 +469,9 @@ func (s *Server) Publish(m *event.Message) {
 func (s *Server) PublishBatch(ms []*event.Message) {
 	if len(ms) == 0 || s.isClosed() {
 		return
+	}
+	for _, m := range ms {
+		s.logEvent(m)
 	}
 	out, dels := s.b.PublishLocalBatch(ms)
 	s.dispatch(out, dels)
@@ -507,7 +535,10 @@ func (s *Server) dispatch(out []broker.Outgoing, dels []broker.Delivery) {
 		for _, d := range dels {
 			p := s.clients[d.Subscriber]
 			if p == nil {
-				if s.onDeliver != nil {
+				// Mangled durable entries exist only to keep the overlay
+				// routing events here; the WAL pump delivers them, so the
+				// live match is dropped (onDeliver would double-deliver).
+				if s.onDeliver != nil && !isDurableSubscriber(d.Subscriber) {
 					s.onDeliver(d)
 				}
 				continue
@@ -771,6 +802,7 @@ func (s *Server) Shutdown() {
 	}
 	s.mu.Unlock()
 
+	s.haltDurables()
 	for _, p := range peers {
 		p.stopDialing()
 	}

@@ -1,0 +1,111 @@
+package wal
+
+// The cursors file is the durable registry: one (name, acked) entry per
+// registered durable subscription. It is tiny — registry size, not log
+// size — so it is rewritten in full on every change and swapped in with
+// an atomic rename; a crash mid-write leaves the previous version, which
+// at worst replays a few extra records (at-least-once allows that). A
+// trailing CRC over the whole body rejects a torn rename target on
+// filesystems without atomic-rename guarantees.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// cursorsMagic versions the cursors-file encoding.
+const cursorsMagic = uint32(0x64637231) // "dcr1"
+
+// saveCursorsLocked rewrites the cursors file from the registry. Callers
+// hold s.mu.
+func (s *Store) saveCursorsLocked() error {
+	names := make([]string, 0, len(s.durables))
+	for name := range s.durables {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic bytes for identical registries
+	buf := binary.BigEndian.AppendUint32(nil, cursorsMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = binary.AppendUvarint(buf, s.durables[name].acked)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	path := filepath.Join(s.dir, cursorsName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("wal: write cursors: %w", err)
+	}
+	if s.sync {
+		if f, err := os.Open(tmp); err == nil {
+			_ = f.Sync()
+			_ = f.Close()
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: swap cursors: %w", err)
+	}
+	for _, name := range names {
+		d := s.durables[name]
+		d.synced = d.acked
+	}
+	return nil
+}
+
+// loadCursors reads the registry back on Open. Acked positions beyond
+// the recovered log tail (the tail was torn away, but the ack of a
+// record implies it was delivered before the crash) clamp down to the
+// tail — replay then restarts from what the log still has, which keeps
+// the at-least-once side of the contract. Callers hold the write lock.
+//
+//dimlint:locked
+func (s *Store) loadCursors() error {
+	buf, err := os.ReadFile(filepath.Join(s.dir, cursorsName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: read cursors: %w", err)
+	}
+	if len(buf) < 4+crcLen {
+		return errors.New("wal: cursors file truncated")
+	}
+	body, sum := buf[:len(buf)-crcLen], binary.LittleEndian.Uint32(buf[len(buf)-crcLen:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return errors.New("wal: cursors file CRC mismatch")
+	}
+	if binary.BigEndian.Uint32(body[:4]) != cursorsMagic {
+		return errors.New("wal: cursors file bad magic")
+	}
+	rest := body[4:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return errors.New("wal: cursors file malformed")
+	}
+	rest = rest[n:]
+	for i := uint64(0); i < count; i++ {
+		nameLen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < nameLen {
+			return errors.New("wal: cursors file malformed")
+		}
+		name := string(rest[n : n+int(nameLen)])
+		rest = rest[n+int(nameLen):]
+		acked, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return errors.New("wal: cursors file malformed")
+		}
+		rest = rest[n:]
+		if acked > s.lastSeq {
+			acked = s.lastSeq
+		}
+		s.durables[name] = &durable{acked: acked, synced: acked}
+	}
+	return nil
+}

@@ -31,6 +31,17 @@ const (
 	// FramePeerReject refuses a peer link with a reason (self link, cycle,
 	// duplicate neighbor) and is followed by connection close.
 	FramePeerReject
+	// FrameDurableSubscribe registers (or reattaches) a durable
+	// subscription: a named WAL cursor on the broker plus the subscription
+	// it feeds. Replay of unacked records starts immediately.
+	FrameDurableSubscribe
+	// FrameDurablePublish delivers one event of a durable replay to the
+	// client, carrying the durable name and the record's WAL sequence
+	// number (the ack handle).
+	FrameDurablePublish
+	// FrameAck advances a durable cursor: every record of the named
+	// durable up to and including Seq is delivered and reclaimable.
+	FrameAck
 )
 
 // String names the frame type.
@@ -48,6 +59,12 @@ func (t FrameType) String() string {
 		return "peer-hello"
 	case FramePeerReject:
 		return "peer-reject"
+	case FrameDurableSubscribe:
+		return "durable-subscribe"
+	case FrameDurablePublish:
+		return "durable-publish"
+	case FrameAck:
+		return "ack"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -63,15 +80,18 @@ type PeerHello struct {
 	Members []string
 }
 
-// Frame is one broker protocol unit. Exactly the field matching Type is set.
+// Frame is one broker protocol unit. Exactly the fields matching Type are
+// set.
 type Frame struct {
 	Type       FrameType
-	Sub        *subscription.Subscription // FrameSubscribe
+	Sub        *subscription.Subscription // FrameSubscribe, FrameDurableSubscribe
 	SubID      uint64                     // FrameUnsubscribe
-	Msg        *event.Message             // FramePublish
+	Msg        *event.Message             // FramePublish, FrameDurablePublish
 	Subscriber string                     // FrameHello
 	Peer       *PeerHello                 // FramePeerHello
 	Reason     string                     // FramePeerReject
+	Name       string                     // FrameDurableSubscribe, FrameDurablePublish, FrameAck
+	Seq        uint64                     // FrameDurablePublish, FrameAck
 }
 
 // SubscribeFrame builds a subscription-forwarding frame.
@@ -102,6 +122,21 @@ func PeerHelloFrame(h *PeerHello) Frame {
 // PeerRejectFrame builds a peer-link refusal frame.
 func PeerRejectFrame(reason string) Frame {
 	return Frame{Type: FramePeerReject, Reason: reason}
+}
+
+// DurableSubscribeFrame builds a durable registration/reattach frame.
+func DurableSubscribeFrame(name string, s *subscription.Subscription) Frame {
+	return Frame{Type: FrameDurableSubscribe, Name: name, Sub: s}
+}
+
+// DurablePublishFrame builds a durable replay-delivery frame.
+func DurablePublishFrame(name string, seq uint64, m *event.Message) Frame {
+	return Frame{Type: FrameDurablePublish, Name: name, Seq: seq, Msg: m}
+}
+
+// AckFrame builds a durable cursor-advance frame.
+func AckFrame(name string, seq uint64) Frame {
+	return Frame{Type: FrameAck, Name: name, Seq: seq}
 }
 
 // AppendFrame appends the encoding of f to dst.
@@ -141,6 +176,31 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 			return nil, errors.New("wire: peer reject frame without reason")
 		}
 		return appendString(dst, f.Reason), nil
+	case FrameDurableSubscribe:
+		if f.Name == "" {
+			return nil, errors.New("wire: durable subscribe frame without name")
+		}
+		if f.Sub == nil {
+			return nil, errors.New("wire: durable subscribe frame without subscription")
+		}
+		dst = appendString(dst, f.Name)
+		return AppendSubscription(dst, f.Sub), nil
+	case FrameDurablePublish:
+		if f.Name == "" {
+			return nil, errors.New("wire: durable publish frame without name")
+		}
+		if f.Msg == nil {
+			return nil, errors.New("wire: durable publish frame without message")
+		}
+		dst = appendString(dst, f.Name)
+		dst = binary.AppendUvarint(dst, f.Seq)
+		return AppendMessage(dst, f.Msg), nil
+	case FrameAck:
+		if f.Name == "" {
+			return nil, errors.New("wire: ack frame without name")
+		}
+		dst = appendString(dst, f.Name)
+		return binary.AppendUvarint(dst, f.Seq), nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode frame type %d", f.Type)
 	}
@@ -223,6 +283,53 @@ func DecodeFrame(data []byte) (Frame, int, error) {
 			return Frame{}, 0, errors.New("wire: peer reject with empty reason")
 		}
 		return PeerRejectFrame(reason), 1 + n, nil
+	case FrameDurableSubscribe:
+		// Durable names recur on every replay delivery and ack of a
+		// session, so they intern like subscriber identities.
+		name, n, err := idents.decode(data[1:])
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		if name == "" {
+			return Frame{}, 0, errors.New("wire: durable subscribe with empty name")
+		}
+		s, sn, err := DecodeSubscription(data[1+n:])
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		return DurableSubscribeFrame(name, s), 1 + n + sn, nil
+	case FrameDurablePublish:
+		name, n, err := idents.decode(data[1:])
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		if name == "" {
+			return Frame{}, 0, errors.New("wire: durable publish with empty name")
+		}
+		off := 1 + n
+		seq, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return Frame{}, 0, ErrTruncated
+		}
+		off += n
+		m, n, err := DecodeMessage(data[off:])
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		return DurablePublishFrame(name, seq, m), off + n, nil
+	case FrameAck:
+		name, n, err := idents.decode(data[1:])
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		if name == "" {
+			return Frame{}, 0, errors.New("wire: ack with empty name")
+		}
+		seq, sn := binary.Uvarint(data[1+n:])
+		if sn <= 0 {
+			return Frame{}, 0, ErrTruncated
+		}
+		return AckFrame(name, seq), 1 + n + sn, nil
 	default:
 		return Frame{}, 0, fmt.Errorf("wire: unknown frame type %d", data[0])
 	}
@@ -265,6 +372,21 @@ func FrameSize(f Frame) int {
 			return 0
 		}
 		return 1 + stringSize(f.Reason)
+	case FrameDurableSubscribe:
+		if f.Name == "" || f.Sub == nil {
+			return 0
+		}
+		return 1 + stringSize(f.Name) + subscriptionSize(f.Sub)
+	case FrameDurablePublish:
+		if f.Name == "" || f.Msg == nil {
+			return 0
+		}
+		return 1 + stringSize(f.Name) + uvarintLen(f.Seq) + messageSize(f.Msg)
+	case FrameAck:
+		if f.Name == "" {
+			return 0
+		}
+		return 1 + stringSize(f.Name) + uvarintLen(f.Seq)
 	default:
 		return 0
 	}

@@ -26,6 +26,12 @@ var goldenFrames = []struct {
 	{"hello", "04056361726f6c"},
 	{"peer-hello", "0502623102026231026232"},
 	{"peer-reject", "0613776f756c6420636c6f73652061206379636c65"},
+	// The durable-plane frames (PR 8) are pinned from their first release;
+	// they reuse the subscription and message encodings of subscribe and
+	// publish, prefixed by the durable name (and sequence number).
+	{"durable-subscribe", "070561756469740705616c696365020301020305707269636504000128030863617465676f727901000305626f6f6b7303057469746c6507010301410304626964730a00"},
+	{"durable-publish", "080561756469742ab960040462696473010d057072696365020000000000002d40067369676e65640401057469746c65030444756e65"},
+	{"ack", "090561756469742a"},
 }
 
 // goldenStreamUnsubscribe is WriteFrame's length-prefixed stream encoding of
@@ -53,6 +59,9 @@ func goldenFixtureFrames(t testing.TB) []Frame {
 		HelloFrame("carol"),
 		PeerHelloFrame(&PeerHello{ID: "b1", Members: []string{"b1", "b2"}}),
 		PeerRejectFrame("would close a cycle"),
+		DurableSubscribeFrame("audit", s),
+		DurablePublishFrame("audit", 42, m),
+		AckFrame("audit", 42),
 	}
 }
 

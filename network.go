@@ -133,6 +133,40 @@ func ClientBuffer(n int) ClientSubOption { return transport.WithBuffer(n) }
 // (Block, DropOldest, DropNewest).
 func ClientPolicy(p Policy) ClientSubOption { return transport.WithPolicy(p) }
 
+// DurableEvent is one replayed-or-live event on a networked durable
+// subscription: the broker's WAL sequence (the ack token) plus the
+// matched message.
+type DurableEvent = transport.DurableEvent
+
+// ClientDurableHandle is one networked durable subscription — the
+// counterpart of an embedded WithDurable handle. Events that are not
+// Ack'd replay on the next Client.DurableSubscribeExpr under the same
+// name, across reconnects and broker restarts.
+type ClientDurableHandle = transport.DurableHandle
+
+// ClientDurableOption configures one networked durable subscription;
+// see ClientDurableCallback, ClientDurableBuffer, and ClientManualAck.
+type ClientDurableOption = transport.DurableOption
+
+// ClientDurableCallback delivers a durable subscription's events by
+// invoking fn from the handle's delivery goroutine, acking each event
+// as fn returns (unless ClientManualAck).
+func ClientDurableCallback(fn func(DurableEvent)) ClientDurableOption {
+	return transport.DurableCallback(fn)
+}
+
+// ClientDurableBuffer sets a durable subscription's delivery-queue
+// capacity. Durable queues always Block — the broker's log, not the
+// queue, is the real buffer.
+func ClientDurableBuffer(n int) ClientDurableOption {
+	return transport.DurableBuffer(n)
+}
+
+// ClientManualAck disables auto-ack for a durable callback
+// subscription: the callback must call Handle.Ack itself (the networked
+// counterpart of WithManualAck).
+func ClientManualAck() ClientDurableOption { return transport.ManualAck() }
+
 // NewServer wraps a broker for networked operation.
 func NewServer(b *Broker, onDeliver func(Delivery)) *Server {
 	return transport.NewServer(b, onDeliver)

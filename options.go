@@ -19,6 +19,16 @@ const (
 	// DropNewest discards the new notification when the queue is full;
 	// Publish never waits and the consumer sees the oldest backlog.
 	DropNewest = delivery.DropNewest
+	// Persist is the reported policy of durable subscriptions (see
+	// WithDurable): notifications replay from the engine's event log until
+	// acked, so nothing is shed. It cannot be combined with the drop
+	// policies and requires WithDurable.
+	Persist = delivery.Persist
+	// Synchronous is the reported policy of legacy subscriptions made
+	// through the deprecated OnNotify API, which deliver synchronously on
+	// the publishing goroutine and have no queue. It is reporting-only and
+	// cannot be requested via WithPolicy.
+	Synchronous = delivery.Synchronous
 )
 
 // DefaultBuffer is the per-subscription queue capacity used when
@@ -31,6 +41,8 @@ type subOptions struct {
 	callback   func(Notification)
 	buffer     int
 	policy     Policy
+	durable    string
+	manualAck  bool
 }
 
 func defaultSubOptions() subOptions {
@@ -64,4 +76,31 @@ func WithBuffer(n int) SubOption {
 // WithPolicy sets the subscription's backpressure policy (default Block).
 func WithPolicy(p Policy) SubOption {
 	return func(o *subOptions) { o.policy = p }
+}
+
+// WithDurable makes the subscription durable under the given name. The
+// engine must have a WAL configured (EmbeddedConfig.WALDir); every
+// published event is then logged, and the subscription is fed by replay
+// from its durable cursor instead of the live enqueue path. Delivery is
+// at-least-once: unacked notifications are redelivered when the durable
+// reattaches — after Close, a crash, or a process restart — so consumers
+// must be idempotent. A durable handle reports the Persist policy; the
+// name persists until Unsubscribe, and only one handle may hold it at a
+// time.
+//
+// In callback mode each notification is acked automatically when the
+// callback returns (see WithManualAck). In channel mode acks are always
+// explicit: call Handle.Ack with the Notification.Seq once the
+// notification is processed.
+func WithDurable(name string) SubOption {
+	return func(o *subOptions) { o.durable = name }
+}
+
+// WithManualAck disables auto-ack for a durable callback subscription:
+// the callback (or code downstream of it) must call Handle.Ack itself,
+// widening the redelivery window to exactly the unprocessed suffix.
+// Channel-mode durable subscriptions are always manual; for
+// non-durable subscriptions the option is an error.
+func WithManualAck() SubOption {
+	return func(o *subOptions) { o.manualAck = true }
 }
