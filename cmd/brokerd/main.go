@@ -191,6 +191,9 @@ func run(args []string, stop <-chan os.Signal) error {
 			st := srv.Stats()
 			logger.Printf("stats: local=%d remote=%d assoc=%d preds=%d %s",
 				st.LocalSubs, st.RemoteSubs, st.Associations, st.Predicates, st.Counters)
+			if hop := srv.HopLatency(); hop.Count > 0 {
+				logger.Printf("hop latency: %s", hop)
+			}
 			logDeliveryHotspots(st, logger)
 		}
 	}

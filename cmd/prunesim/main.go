@@ -26,6 +26,7 @@ import (
 
 	"dimprune/internal/core"
 	"dimprune/internal/experiment"
+	"dimprune/internal/simnet"
 	"dimprune/internal/workload"
 )
 
@@ -43,7 +44,8 @@ func run(args []string, out io.Writer) error {
 		events      = fs.Int("events", 10000, "number of measurement events (paper: 100000)")
 		train       = fs.Int("train", 5000, "events used to train the selectivity model")
 		checkpoints = fs.Int("checkpoints", 11, "abscissa points including 0 and 1")
-		brokers     = fs.Int("brokers", 5, "brokers in the distributed line")
+		brokers     = fs.Int("brokers", 5, "brokers in the distributed overlay")
+		topology    = fs.String("topology", "line", "distributed overlay shape: line, star, tree, tree:<fanout>, random:<seed>")
 		seed        = fs.Uint64("seed", 1, "workload seed")
 		wl          = fs.String("workload", "auction", "workload scenario: "+strings.Join(workload.Names(), ", "))
 		setting     = fs.String("setting", "both", "centralized, distributed, or both")
@@ -64,6 +66,10 @@ func run(args []string, out io.Writer) error {
 	cfg.TrainEvents = *train
 	cfg.Checkpoints = *checkpoints
 	cfg.Brokers = *brokers
+	cfg.Topology = *topology
+	if _, err := simnet.ParseTopology(*topology, *brokers); err != nil {
+		return fmt.Errorf("bad -topology: %w", err)
+	}
 	if _, ok := workload.Lookup(*wl); !ok {
 		return fmt.Errorf("unknown -workload %q (registered: %s)", *wl, strings.Join(workload.Names(), ", "))
 	}

@@ -93,6 +93,28 @@ func TestWorkloadsProduceDistinctSweeps(t *testing.T) {
 	}
 }
 
+func TestTopologySelection(t *testing.T) {
+	// Every overlay shape must run the full distributed sweep and report
+	// its name and latency quantiles in the summary.
+	for _, topo := range []string{"line", "star", "tree", "tree:3", "random:7"} {
+		out := runArgs(t, "-setting", "distributed", "-dims", "sel", "-format", "summary", "-topology", topo)
+		if !strings.Contains(out, topo+" topology") {
+			t.Errorf("topology %s: summary missing its name:\n%s", topo, out)
+		}
+		if !strings.Contains(out, "delivery p50") {
+			t.Errorf("topology %s: summary missing latency quantiles:\n%s", topo, out)
+		}
+	}
+}
+
+func TestTopologiesProduceDistinctRouting(t *testing.T) {
+	line := runArgs(t, "-setting", "distributed", "-dims", "sel", "-format", "summary", "-topology", "line")
+	star := runArgs(t, "-setting", "distributed", "-dims", "sel", "-format", "summary", "-topology", "star")
+	if line == star {
+		t.Error("line and star overlays produced identical summaries; topology flag has no effect")
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	bad := [][]string{
 		{"-setting", "sideways"},
@@ -101,6 +123,8 @@ func TestBadFlags(t *testing.T) {
 		{"-innermost", "sometimes"},
 		{"-workload", "bogus"},
 		{"-figure", "1a", "-setting", "centralized", "-subs", "0"},
+		{"-setting", "distributed", "-topology", "möbius"},
+		{"-setting", "distributed", "-topology", "random:x"},
 	}
 	for _, args := range bad {
 		var sb strings.Builder

@@ -1,0 +1,72 @@
+package broker
+
+import (
+	"reflect"
+	"testing"
+
+	"dimprune/internal/wire"
+)
+
+func TestEntryIDsSplitsLocalRemote(t *testing.T) {
+	b := newBroker(t, "b0")
+	l := b.AddLink()
+	if _, err := b.SubscribeLocal(mustSub(t, 5, "alice", `x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(l, mustSub(t, 2, "bob", `y = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(l, mustSub(t, 9, "carol", `z = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	local, remote := b.EntryIDs()
+	if !reflect.DeepEqual(local, []uint64{5}) {
+		t.Errorf("local = %v, want [5]", local)
+	}
+	if !reflect.DeepEqual(remote, []uint64{2, 9}) {
+		t.Errorf("remote = %v, want [2 9]", remote)
+	}
+}
+
+func TestAdvertisedIDsMatchesSyncFrames(t *testing.T) {
+	// Two links; a nested cover pair arriving on l1 plus a local sub. The
+	// accessor must report exactly the IDs SyncFrames would replay on each
+	// link — including the covering plane's suppression of covered entries.
+	b := newBroker(t, "b0")
+	l1 := b.AddLink()
+	l2 := b.AddLink()
+	if _, err := b.SubscribeLocal(mustSub(t, 1, "alice", `price <= 100`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(l1, mustSub(t, 2, "bob", `price <= 50`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.HandleSubscribe(l1, mustSub(t, 3, "bob", `price <= 10`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, link := range []LinkID{l1, l2} {
+		frames, err := b.SyncFrames(link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint64, 0, len(frames))
+		for _, o := range frames {
+			o.ReleaseEnc()
+			if o.Frame.Type != wire.FrameSubscribe || o.Frame.Sub == nil {
+				t.Fatalf("unexpected sync frame %v", o.Frame.Type)
+			}
+			want = append(want, o.Frame.Sub.ID)
+		}
+		sortIDs(want)
+		got, err := b.AdvertisedIDs(link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("link %d: AdvertisedIDs = %v, SyncFrames = %v", link, got, want)
+		}
+	}
+	if _, err := b.AdvertisedIDs(LinkID(42)); err == nil {
+		t.Error("unknown link accepted")
+	}
+}

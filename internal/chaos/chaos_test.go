@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dimprune/internal/event"
+	"dimprune/internal/simnet"
+	"dimprune/internal/subscription"
+	"dimprune/internal/transport"
+)
+
+func init() {
+	// Every chaos run replays exactly: redial jitter included.
+	transport.SetRedialJitterSeed(0xC0FFEE)
+}
+
+// chaosPopulation builds the oracle's canonical subscription population
+// for an n-broker overlay: per broker k, one plain root subscription on a
+// broker-private attribute, plus a covering family — a broad cover
+// anchored at broker k and a narrow covered member at broker (k+1)%n.
+// Families use disjoint attributes, and each covered entry has exactly
+// one possible cover, so the covering forest's advertisement sets are
+// canonical — identical regardless of arrival order — which is what makes
+// exact fingerprint comparison against a fresh reference sound even
+// though heals replay entries in resync order, not subscribe order.
+func chaosPopulation(t *testing.T, h *Harness) {
+	t.Helper()
+	n := h.NumBrokers()
+	for k := 0; k < n; k++ {
+		root := mustSub(t, uint64(2000+k), fmt.Sprintf("root%d", k), fmt.Sprintf("r%d exists", k))
+		if err := h.SubscribeAt(k, root); err != nil {
+			t.Fatal(err)
+		}
+		broad := mustSub(t, uint64(1000+k*10+1), fmt.Sprintf("fam%d", k), fmt.Sprintf("f%d <= 100", k))
+		if err := h.SubscribeAt(k, broad); err != nil {
+			t.Fatal(err)
+		}
+		narrow := mustSub(t, uint64(1000+k*10+2), fmt.Sprintf("fam%d", k), fmt.Sprintf("f%d <= 10", k))
+		if err := h.SubscribeAt((k+1)%n, narrow); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustSub(t *testing.T, id uint64, subscriber, expr string) *subscription.Subscription {
+	t.Helper()
+	s, err := subscription.New(id, subscriber, subscription.MustParse(expr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// famEvent builds an event on family k's attribute with the given value:
+// value <= 10 matches broad and narrow, <= 100 broad only.
+func famEvent(id uint64, k int, value int64) *event.Message {
+	return event.Build(id).Int(fmt.Sprintf("f%d", k), value).Msg()
+}
+
+// expectedDeliveries computes the exact-match ground truth for one event:
+// every placed subscription whose tree matches it.
+func expectedDeliveries(pop []PlacedSub, m *event.Message) []DeliveryKey {
+	var keys []DeliveryKey
+	for _, p := range pop {
+		if p.Sub.Root.Matches(m) {
+			keys = append(keys, DeliveryKey{Broker: p.Broker, SubID: p.Sub.ID, MsgID: m.ID})
+		}
+	}
+	return keys
+}
+
+// waitDelivered polls until every key has been delivered at least once.
+func waitDelivered(t *testing.T, s *Sink, keys []DeliveryKey, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		missing := 0
+		for _, k := range keys {
+			if s.Count(k) == 0 {
+				missing++
+			}
+		}
+		if missing == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d/%d expected deliveries missing", missing, len(keys))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHarnessBuildsAndConverges(t *testing.T) {
+	base := CaptureLeakBaseline()
+	cfg := Config{Edges: simnet.LineEdges(4)}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosPopulation(t, h)
+	ref, err := ReferenceFingerprint(cfg, h.Population())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitConverged(ref, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A healthy overlay delivers exactly.
+	m := famEvent(1, 0, 5)
+	want := expectedDeliveries(h.Population(), m)
+	if len(want) != 2 {
+		t.Fatalf("expected 2 matches (broad+narrow), got %d", len(want))
+	}
+	if err := h.PublishAt(2, m); err != nil {
+		t.Fatal(err)
+	}
+	waitDelivered(t, h.Sink(), want, 10*time.Second)
+	if s := h.Sink().E2E(); s.Count < 2 {
+		t.Errorf("e2e histogram count = %d, want >= 2", s.Count)
+	}
+	h.Close()
+	if err := base.Check(10 * time.Second); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKillRestartRestoresFingerprint(t *testing.T) {
+	cfg := Config{Edges: simnet.StarEdges(4)}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	chaosPopulation(t, h)
+	ref, err := ReferenceFingerprint(cfg, h.Population())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitConverged(ref, 15*time.Second); err != nil {
+		t.Fatalf("pre-fault: %v", err)
+	}
+	// Kill the hub — the worst case: every spoke loses its only route.
+	h.Kill(0)
+	if err := h.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitConverged(ref, 30*time.Second); err != nil {
+		t.Fatalf("post-restart: %v", err)
+	}
+}
+
+func TestCutHealRestoresFingerprint(t *testing.T) {
+	cfg := Config{Edges: simnet.TreeEdges(5, 2)}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	chaosPopulation(t, h)
+	ref, err := ReferenceFingerprint(cfg, h.Population())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitConverged(ref, 15*time.Second); err != nil {
+		t.Fatalf("pre-fault: %v", err)
+	}
+	h.CutEdge(0, 1)
+	// While cut, the two sides hold reduced tables — must NOT equal ref.
+	time.Sleep(50 * time.Millisecond)
+	if fp, err := h.Fingerprint(); err == nil && fp.Equal(ref) {
+		t.Fatal("fingerprint unchanged during cut — the oracle cannot distinguish faulted from healthy")
+	}
+	if err := h.HealEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitConverged(ref, 30*time.Second); err != nil {
+		t.Fatalf("post-heal: %v", err)
+	}
+}
+
+func TestLatencyInjectionDelaysButConverges(t *testing.T) {
+	cfg := Config{Edges: simnet.LineEdges(3)}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	chaosPopulation(t, h)
+	ref, err := ReferenceFingerprint(cfg, h.Population())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitConverged(ref, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h.SetLinkLatency(0, 1, 30*time.Millisecond)
+	defer h.SetLinkLatency(0, 1, 0)
+	// An event published at 0 for a subscriber at 2 crosses the slowed
+	// link: end-to-end latency must reflect the injection.
+	m := famEvent(50, 2, 5) // narrow member of family 2 lives at broker 0? narrow k=2 is at (2+1)%3=0
+	want := expectedDeliveries(h.Population(), m)
+	start := time.Now()
+	if err := h.PublishAt(0, m); err != nil {
+		t.Fatal(err)
+	}
+	waitDelivered(t, h.Sink(), want, 10*time.Second)
+	// At least one delivery needed the 0→1 hop (broad sub for family 2
+	// lives at broker 2), so wall time includes the injected delay.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("deliveries completed in %v despite 30ms injected latency", elapsed)
+	}
+	if err := h.WaitConverged(ref, 15*time.Second); err != nil {
+		t.Errorf("latency injection disturbed routing state: %v", err)
+	}
+}

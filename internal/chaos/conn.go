@@ -1,0 +1,33 @@
+package chaos
+
+import (
+	"time"
+
+	"dimprune/internal/transport"
+	"dimprune/internal/wire"
+)
+
+// delayConn wraps a peer-link connection with injected one-way latency:
+// each Send sleeps the link's current delay before the frame leaves, so
+// frames from broker from toward addr arrive late but in order — a slow
+// link, not a lossy one. The delay is read from the harness per send, so
+// SetLinkLatency changes apply to live connections immediately. Recv is
+// untouched: latency injection is directional by design (inject both
+// orientations of an edge to slow it symmetrically).
+//
+// The sleep runs on the link's outbox writer goroutine, which is exactly
+// the semantics wanted: that one link backs up while every other link and
+// the broker's matching pipeline run at full speed.
+type delayConn struct {
+	transport.Conn
+	h    *Harness
+	from int
+	addr string
+}
+
+func (c *delayConn) Send(f wire.Frame) error {
+	if d := c.h.linkDelay(c.from, c.addr); d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Send(f)
+}

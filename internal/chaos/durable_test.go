@@ -1,0 +1,157 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"dimprune/internal/event"
+	"dimprune/internal/simnet"
+	"dimprune/internal/transport"
+)
+
+// dialDurable attaches a fresh client session to broker i and opens the
+// named durable subscription on it.
+func dialDurable(t *testing.T, h *Harness, i int, subscriber, name, expr string) (*transport.Client, *transport.DurableHandle) {
+	t.Helper()
+	srv := h.Server(i)
+	if srv == nil {
+		t.Fatalf("broker %d is down", i)
+	}
+	addr, err := srv.ListenClients("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := transport.NewClient(subscriber, conn)
+	d, err := c.DurableSubscribeExpr(name, expr)
+	if err != nil {
+		c.Close()
+		t.Fatal(err)
+	}
+	// The subscribe frame is asynchronous: wait until the server has
+	// registered the durable, or a direct srv.Publish can race ahead of it
+	// and the event never reaches the WAL.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().LocalSubs == 0 {
+		if time.Now().After(deadline) {
+			c.Close()
+			t.Fatal("durable subscription never registered server-side")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return c, d
+}
+
+// drainDurable collects durable deliveries until the channel stays silent
+// for the given window, returning event-ID → delivery count and the
+// highest sequence seen.
+func drainDurable(d *transport.DurableHandle, quiet time.Duration) (map[uint64]int, uint64) {
+	got := make(map[uint64]int)
+	var lastSeq uint64
+	for {
+		select {
+		case ev, ok := <-d.C():
+			if !ok {
+				return got, lastSeq
+			}
+			got[ev.Msg.ID]++
+			if ev.Seq > lastSeq {
+				lastSeq = ev.Seq
+			}
+		case <-time.After(quiet):
+			return got, lastSeq
+		}
+	}
+}
+
+// TestDurableSurvivesChaosKill is the durable delivery oracle under
+// chaos: a WAL-backed durable subscription at one end of the overlay,
+// its broker killed mid-backlog (WAL frozen, acks possibly unsynced),
+// then restarted. Contract: duplicates allowed, losses never — every
+// unacked matching event must replay, and events from the far side of
+// the overlay must flow again once the heal completes.
+func TestDurableSurvivesChaosKill(t *testing.T) {
+	cfg := Config{Edges: simnet.LineEdges(3), WALRoot: t.TempDir()}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	c1, d1 := dialDurable(t, h, 0, "eve", "audit", "d0 >= 0")
+	// Backlog: five matching events at the durable's home broker.
+	for id := uint64(1); id <= 5; id++ {
+		if err := h.PublishAt(0, event.Build(id).Int("d0", int64(id)).Msg()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqOf := make(map[uint64]uint64)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(seqOf) < 5 && time.Now().Before(deadline) {
+		select {
+		case ev := <-d1.C():
+			seqOf[ev.Msg.ID] = ev.Seq
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	if len(seqOf) < 5 {
+		t.Fatalf("pre-kill delivery incomplete: %v", seqOf)
+	}
+	// Ack only through event 2; 3..5 stay outstanding across the crash.
+	if err := d1.Ack(seqOf[2]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the ack land in the WAL
+
+	h.Kill(0)
+	c1.Close()
+	if err := h.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+
+	c3, d3 := dialDurable(t, h, 0, "eve", "audit", "d0 >= 0")
+	defer c3.Close()
+	replay, lastSeq := drainDurable(d3, 500*time.Millisecond)
+	// Losses never: everything past the ack cursor must replay.
+	for id := uint64(3); id <= 5; id++ {
+		if replay[id] == 0 {
+			t.Errorf("post-crash replay lost event %d (got %v)", id, replay)
+		}
+	}
+	// No spurious events: only the original five may appear (acked ones
+	// may legitimately replay if the crash beat the ack's sync).
+	for id := range replay {
+		if id < 1 || id > 5 {
+			t.Errorf("post-crash replay invented event %d", id)
+		}
+	}
+
+	// The durable must also hear the far side of the overlay again: the
+	// restart re-advertised it, so an event published at broker 2 routes
+	// across two hops into the WAL. Poll-publish with fresh IDs until one
+	// lands (the advert may still be propagating).
+	heard := false
+	for id := uint64(100); id < 140 && !heard; id++ {
+		if err := h.PublishAt(2, event.Build(id).Int("d0", 7).Msg()); err != nil {
+			t.Fatal(err)
+		}
+		more, seq := drainDurable(d3, 100*time.Millisecond)
+		if seq > lastSeq {
+			lastSeq = seq
+		}
+		for got := range more {
+			if got >= 100 {
+				heard = true
+			}
+		}
+	}
+	if !heard {
+		t.Fatal("durable never heard a post-restart event published across the overlay")
+	}
+	if err := d3.Ack(lastSeq); err != nil {
+		t.Fatal(err)
+	}
+}

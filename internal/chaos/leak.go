@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Leak checks: a chaos run that converges but leaves goroutines or file
+// descriptors behind has only deferred its failure. Snapshot before the
+// harness is built, assert after Close.
+
+// LeakBaseline captures the process's goroutine and FD counts.
+type LeakBaseline struct {
+	Goroutines int
+	FDs        int
+}
+
+// CaptureLeakBaseline snapshots current goroutine and open-FD counts.
+func CaptureLeakBaseline() LeakBaseline {
+	return LeakBaseline{Goroutines: runtime.NumGoroutine(), FDs: countFDs()}
+}
+
+// Check polls until goroutine and FD counts return to (at or below) the
+// baseline or the timeout passes. Polling, not a single sample: readers
+// and outbox writers exit asynchronously after Close, and the runtime
+// retires goroutines lazily.
+func (b LeakBaseline) Check(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var g, f int
+	for {
+		runtime.GC() // finalize dropped conns so their FDs close
+		g, f = runtime.NumGoroutine(), countFDs()
+		if g <= b.Goroutines && (f <= b.FDs || f < 0) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("chaos: leak after teardown: %d goroutines (baseline %d), %d fds (baseline %d)",
+		g, b.Goroutines, f, b.FDs)
+}
+
+// countFDs counts open file descriptors via /proc (linux); -1 where /proc
+// is unavailable, which disables the FD half of the check.
+func countFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}

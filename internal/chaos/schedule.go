@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dimprune/internal/dist"
+	"dimprune/internal/simnet"
+)
+
+// FaultKind enumerates the injectable faults.
+type FaultKind int
+
+const (
+	// FaultKillRestart kills a broker (WAL frozen mid-state) and restarts
+	// it on its pinned address.
+	FaultKillRestart FaultKind = iota
+	// FaultCutHeal severs one edge (no redial) and later heals it.
+	FaultCutHeal
+	// FaultBounce drops an edge's connection transiently; the jittered
+	// redial loop heals it without harness help.
+	FaultBounce
+	// FaultPartition cuts every edge crossing a random broker bipartition,
+	// then heals them all.
+	FaultPartition
+	// FaultLatency injects one-way latency on an edge for the step's
+	// duration, then clears it. Degradation, not disconnection: the oracle
+	// expects no convergence disruption at all.
+	FaultLatency
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultKillRestart:
+		return "kill-restart"
+	case FaultCutHeal:
+		return "cut-heal"
+	case FaultBounce:
+		return "bounce"
+	case FaultPartition:
+		return "partition"
+	case FaultLatency:
+		return "latency"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault is one schedule step.
+type Fault struct {
+	Kind   FaultKind
+	Broker int           // FaultKillRestart
+	Edge   simnet.Edge   // FaultCutHeal, FaultBounce, FaultLatency
+	Edges  []simnet.Edge // FaultPartition: the cut set
+	Delay  time.Duration // FaultLatency
+}
+
+// String renders one step for logs and failure messages.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultKillRestart:
+		return fmt.Sprintf("kill-restart b%d", f.Broker)
+	case FaultCutHeal, FaultBounce:
+		return fmt.Sprintf("%s b%d-b%d", f.Kind, f.Edge.A, f.Edge.B)
+	case FaultPartition:
+		parts := make([]string, len(f.Edges))
+		for i, e := range f.Edges {
+			parts[i] = fmt.Sprintf("b%d-b%d", e.A, e.B)
+		}
+		return "partition " + strings.Join(parts, ",")
+	case FaultLatency:
+		return fmt.Sprintf("latency b%d-b%d %v", f.Edge.A, f.Edge.B, f.Delay)
+	default:
+		return f.Kind.String()
+	}
+}
+
+// Schedule is a seeded fault sequence over one topology.
+type Schedule struct {
+	Seed  int64
+	Steps []Fault
+}
+
+// GenSchedule draws a deterministic fault schedule for the given topology:
+// steps faults over the named edge set, every choice (kind, target,
+// partition boundary, latency magnitude) from one seeded stream. The same
+// (seed, edges, steps) triple always yields the same schedule — chaos runs
+// replay exactly, and CI pins seeds.
+func GenSchedule(seed int64, edges []simnet.Edge, steps int) Schedule {
+	rng := dist.New(uint64(seed))
+	n := 0
+	for _, e := range edges {
+		if e.A >= n {
+			n = e.A + 1
+		}
+		if e.B >= n {
+			n = e.B + 1
+		}
+	}
+	sc := Schedule{Seed: seed, Steps: make([]Fault, 0, steps)}
+	for len(sc.Steps) < steps {
+		var f Fault
+		switch FaultKind(rng.Intn(5)) {
+		case FaultKillRestart:
+			f = Fault{Kind: FaultKillRestart, Broker: rng.Intn(n)}
+		case FaultCutHeal:
+			f = Fault{Kind: FaultCutHeal, Edge: edges[rng.Intn(len(edges))]}
+		case FaultBounce:
+			f = Fault{Kind: FaultBounce, Edge: edges[rng.Intn(len(edges))]}
+		case FaultPartition:
+			f = Fault{Kind: FaultPartition, Edges: partitionEdges(rng, n, edges)}
+			if len(f.Edges) == 0 {
+				continue // degenerate bipartition; redraw
+			}
+		case FaultLatency:
+			f = Fault{
+				Kind:  FaultLatency,
+				Edge:  edges[rng.Intn(len(edges))],
+				Delay: time.Duration(rng.IntRange(1, 20)) * time.Millisecond,
+			}
+		}
+		sc.Steps = append(sc.Steps, f)
+	}
+	return sc
+}
+
+// partitionEdges draws a random bipartition of the brokers and returns
+// the edges crossing it — on a tree, cutting them splits the overlay into
+// exactly the two sides.
+func partitionEdges(rng *dist.RNG, n int, edges []simnet.Edge) []simnet.Edge {
+	side := make([]bool, n)
+	for i := range side {
+		side[i] = rng.Bool(0.5)
+	}
+	var cut []simnet.Edge
+	for _, e := range edges {
+		if side[e.A] != side[e.B] {
+			cut = append(cut, e)
+		}
+	}
+	if len(cut) == len(edges) {
+		// Every edge crossing means one side is all leaves of the other —
+		// legal, but keep at least one edge intact so the step exercises
+		// partial connectivity rather than total isolation.
+		cut = cut[1:]
+	}
+	return cut
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/metrics"
+)
+
+// DeliveryKey identifies one (broker, subscription, event) delivery.
+type DeliveryKey struct {
+	Broker int
+	SubID  uint64
+	MsgID  uint64
+}
+
+// Sink collects every local delivery of the overlay under test, with
+// phase marking and end-to-end latency accounting. Events published
+// through Harness.PublishAt are stamped; a delivery of a stamped event
+// records publish-to-deliver wall time in the e2e histogram.
+type Sink struct {
+	e2e metrics.Histogram
+
+	mu       sync.Mutex
+	counts   map[DeliveryKey]int
+	phase    map[DeliveryKey]int // phase of the key's message, stamped at publish
+	mark     int                 // current phase label
+	pub      map[uint64]time.Time
+	pubPhase map[uint64]int
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink {
+	return &Sink{
+		counts:   make(map[DeliveryKey]int),
+		phase:    make(map[DeliveryKey]int),
+		pub:      make(map[uint64]time.Time),
+		pubPhase: make(map[uint64]int),
+	}
+}
+
+// Mark sets the current phase label; events PUBLISHED from now on carry
+// it. The phase travels with the message, not the delivery: an event
+// published during a fault window but delivered after the heal still
+// counts against the fault window's (looser) exactness rules.
+func (s *Sink) Mark(phase int) {
+	s.mu.Lock()
+	s.mark = phase
+	s.mu.Unlock()
+}
+
+// published stamps an event's publish time and current phase.
+func (s *Sink) published(msgID uint64) {
+	now := time.Now()
+	s.mu.Lock()
+	s.pub[msgID] = now
+	s.pubPhase[msgID] = s.mark
+	s.mu.Unlock()
+}
+
+// deliver records one local delivery (the harness's onDeliver hook).
+func (s *Sink) deliver(atBroker int, d broker.Delivery) {
+	now := time.Now()
+	k := DeliveryKey{Broker: atBroker, SubID: d.SubID, MsgID: d.Msg.ID}
+	s.mu.Lock()
+	if s.counts[k] == 0 {
+		s.phase[k] = s.pubPhase[k.MsgID]
+	}
+	s.counts[k]++
+	t, ok := s.pub[k.MsgID]
+	s.mu.Unlock()
+	if ok {
+		s.e2e.Observe(now.Sub(t))
+	}
+}
+
+// Counts snapshots the delivery multiset.
+func (s *Sink) Counts() map[DeliveryKey]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[DeliveryKey]int, len(s.counts))
+	for k, c := range s.counts {
+		out[k] = c
+	}
+	return out
+}
+
+// Count returns one key's delivery count.
+func (s *Sink) Count(k DeliveryKey) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[k]
+}
+
+// Phase returns the publish-phase tag of k's message (0 when undelivered
+// or when the message was not published through the harness).
+func (s *Sink) Phase(k DeliveryKey) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.phase[k]
+}
+
+// Total returns the total number of deliveries observed.
+func (s *Sink) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, c := range s.counts {
+		total += c
+	}
+	return total
+}
+
+// E2E snapshots the end-to-end latency histogram.
+func (s *Sink) E2E() metrics.HistogramSnapshot { return s.e2e.Snapshot() }

@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dimprune/internal/simnet"
+	"dimprune/internal/subscription"
+)
+
+// subscriptionSub pairs a churn-toggled subscription with its ID so the
+// churn goroutine never has to construct one (and thus never t.Fatals).
+type subscriptionSub struct {
+	id  uint64
+	sub *subscription.Subscription
+}
+
+// TestChaosStorm races the control and data planes against the fault
+// plane: publisher goroutines pump events and a churn goroutine toggles
+// covering-family members (forcing promote/demote traffic) while a seeded
+// kill/partition/cut/heal schedule runs. Per-step convergence cannot be
+// asserted here — the population itself is in motion — so the oracle is
+// the post-storm state: once the workload quiesces, every broker's remote
+// tables and per-link advertisement sets must exactly equal a freshly
+// built overlay holding the final population, and post-heal delivery must
+// be exact. Run under -race in CI.
+func TestChaosStorm(t *testing.T) {
+	base := CaptureLeakBaseline()
+	edges := simnet.TreeEdges(6, 2)
+	cfg := Config{Edges: edges}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			h.Close()
+		}
+	}()
+	chaosPopulation(t, h)
+	ref, err := ReferenceFingerprint(cfg, h.Population())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitConverged(ref, 20*time.Second); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+
+	n := h.NumBrokers()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var nextID atomic.Uint64
+	nextID.Store(500_000)
+	h.Sink().Mark(1)
+
+	// Racing publishers: events may be lost during faults (ephemeral), but
+	// every delivery that does happen must be a true match — checked below.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				at := (g + i) % n
+				if h.Alive(at) {
+					_ = h.PublishAt(at, famEvent(nextID.Add(1), i%n, 5))
+				}
+				time.Sleep(500 * time.Microsecond)
+			}
+		}(g)
+	}
+
+	// Covering churn: repeatedly retract and re-register narrow family
+	// members, each toggle forcing a demote→promote→demote wave through
+	// the forest while links are dying. Records stay consistent because
+	// SubscribeAt/UnsubscribeAt only update them on success. (Subs are
+	// prebuilt here: mustSub may t.Fatal, which is off-limits in goroutines.)
+	narrowByK := make([]*subscriptionSub, n)
+	for k := 0; k < n; k++ {
+		narrowByK[k] = &subscriptionSub{
+			id:  uint64(1000 + k*10 + 2),
+			sub: mustSub(t, uint64(1000+k*10+2), fmt.Sprintf("fam%d", k), fmt.Sprintf("f%d <= 10", k)),
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := i % n
+			at := (k + 1) % n
+			if err := h.UnsubscribeAt(at, narrowByK[k].id); err != nil {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			time.Sleep(2 * time.Millisecond)
+			// Re-register before moving on; the broker may be mid-restart,
+			// so retry until it takes (or the storm ends — the final
+			// reference is computed from the recorded population either way).
+			for h.SubscribeAt(at, narrowByK[k].sub) != nil {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+
+	steps := 6
+	if testing.Short() {
+		steps = 3
+	}
+	sc := GenSchedule(424242, edges, steps)
+	for i, f := range sc.Steps {
+		if err := h.Apply(f, func() { time.Sleep(20 * time.Millisecond) }); err != nil {
+			t.Fatalf("storm step %d (%s): %v", i, f, err)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+
+	// Quiesce: the final population (whatever the churn left) is the
+	// ground truth the healed overlay must reconverge to — exactly.
+	finalRef, err := ReferenceFingerprint(cfg, h.Population())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitConverged(finalRef, 60*time.Second); err != nil {
+		t.Fatalf("post-storm convergence: %v", err)
+	}
+
+	// Post-heal exactness, same contract as the oracle table.
+	h.Sink().Mark(2)
+	var want []DeliveryKey
+	for k := 0; k < n; k++ {
+		m := famEvent(nextID.Add(1), k, 5)
+		want = append(want, expectedDeliveries(h.Population(), m)...)
+		if err := h.PublishAt((k+2)%n, m); err != nil {
+			t.Fatalf("post-storm publish: %v", err)
+		}
+	}
+	waitDelivered(t, h.Sink(), want, 20*time.Second)
+	time.Sleep(50 * time.Millisecond)
+	wantSet := make(map[DeliveryKey]bool, len(want))
+	for _, k := range want {
+		wantSet[k] = true
+	}
+	for key, cnt := range h.Sink().Counts() {
+		switch h.Sink().Phase(key) {
+		case 2:
+			if !wantSet[key] {
+				t.Errorf("spurious post-storm delivery %+v (x%d)", key, cnt)
+			} else if cnt != 1 {
+				t.Errorf("post-storm delivery %+v duplicated: count=%d", key, cnt)
+			}
+		case 1:
+			if !matchesStormDelivery(key) {
+				t.Errorf("storm delivery %+v to a subscription family that never existed", key)
+			}
+		}
+	}
+
+	h.Close()
+	closed = true
+	if err := base.Check(15 * time.Second); err != nil {
+		t.Error(err)
+	}
+}
+
+// matchesStormDelivery validates a during-storm delivery key against the
+// static ID scheme: only IDs the test ever subscribed may appear. (The
+// churn means a sub may have been live at delivery time but gone now, so
+// placement is checked against the scheme, not the final population.)
+func matchesStormDelivery(key DeliveryKey) bool {
+	id := key.SubID
+	return (id >= 1000 && id < 2000) || (id >= 2000 && id < 3000)
+}

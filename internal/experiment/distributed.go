@@ -6,6 +6,7 @@ import (
 
 	"dimprune/internal/broker"
 	"dimprune/internal/core"
+	"dimprune/internal/metrics"
 	"dimprune/internal/simnet"
 )
 
@@ -32,8 +33,8 @@ func RunDistributed(cfg Config) (*Result, error) {
 	return result, nil
 }
 
-// buildOverlay constructs the line network with all subscriptions in place.
-// Subscription i lives at broker i mod Brokers.
+// buildOverlay constructs the configured overlay topology with all
+// subscriptions in place. Subscription i lives at broker i mod Brokers.
 func buildOverlay(cfg Config, w *inputs, dim core.Dimension) (*simnet.Network, error) {
 	brokers := make([]*broker.Broker, cfg.Brokers)
 	for i := range brokers {
@@ -49,7 +50,11 @@ func buildOverlay(cfg Config, w *inputs, dim core.Dimension) (*simnet.Network, e
 		}
 		brokers[i] = b
 	}
-	net, err := simnet.NewLine(brokers)
+	edges, err := simnet.ParseTopology(cfg.Topology, cfg.Brokers)
+	if err != nil {
+		return nil, err
+	}
+	net, err := simnet.NewNetwork(brokers, edges)
 	if err != nil {
 		return nil, err
 	}
@@ -181,11 +186,14 @@ func measureDistributed(cfg Config, w *inputs, net *simnet.Network) (Point, uint
 	}
 	net.ResetTraffic()
 	var deliveries uint64
+	var e2e metrics.Histogram
 	for i, m := range w.events {
+		start := time.Now()
 		dels, err := net.PublishAt(i%cfg.Brokers, m)
 		if err != nil {
 			return Point{}, 0, 0, err
 		}
+		e2e.Observe(time.Since(start))
 		deliveries += uint64(len(dels))
 	}
 	var filterTime time.Duration
@@ -195,9 +203,12 @@ func measureDistributed(cfg Config, w *inputs, net *simnet.Network) (Point, uint
 		filterTime += c.FilterTime
 		matched += c.MatchedEntries
 	}
+	lat := e2e.Snapshot()
 	pt := Point{
 		FilterTimePerEvent: filterTime / time.Duration(len(w.events)),
 		MatchFraction:      float64(matched) / (float64(len(w.events)) * float64(len(w.subs))),
+		DeliveryP50:        lat.Quantile(0.5),
+		DeliveryP99:        lat.Quantile(0.99),
 	}
 	return pt, net.Traffic().PublishFrames, deliveries, nil
 }

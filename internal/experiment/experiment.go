@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dimprune/internal/core"
+	"dimprune/internal/simnet"
 	"dimprune/internal/workload"
 
 	// Populate the workload registry with the standard scenarios so any
@@ -35,8 +36,13 @@ type Config struct {
 	// Checkpoints is the number of abscissa points including 0 and 1
 	// (11 gives steps of 0.1).
 	Checkpoints int
-	// Brokers is the line length of the distributed setting (paper: 5).
+	// Brokers is the overlay size of the distributed setting (paper: 5).
 	Brokers int
+	// Topology names the distributed overlay shape: "line" (default),
+	// "star", "tree", "tree:<fanout>", or "random:<seed>" (see
+	// simnet.ParseTopology). The paper evaluates a line; the other shapes
+	// probe how routing state and latency respond to the overlay diameter.
+	Topology string
 	// Dimensions lists the heuristics to sweep (default: all three).
 	Dimensions []core.Dimension
 	// Workload names the registered scenario generating events and
@@ -89,7 +95,18 @@ func (c Config) validate() error {
 	if _, ok := workload.Lookup(c.Workload); !ok {
 		return fmt.Errorf("experiment: unknown workload %q", c.Workload)
 	}
+	if _, err := simnet.ParseTopology(c.Topology, c.Brokers); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
 	return nil
+}
+
+// topologyName returns the effective topology label ("" means "line").
+func (c Config) topologyName() string {
+	if c.Topology == "" {
+		return "line"
+	}
+	return c.Topology
 }
 
 // Point is one checkpoint measurement; which fields are meaningful depends
@@ -119,6 +136,12 @@ type Point struct {
 	// NonLocalAssocReduction is the ordinate of Fig 1(f): association
 	// reduction over non-local routing entries only.
 	NonLocalAssocReduction float64
+
+	// DeliveryP50 and DeliveryP99 are end-to-end delivery latency
+	// quantiles over the checkpoint's published events: the wall time from
+	// publish until every hop has matched and delivered the event
+	// system-wide (distributed setting only; zero when centralized).
+	DeliveryP50, DeliveryP99 time.Duration
 }
 
 // Sweep is one heuristic's measurement series.

@@ -127,8 +127,8 @@ func Summary(res *Result) string {
 		if !r.CoveringOn {
 			covering = "off"
 		}
-		fmt.Fprintf(&b, "  routing: covering %s; %d brokers / %d hops; %d remote entries (%.1f/hop)",
-			covering, r.Brokers, r.Links, r.RemoteEntries, r.EntriesPerHop())
+		fmt.Fprintf(&b, "  routing: covering %s; %s topology, %d brokers / %d hops; %d remote entries (%.1f/hop)",
+			covering, res.Config.topologyName(), r.Brokers, r.Links, r.RemoteEntries, r.EntriesPerHop())
 		if r.CoveringOn {
 			fmt.Fprintf(&b, ", %d advertised roots", r.CoverRoots)
 		}
@@ -143,6 +143,7 @@ func Summary(res *Result) string {
 		if res.Setting == "distributed" {
 			fmt.Fprintf(&b, ", network increase %.2f, non-local assoc reduction %.2f",
 				last.NetworkIncrease, last.NonLocalAssocReduction)
+			fmt.Fprintf(&b, ", delivery p50 %v p99 %v", last.DeliveryP50, last.DeliveryP99)
 		}
 		b.WriteByte('\n')
 	}

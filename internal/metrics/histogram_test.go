@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("empty snapshot: count=%d sum=%v", s.Count, s.Sum)
+	}
+	if q := s.Quantile(0.99); q != 0 {
+		t.Fatalf("empty p99 = %v, want 0", q)
+	}
+	if m := s.Mean(); m != 0 {
+		t.Fatalf("empty mean = %v, want 0", m)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every bucket's upper bound minus one nanosecond must map back into
+	// that bucket, and the bounds must be strictly increasing — otherwise
+	// Quantile's scan would misattribute ranks.
+	prev := int64(0)
+	for i := 0; i < histBucketCount; i++ {
+		up := bucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucket %d upper %d not increasing (prev %d)", i, up, prev)
+		}
+		prev = up
+		if got := bucketIndex(up - 1); got != i {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", up-1, got, i)
+		}
+	}
+	if got := bucketIndex(0); got != 0 {
+		t.Fatalf("bucketIndex(0) = %d", got)
+	}
+	if got := bucketIndex(1 << 62); got != histMaxBucketIdx {
+		t.Fatalf("bucketIndex(huge) = %d, want %d", got, histMaxBucketIdx)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// A uniform sample over [1µs, 1ms): the histogram's p50/p99 must land
+	// within one sub-bucket (6.25%) of the exact order statistic.
+	rng := rand.New(rand.NewSource(9))
+	var h Histogram
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		ns := int64(1000) + rng.Int63n(999000)
+		samples = append(samples, ns)
+		h.Observe(time.Duration(ns))
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(samples)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(samples))
+	}
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		exact := exactQuantile(samples, q)
+		got := int64(s.Quantile(q))
+		if got < exact {
+			t.Fatalf("q=%v: histogram %d below exact %d (quantile must be an upper bound)", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.08 {
+			t.Fatalf("q=%v: histogram %d vs exact %d — error beyond one sub-bucket", q, got, exact)
+		}
+	}
+}
+
+func exactQuantile(samples []int64, q float64) int64 {
+	sorted := append([]int64(nil), samples...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	rank := int(q * float64(len(sorted)))
+	if rank > 0 {
+		rank--
+	}
+	return sorted[rank]
+}
+
+func TestHistogramNegativeAndReset(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.Sum != time.Millisecond {
+		t.Fatalf("sum = %v, want 1ms (negative clamps to 0)", s.Sum)
+	}
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("after reset: count=%d sum=%v", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(10 * time.Microsecond)
+	b.Observe(20 * time.Microsecond)
+	b.Observe(30 * time.Microsecond)
+	s := a.Snapshot()
+	s.Add(b.Snapshot())
+	if s.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", s.Count)
+	}
+	if s.Sum != 60*time.Microsecond {
+		t.Fatalf("merged sum = %v, want 60µs", s.Sum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * 37)
+	}
+}

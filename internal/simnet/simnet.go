@@ -54,6 +54,7 @@ type Network struct {
 	brokers []*broker.Broker
 	peers   [][]endpoint // peers[b][l] = remote endpoint of broker b's link l
 	parent  []int        // union-find for acyclicity
+	edges   []Edge       // Connect history, one per undirected link
 
 	queue   []envelope
 	traffic TrafficCounters
@@ -117,6 +118,7 @@ func (n *Network) Connect(a, b int) error {
 	lb := n.brokers[b].AddLink()
 	n.peers[a] = append(n.peers[a], endpoint{broker: b, link: lb})
 	n.peers[b] = append(n.peers[b], endpoint{broker: a, link: la})
+	n.edges = append(n.edges, Edge{A: a, B: b})
 	return nil
 }
 

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"dimprune/internal/event"
+)
+
+// TestDurablePartitionNeverAcksPastCursor is the replay-cursor safety
+// regression: when a client's connection dies mid-replay (a partition),
+// records the pump had already SHIPPED but the client never ACKED must
+// stay unacked in the WAL — the cursor belongs to the client, and only
+// its explicit acks may advance it. A pump that self-acks on send would
+// pass every happy-path test and silently lose events on exactly this
+// schedule.
+func TestDurablePartitionNeverAcksPastCursor(t *testing.T) {
+	srv, w := durableServer(t, t.TempDir(), nil)
+
+	// Session 1 over a raw pipe so the partition can be abrupt: closing cc
+	// kills the conn with no clean unsubscribe or trailing acks.
+	sc, cc := Pipe()
+	if err := srv.AttachClient("eve", sc); err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewClient("eve", cc)
+	d1, err := c1.DurableSubscribeExpr("audit", `n >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitLocalSubs(t, srv, 1)
+
+	for id := uint64(1); id <= 8; id++ {
+		srv.Publish(event.Build(id).Int("n", int64(id)).Msg())
+	}
+	seqOf := make(map[uint64]uint64)
+	for len(seqOf) < 8 {
+		ev := recvAnyDurable(t, d1)
+		seqOf[ev.Msg.ID] = ev.Seq
+	}
+	// Ack through event 3, then wait for the cursor to land on disk.
+	if err := d1.Ack(seqOf[3]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		acked, ok := w.Acked("audit")
+		return ok && acked == seqOf[3]
+	})
+
+	// Partition: the conn dies with events 4..8 shipped but unacked.
+	cc.Close()
+	waitClientGone(t, srv, "eve")
+	time.Sleep(50 * time.Millisecond) // room for a buggy pump to over-ack
+	if acked, _ := w.Acked("audit"); acked != seqOf[3] {
+		t.Fatalf("partition advanced the ack cursor: acked=%d, client acked through %d", acked, seqOf[3])
+	}
+
+	// Reattach: exactly the unacked suffix replays — nothing at or before
+	// the cursor, nothing missing after it.
+	c2 := attachSession(t, srv, "eve")
+	d2, err := c2.DurableSubscribeExpr("audit", `n >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := make(map[uint64]uint64)
+	for len(replayed) < 5 {
+		ev := recvAnyDurable(t, d2)
+		if ev.Seq <= seqOf[3] {
+			t.Fatalf("replayed event %d (seq %d) at or before the acked cursor %d", ev.Msg.ID, ev.Seq, seqOf[3])
+		}
+		replayed[ev.Msg.ID] = ev.Seq
+	}
+	for id := uint64(4); id <= 8; id++ {
+		if _, ok := replayed[id]; !ok {
+			t.Errorf("partition lost event %d: not replayed after reattach", id)
+		}
+	}
+
+	// Second partition mid-replay with NOTHING acked this session: the
+	// cursor must still sit exactly where session 1 left it.
+	c2.Close()
+	waitClientGone(t, srv, "eve")
+	time.Sleep(50 * time.Millisecond)
+	if acked, _ := w.Acked("audit"); acked != seqOf[3] {
+		t.Fatalf("ack-free replay session moved the cursor to %d, want %d", acked, seqOf[3])
+	}
+
+	// And the suffix replays again, duplicates allowed, losses never.
+	c3 := attachSession(t, srv, "eve")
+	d3, err := c3.DurableSubscribeExpr("audit", `n >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := make(map[uint64]bool)
+	for len(again) < 5 {
+		ev := recvAnyDurable(t, d3)
+		again[ev.Msg.ID] = true
+	}
+	expectSilence(t, d3)
+}
+
+// recvAnyDurable receives the next durable event, whatever its ID.
+func recvAnyDurable(t *testing.T, d *DurableHandle) DurableEvent {
+	t.Helper()
+	select {
+	case ev := <-d.C():
+		return ev
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for a durable event")
+		return DurableEvent{}
+	}
+}

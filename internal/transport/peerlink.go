@@ -2,8 +2,10 @@ package transport
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dimprune/internal/broker"
@@ -59,6 +61,7 @@ import (
 type Peer struct {
 	s    *Server
 	addr string
+	rng  *rand.Rand // redial jitter; only the redial loop draws from it
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -72,8 +75,45 @@ type Peer struct {
 const (
 	peerBackoffMin       = 50 * time.Millisecond
 	peerBackoffMax       = 2 * time.Second
+	peerBackoffFloor     = 5 * time.Millisecond
 	peerHandshakeTimeout = 10 * time.Second
 )
+
+// Redial jitter seeding. By default every Peer's jitter RNG seeds from the
+// clock; tests pin a base seed so redial schedules replay exactly. Each
+// Peer still gets a distinct stream (base + golden-ratio stride per dial) —
+// deterministic desynchronization, not lockstep.
+var (
+	redialJitterBase atomic.Int64
+	redialJitterSeq  atomic.Int64
+)
+
+// SetRedialJitterSeed pins the redial-backoff jitter to a deterministic
+// seed for every Peer dialed afterward, process-wide. Pass 0 to restore
+// clock seeding. Test-only; calling it mid-traffic only affects new dials.
+func SetRedialJitterSeed(seed int64) {
+	redialJitterBase.Store(seed)
+	redialJitterSeq.Store(0)
+}
+
+func newRedialRand() *rand.Rand {
+	base := redialJitterBase.Load()
+	if base == 0 {
+		return rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	n := redialJitterSeq.Add(1)
+	return rand.New(rand.NewSource(base + n*0x9e3779b97f4a7c)) // golden-ratio stride per dial
+}
+
+// redialJitter draws the sleep before the next redial attempt: full jitter —
+// uniform over (0, cap] plus a small floor — rather than the deterministic
+// ladder `50ms·2^k`. When one broker's death drops many links at once, the
+// deterministic ladder synchronizes every survivor's retries into storms
+// that arrive together forever; full jitter spreads each round across the
+// whole window, so contention decays instead of repeating.
+func redialJitter(rng *rand.Rand, cap time.Duration) time.Duration {
+	return peerBackoffFloor + time.Duration(rng.Int63n(int64(cap)))
+}
 
 // DialPeer opens a persistent peer link to a neighbor broker's listener:
 // handshake (acyclicity check + membership exchange), state sync, and
@@ -82,7 +122,7 @@ const (
 // that refuses the link (cycle, self link) or is unreachable surfaces
 // here. The returned Peer stops reconnecting on Peer.Close or Shutdown.
 func (s *Server) DialPeer(addr string) (*Peer, error) {
-	p := &Peer{s: s, addr: addr, stop: make(chan struct{})}
+	p := &Peer{s: s, addr: addr, rng: newRedialRand(), stop: make(chan struct{})}
 	down, err := p.connect()
 	if err != nil {
 		return nil, err
@@ -130,6 +170,21 @@ func (p *Peer) Close() {
 	p.s.forgetPeer(p)
 }
 
+// Bounce drops the current connection, if any, without stopping the redial
+// loop: the link dies through the ordinary detach path (routing entries
+// dropped, retractions forwarded) and the peer reconnects through backoff,
+// resyncing state — a transient link loss on demand. Chaos harnesses use
+// it both as the link-cut fault and to force a redial through a freshly
+// installed SetPeerDialer wrapper. No-op while the link is already down.
+func (p *Peer) Bounce() {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
 // forgetPeer drops a closed Peer from the dialer registry so long-lived
 // servers do not accumulate one entry per historical dial.
 func (s *Server) forgetPeer(p *Peer) {
@@ -153,7 +208,7 @@ func (p *Peer) stopDialing() {
 // the channel closed when the resulting link goes down again.
 func (p *Peer) connect() (chan struct{}, error) {
 	s := p.s
-	conn, err := Dial(p.addr)
+	conn, err := s.dialPeerConn(p.addr)
 	if err != nil {
 		return nil, err
 	}
@@ -263,11 +318,12 @@ func (p *Peer) redialLoop(down chan struct{}) {
 			// would-be cycle can be stale membership that clears once the
 			// remote finishes detaching the old link. The log line is the
 			// operator's signal when it does not clear.
-			p.s.logPeer("peer %s: reconnect failed (retrying in %v): %v", p.addr, backoff, err)
+			delay := redialJitter(p.rng, backoff)
+			p.s.logPeer("peer %s: reconnect failed (retrying in %v): %v", p.addr, delay, err)
 			select {
 			case <-p.stop:
 				return
-			case <-time.After(backoff):
+			case <-time.After(delay):
 			}
 			backoff *= 2
 			if backoff > peerBackoffMax {

@@ -9,6 +9,7 @@ import (
 
 	"dimprune/internal/broker"
 	"dimprune/internal/event"
+	"dimprune/internal/metrics"
 	"dimprune/internal/subscription"
 	"dimprune/internal/wal"
 	"dimprune/internal/wire"
@@ -55,6 +56,12 @@ type Server struct {
 	listener  net.Listener
 	onDeliver func(broker.Delivery)
 	logf      func(format string, args ...any)
+	peerDial  func(addr string) (Conn, error)
+
+	// hopLatency tracks the wall time of one forwarded-publish hop through
+	// this broker (decode excluded): match + dispatch onto the outboxes.
+	// Atomic histogram — the publish hot path records without locks.
+	hopLatency metrics.Histogram
 
 	// Durable plane (see durable.go): the broker's event log plus the live
 	// replay pumps, keyed by durable name and by their routing-table IDs.
@@ -98,6 +105,50 @@ func (s *Server) SetLogf(logf func(format string, args ...any)) {
 	s.mu.Lock()
 	s.logf = logf
 	s.mu.Unlock()
+}
+
+// SetPeerDialer installs an alternative dialer for outgoing peer links
+// (DialPeer first connects and every redial afterward). Chaos harnesses
+// wrap the default TCP dial with latency injection or partition drops; nil
+// restores the default. Existing connections are untouched — Bounce a Peer
+// to route its next redial through the new dialer.
+func (s *Server) SetPeerDialer(dial func(addr string) (Conn, error)) {
+	s.mu.Lock()
+	s.peerDial = dial
+	s.mu.Unlock()
+}
+
+// dialPeerConn opens one peer-link connection through the installed dialer
+// (default: TCP Dial).
+func (s *Server) dialPeerConn(addr string) (Conn, error) {
+	s.mu.RLock()
+	dial := s.peerDial
+	s.mu.RUnlock()
+	if dial != nil {
+		return dial(addr)
+	}
+	return Dial(addr)
+}
+
+// PeerLinkIDs returns the live handshaken peer links keyed by the neighbor
+// broker's ID. Oracles use it to ask the broker for per-neighbor
+// advertisement sets (broker.AdvertisedIDs) by name rather than by
+// transport-internal link number.
+func (s *Server) PeerLinkIDs() map[string]broker.LinkID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make(map[string]broker.LinkID, len(s.linkMembers))
+	for link, mems := range s.linkMembers {
+		if len(mems) > 0 {
+			ids[mems[0]] = link
+		}
+	}
+	return ids
+}
+
+// HopLatency snapshots the per-hop forwarded-publish latency histogram.
+func (s *Server) HopLatency() metrics.HistogramSnapshot {
+	return s.hopLatency.Snapshot()
 }
 
 // logPeer logs a peer lifecycle event when a logger is installed.
@@ -374,14 +425,18 @@ func (s *Server) handleLinkFrame(from broker.LinkID, f wire.Frame) error {
 	if f.Type == wire.FramePeerHello {
 		return s.mergeMembers(from, f.Peer)
 	}
-	if f.Type != wire.FramePublish {
-		s.ctl.Lock()
-		defer s.ctl.Unlock()
-	} else {
+	if f.Type == wire.FramePublish {
 		// Forwarded events write-ahead like local ones: a durable's log must
 		// capture everything routed through this broker.
 		s.logEvent(f.Msg)
+		start := time.Now()
+		out, dels, err := s.b.HandleFrame(from, f)
+		s.dispatch(out, dels)
+		s.hopLatency.Observe(time.Since(start))
+		return err
 	}
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
 	out, dels, err := s.b.HandleFrame(from, f)
 	s.dispatch(out, dels)
 	return err

@@ -1,0 +1,97 @@
+package dimprune
+
+// BENCH_9: tail-latency accounting for the networked overlay. Each
+// iteration publishes one event at the head of a five-broker TCP line
+// whose only subscriber sits four hops away; the chaos sink stamps
+// publish and delivery, and the benchmark reports p50/p99 end-to-end
+// latency as custom metrics. The linkloss leg bounces a mid-line link
+// once per run: the jittered redial heals it in tens of milliseconds, so
+// the p99 must stay bounded (and the delivered fraction reports how much
+// the outage cost). Compare against BENCH_9.json; CI re-measures via the
+// chaos job.
+
+import (
+	"testing"
+	"time"
+
+	"dimprune/internal/chaos"
+	"dimprune/internal/event"
+	"dimprune/internal/simnet"
+	"dimprune/internal/subscription"
+	"dimprune/internal/transport"
+)
+
+func BenchmarkOverlayLatency(b *testing.B) {
+	transport.SetRedialJitterSeed(9)
+	for _, loss := range []bool{false, true} {
+		name := "healthy"
+		if loss {
+			name = "linkloss"
+		}
+		b.Run(name, func(b *testing.B) {
+			h, err := chaos.New(chaos.Config{Edges: simnet.LineEdges(5)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			sub, err := subscription.New(1, "sink", subscription.MustParse("v exists"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := h.SubscribeAt(4, sub); err != nil {
+				b.Fatal(err)
+			}
+			// Wait for the subscription to propagate all four hops.
+			deadline := time.Now().Add(10 * time.Second)
+			for h.Server(0).Stats().RemoteSubs == 0 {
+				if time.Now().After(deadline) {
+					b.Fatal("subscription never reached the far broker")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+
+			sink := h.Sink()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Skip the bounce on the framework's N=1 sizing run — it
+				// would sever the link before the only event.
+				if loss && b.N > 1 && i == b.N/2 {
+					h.BounceEdge(2, 3)
+				}
+				if err := h.PublishAt(0, event.Build(uint64(i+1)).Int("v", int64(i)).Msg()); err != nil {
+					b.Fatal(err)
+				}
+				// Pace the stream: tail latency of a drowning pipe measures
+				// queueing, not the overlay.
+				time.Sleep(200 * time.Microsecond)
+			}
+			// Drain: wait until deliveries stop arriving (events in flight
+			// during the bounce may be legitimately lost).
+			last := -1
+			for settle := 0; settle < 20; {
+				cur := sink.Total()
+				if cur == last {
+					settle++
+				} else {
+					settle = 0
+					last = cur
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			b.StopTimer()
+			s := sink.E2E()
+			if s.Count == 0 {
+				b.Fatal("no deliveries recorded")
+			}
+			b.ReportMetric(float64(s.Quantile(0.5).Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(s.Quantile(0.99).Nanoseconds()), "p99-ns")
+			b.ReportMetric(float64(s.Count)/float64(b.N), "delivered/op")
+			// A single transient link loss must not take out the bulk of the
+			// stream: everything before the bounce and everything after the
+			// redial heals must land.
+			if loss && s.Count < uint64(b.N)/4 {
+				b.Fatalf("single-link loss dropped most of the stream: %d/%d delivered", s.Count, b.N)
+			}
+		})
+	}
+}

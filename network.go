@@ -61,16 +61,36 @@ func applyOverlayOptions(opts []OverlayOption) overlayOptions {
 	return o
 }
 
-// NewLineOverlay builds n brokers connected as a line (the paper's
-// distributed topology), all pruning with the given dimension. Simulated
-// brokers match serially so overlay runs stay deterministic; use
-// BrokerConfig's MatchWorkers/MatchShards with NewBroker + NewServer for
-// parallel matching over real connections.
-func NewLineOverlay(n int, dim Dimension, opts ...OverlayOption) (*Overlay, error) {
-	if n < 2 {
-		return nil, fmt.Errorf("dimprune: line network needs >= 2 brokers, got %d", n)
-	}
-	o := applyOverlayOptions(opts)
+// OverlayEdge is one undirected link of an overlay topology, by broker
+// index. Edge lists come from the topology helpers (LineEdges, StarEdges,
+// TreeEdges, RandomTreeEdges, ParseTopology) or by hand; constructors
+// treat A as the dialing side on networked overlays.
+type OverlayEdge = simnet.Edge
+
+// LineEdges returns the paper's line topology over n brokers.
+func LineEdges(n int) []OverlayEdge { return simnet.LineEdges(n) }
+
+// StarEdges returns a hub-and-spoke topology with broker 0 as the hub.
+func StarEdges(n int) []OverlayEdge { return simnet.StarEdges(n) }
+
+// TreeEdges returns a complete fanout-ary tree topology over n brokers.
+func TreeEdges(n, fanout int) []OverlayEdge { return simnet.TreeEdges(n, fanout) }
+
+// RandomTreeEdges returns a seeded uniformly-random recursive tree over n
+// brokers: every acyclic connected shape is reachable, reproducibly.
+func RandomTreeEdges(n int, seed int64) []OverlayEdge {
+	return simnet.RandomTreeEdges(n, seed)
+}
+
+// ParseTopology resolves "line", "star", "tree[:fanout]", or
+// "random:<seed>" into an edge list over n brokers.
+func ParseTopology(name string, n int) ([]OverlayEdge, error) {
+	return simnet.ParseTopology(name, n)
+}
+
+// newOverlayBrokers builds the n identically configured brokers every
+// overlay constructor starts from.
+func newOverlayBrokers(n int, dim Dimension, o overlayOptions) ([]*broker.Broker, error) {
 	brokers := make([]*broker.Broker, n)
 	for i := range brokers {
 		b, err := broker.New(broker.Config{
@@ -84,7 +104,59 @@ func NewLineOverlay(n int, dim Dimension, opts ...OverlayOption) (*Overlay, erro
 		}
 		brokers[i] = b
 	}
+	return brokers, nil
+}
+
+// NewLineOverlay builds n brokers connected as a line (the paper's
+// distributed topology), all pruning with the given dimension. Simulated
+// brokers match serially so overlay runs stay deterministic; use
+// BrokerConfig's MatchWorkers/MatchShards with NewBroker + NewServer for
+// parallel matching over real connections.
+func NewLineOverlay(n int, dim Dimension, opts ...OverlayOption) (*Overlay, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dimprune: line network needs >= 2 brokers, got %d", n)
+	}
+	brokers, err := newOverlayBrokers(n, dim, applyOverlayOptions(opts))
+	if err != nil {
+		return nil, err
+	}
 	return simnet.NewLine(brokers)
+}
+
+// NewOverlay builds a simulated overlay with an arbitrary acyclic topology
+// — the general form of NewLineOverlay. The broker count is the highest
+// index named by edges plus one; simnet refuses cyclic or malformed edge
+// sets.
+func NewOverlay(edges []OverlayEdge, dim Dimension, opts ...OverlayOption) (*Overlay, error) {
+	n, err := overlaySize(edges)
+	if err != nil {
+		return nil, err
+	}
+	brokers, err := newOverlayBrokers(n, dim, applyOverlayOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return simnet.NewNetwork(brokers, edges)
+}
+
+// overlaySize derives the broker count from an edge list.
+func overlaySize(edges []OverlayEdge) (int, error) {
+	if len(edges) == 0 {
+		return 0, fmt.Errorf("dimprune: overlay needs at least one edge")
+	}
+	max := 0
+	for _, e := range edges {
+		if e.A < 0 || e.B < 0 {
+			return 0, fmt.Errorf("dimprune: negative broker index in edge %+v", e)
+		}
+		if e.A > max {
+			max = e.A
+		}
+		if e.B > max {
+			max = e.B
+		}
+	}
+	return max + 1, nil
 }
 
 // Networked re-exports: real transports for broker deployments.
@@ -198,6 +270,21 @@ func NewNetworkedLine(n int, dim Dimension, onDeliver func(atBroker int, d Deliv
 	if n < 2 {
 		return nil, nil, fmt.Errorf("dimprune: line overlay needs >= 2 brokers, got %d", n)
 	}
+	return NewNetworkedOverlay(LineEdges(n), dim, onDeliver, opts...)
+}
+
+// NewNetworkedOverlay assembles a real broker overlay with an arbitrary
+// acyclic topology over loopback TCP — the general form of
+// NewNetworkedLine. Every broker named by edges gets its own Server and
+// peer listener; each edge is then connected with DialPeer from its A side
+// (handshake, acyclicity check, reconnect-with-jitter). onDeliver, if
+// non-nil, receives every local delivery tagged with the delivering
+// broker's index. The returned shutdown function stops all servers.
+func NewNetworkedOverlay(edges []OverlayEdge, dim Dimension, onDeliver func(atBroker int, d Delivery), opts ...OverlayOption) ([]*Server, func(), error) {
+	n, err := overlaySize(edges)
+	if err != nil {
+		return nil, nil, err
+	}
 	o := applyOverlayOptions(opts)
 	servers := make([]*Server, 0, n)
 	shutdown := func() {
@@ -205,6 +292,7 @@ func NewNetworkedLine(n int, dim Dimension, onDeliver func(atBroker int, d Deliv
 			s.Shutdown()
 		}
 	}
+	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
 		b, err := broker.New(broker.Config{
 			ID:              fmt.Sprintf("b%d", i),
@@ -229,11 +317,15 @@ func NewNetworkedLine(n int, dim Dimension, onDeliver func(atBroker int, d Deliv
 			return nil, nil, err
 		}
 		servers = append(servers, s)
-		if i > 0 {
-			if _, err := servers[i-1].DialPeer(addr); err != nil {
-				shutdown()
-				return nil, nil, err
-			}
+		addrs[i] = addr
+	}
+	// Edges connect after every listener is up, so dial order — not index
+	// order — decides assembly; each edge joins two disjoint components of
+	// the forest, which the membership handshake accepts in any sequence.
+	for _, e := range edges {
+		if _, err := servers[e.A].DialPeer(addrs[e.B]); err != nil {
+			shutdown()
+			return nil, nil, fmt.Errorf("dimprune: edge %d-%d: %w", e.A, e.B, err)
 		}
 	}
 	return servers, shutdown, nil
