@@ -20,12 +20,29 @@
 //
 // With -prune-every set, the broker periodically applies a batch of
 // prunings to its non-local routing entries using the selected dimension.
+//
+// # Fleet modes
+//
+// A fleet partitions the subscription space across OS-process shards behind
+// one coordinator (see internal/fleet). Each shard is a plain brokerd with
+// -fleet-serve; the coordinator is a brokerd with -fleet listing the shard
+// addresses, and clients attach to its -clients port exactly as they would
+// to a single broker:
+//
+//	brokerd -id s0 -fleet-serve :9000
+//	brokerd -id s1 -fleet-serve :9001
+//	brokerd -id coord -fleet 127.0.0.1:9000,127.0.0.1:9001 -clients :8000
+//
+// -fleet is exclusive with the overlay flags (-listen, -peer, -peers):
+// shards hold partitions as local entries, so a coordinator is not an
+// overlay node.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +51,7 @@ import (
 
 	"dimprune/internal/broker"
 	"dimprune/internal/core"
+	"dimprune/internal/fleet"
 	"dimprune/internal/transport"
 	"dimprune/internal/wal"
 )
@@ -64,11 +82,20 @@ func run(args []string, stop <-chan os.Signal) error {
 		covering     = fs.Bool("covering", true, "covering forest on the control plane (off = forward every subscription to every peer)")
 		walDir       = fs.String("wal-dir", "", "event-log directory for durable subscriptions (empty: durables disabled)")
 		walFsync     = fs.Bool("wal-fsync", false, "fsync each event-log append (stronger crash durability, much slower)")
+		fleetServe   = fs.String("fleet-serve", "", "address to serve this broker as a fleet shard (empty: not a shard)")
+		fleetAddrs   = fs.String("fleet", "", "comma-separated shard addresses to coordinate a fleet over (coordinator mode)")
 	)
 	var peerAddrs addrList
 	fs.Var(&peerAddrs, "peer", "neighbor address to dial as a managed peer link (handshake + reconnect; repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *fleetAddrs != "" {
+		if *listen != "" || *peers != "" || len(peerAddrs) > 0 || *fleetServe != "" {
+			return fmt.Errorf("-fleet (coordinator mode) excludes -listen, -peer, -peers, and -fleet-serve")
+		}
+		return runFleetCoordinator(*id, *fleetAddrs, *clients, *statsEvery, stop)
 	}
 
 	var dim core.Dimension
@@ -148,6 +175,17 @@ func run(args []string, stop <-chan os.Signal) error {
 		}
 		logger.Printf("client sessions on %s", addr)
 	}
+	if *fleetServe != "" {
+		ln, err := net.Listen("tcp", *fleetServe)
+		if err != nil {
+			return fmt.Errorf("fleet-serve listen %s: %w", *fleetServe, err)
+		}
+		defer ln.Close()
+		shard := fleet.NewShardServer(b)
+		shard.SetLogf(logger.Printf)
+		go func() { _ = shard.Serve(ln) }()
+		logger.Printf("fleet shard on %s", ln.Addr())
+	}
 	// Managed peer links: handshake (acyclicity check), state replay, and
 	// reconnect-with-resync on loss. A refused or unreachable peer fails
 	// startup; later losses are the reconnect loop's job.
@@ -195,6 +233,63 @@ func run(args []string, stop <-chan os.Signal) error {
 				logger.Printf("hop latency: %s", hop)
 			}
 			logDeliveryHotspots(st, logger)
+		}
+	}
+}
+
+// runFleetCoordinator runs the daemon as a fleet coordinator: dial every
+// shard, fold their advertisements into the scatter index, and front the
+// fleet with the client wire protocol.
+func runFleetCoordinator(id, shardList, clients string, statsEvery time.Duration, stop <-chan os.Signal) error {
+	logger := log.New(os.Stderr, id+" ", log.LstdFlags)
+	coord := fleet.NewCoordinator()
+	defer func() { _ = coord.Close() }()
+	n := 0
+	for _, a := range strings.Split(shardList, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		sh, err := fleet.DialShard(fmt.Sprintf("shard%d", n), a)
+		if err != nil {
+			return err
+		}
+		if err := coord.AddShard(sh); err != nil {
+			return err
+		}
+		logger.Printf("fleet: shard%d at %s", n, a)
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("-fleet lists no shard addresses")
+	}
+	cs := fleet.NewClientServer(coord)
+	cs.SetLogf(logger.Printf)
+	defer cs.Shutdown()
+	if clients != "" {
+		addr, err := cs.Listen(clients)
+		if err != nil {
+			return err
+		}
+		logger.Printf("client sessions on %s", addr)
+	}
+	var statsTick <-chan time.Time
+	if statsEvery > 0 {
+		t := time.NewTicker(statsEvery)
+		defer t.Stop()
+		statsTick = t.C
+	}
+	logger.Printf("coordinating %d shards", n)
+	for {
+		select {
+		case <-stop:
+			logger.Printf("shutting down")
+			return nil
+		case <-statsTick:
+			st := coord.Stats()
+			logger.Printf("fleet stats: shards=%v subs=%d index=%d publishes=%d scattered=%d skipped=%d deduped=%d moved=%d",
+				coord.Shards(), coord.NumSubscriptions(), coord.IndexSize(),
+				st.Publishes, st.ShardPublishes, st.ShardsSkipped, st.Deduped, st.Moved)
 		}
 	}
 }

@@ -299,3 +299,67 @@ func waitDial(t *testing.T, addr string) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestFleetDaemons drives the fleet flags end to end: two shard daemons, a
+// coordinator daemon over them, and a client session against the
+// coordinator that subscribes and receives a delivery.
+func TestFleetDaemons(t *testing.T) {
+	shard0, shard1 := freePort(t), freePort(t)
+	clientAddr := freePort(t)
+	stopS0 := start(t, "-id", "s0", "-fleet-serve", shard0)
+	stopS1 := start(t, "-id", "s1", "-fleet-serve", shard1)
+	waitDial(t, shard0)
+	waitDial(t, shard1)
+	stopC := start(t, "-id", "coord", "-fleet", shard0+","+shard1,
+		"-clients", clientAddr, "-stats-every", "10ms")
+	waitDial(t, clientAddr)
+
+	conn, err := transport.Dial(clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := transport.NewClient("fran", conn)
+	defer client.Close()
+	h, err := client.SubscribeExpr(`x = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{})
+	go func() {
+		if m, ok := <-h.C(); ok && m != nil {
+			close(got)
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	for delivered := false; !delivered; {
+		if err := client.Publish(event.Build(1).Int("x", 1).Msg()); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-got:
+			delivered = true
+		case <-deadline:
+			t.Fatal("fleet never delivered to the client session")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	for name, stop := range map[string]func() error{"coord": stopC, "s0": stopS0, "s1": stopS1} {
+		if err := stop(); err != nil {
+			t.Errorf("daemon %s: %v", name, err)
+		}
+	}
+}
+
+// TestFleetFlagValidation pins the mode exclusivity and empty-list errors.
+func TestFleetFlagValidation(t *testing.T) {
+	if err := run([]string{"-fleet", "127.0.0.1:1", "-listen", "127.0.0.1:0"}, nil); err == nil {
+		t.Error("coordinator mode accepted overlay flags")
+	}
+	if err := run([]string{"-fleet", " , "}, nil); err == nil {
+		t.Error("empty -fleet shard list accepted")
+	}
+	if err := run([]string{"-fleet", "127.0.0.1:1"}, nil); err == nil {
+		t.Error("unreachable shard accepted")
+	}
+}

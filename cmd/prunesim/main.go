@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"dimprune/internal/core"
@@ -55,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		innermost   = fs.String("innermost", "default", "innermost pruning restriction: default, on, off")
 		noTieBreak  = fs.Bool("no-tiebreak", false, "disable the secondary/tertiary dimension orders")
 		covering    = fs.Bool("covering", true, "covering forest on distributed brokers (off = forward every subscription to every peer)")
+		fleetSizes  = fs.String("fleet-shards", "1,2,4", "fleet sizes for -setting fleet (comma-separated shard counts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +104,35 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// The fleet setting is a horizontal-scaling sweep, not a pruning sweep:
+	// it reuses the workload flags and prints its own figure.
+	if *setting == "fleet" {
+		fcfg := experiment.DefaultFleetConfig()
+		fcfg.Subs = *subs
+		fcfg.Events = *events
+		fcfg.Workload = *wl
+		fcfg.Seed = *seed
+		fcfg.DisableCovering = !*covering
+		fcfg.ShardCounts = nil
+		for _, f := range strings.Split(*fleetSizes, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				return fmt.Errorf("bad -fleet-shards entry %q: %w", f, err)
+			}
+			fcfg.ShardCounts = append(fcfg.ShardCounts, n)
+		}
+		res, err := experiment.RunFleet(fcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiment.FleetSummary(res))
+		return nil
+	}
+
 	var results []*experiment.Result
 	if *setting == "centralized" || *setting == "both" {
 		res, err := experiment.RunCentralized(cfg)
@@ -118,7 +149,7 @@ func run(args []string, out io.Writer) error {
 		results = append(results, res)
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("unknown -setting %q (want centralized, distributed, both)", *setting)
+		return fmt.Errorf("unknown -setting %q (want centralized, distributed, both, fleet)", *setting)
 	}
 
 	for _, res := range results {

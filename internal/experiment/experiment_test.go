@@ -258,3 +258,40 @@ func TestRenderASCII(t *testing.T) {
 		t.Error("zero series not plotted")
 	}
 }
+
+// TestRunFleetSweep smoke-tests the fleet-scaling sweep at tiny scale and
+// pins its delivery-invariance check.
+func TestRunFleetSweep(t *testing.T) {
+	cfg := FleetConfig{
+		Subs:        400,
+		Events:      300,
+		ShardCounts: []int{1, 2, 4},
+		Workload:    "auction",
+		Seed:        7,
+	}
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(res.Points))
+	}
+	base := res.Points[0]
+	if base.Deliveries == 0 {
+		t.Fatal("baseline delivered nothing; sweep is vacuous")
+	}
+	if base.Speedup != 1 {
+		t.Errorf("baseline speedup = %v, want 1", base.Speedup)
+	}
+	for _, p := range res.Points {
+		if p.Deliveries != base.Deliveries {
+			t.Errorf("fleet of %d delivered %d, baseline %d", p.Shards, p.Deliveries, base.Deliveries)
+		}
+		if p.EventsPerSec <= 0 {
+			t.Errorf("fleet of %d: nonpositive throughput", p.Shards)
+		}
+	}
+	if s := FleetSummary(res); !strings.Contains(s, "fleet scaling") {
+		t.Errorf("summary missing header:\n%s", s)
+	}
+}

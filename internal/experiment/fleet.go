@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/event"
+	"dimprune/internal/fleet"
+	"dimprune/internal/metrics"
+	"dimprune/internal/subscription"
+	"dimprune/internal/workload"
+)
+
+// FleetConfig parameterizes the horizontal-scaling sweep: one workload run
+// against fleets of increasing shard count.
+type FleetConfig struct {
+	// Subs and Events size the workload.
+	Subs, Events int
+	// ShardCounts lists the fleet sizes to measure, in order; the first is
+	// the speedup baseline (1 measures the single-broker floor).
+	ShardCounts []int
+	// Workload names the registered scenario; Seed makes it deterministic.
+	Workload string
+	Seed     uint64
+	// DisableCovering turns off the covering plane on the shards: every
+	// shard advertises every subscription, so the coordinator broadcasts
+	// each publish (the scatter index has nothing to skip with).
+	DisableCovering bool
+}
+
+// DefaultFleetConfig returns the laptop-scale sweep the fleet figure uses.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{
+		Subs:        20000,
+		Events:      5000,
+		ShardCounts: []int{1, 2, 4},
+		Workload:    "auction",
+		Seed:        1,
+	}
+}
+
+func (c FleetConfig) validate() error {
+	if c.Subs <= 0 || c.Events <= 0 {
+		return fmt.Errorf("experiment: need positive Subs/Events, got %d/%d", c.Subs, c.Events)
+	}
+	if len(c.ShardCounts) == 0 {
+		return fmt.Errorf("experiment: no fleet sizes selected")
+	}
+	for _, n := range c.ShardCounts {
+		if n < 1 {
+			return fmt.Errorf("experiment: fleet size %d < 1", n)
+		}
+	}
+	if _, ok := workload.Lookup(c.Workload); !ok {
+		return fmt.Errorf("experiment: unknown workload %q", c.Workload)
+	}
+	return nil
+}
+
+// FleetPoint is one fleet size's measurement.
+type FleetPoint struct {
+	// Shards is the fleet size.
+	Shards int
+	// EventsPerSec is the coordinator's publish throughput: measurement
+	// events divided by the wall time of the publish loop.
+	EventsPerSec float64
+	// Speedup is EventsPerSec relative to the sweep's first point.
+	Speedup float64
+	// Deliveries counts end-to-end deliveries (identical across fleet
+	// sizes — sharding must not change delivery semantics).
+	Deliveries uint64
+	// DeliveryP50 and DeliveryP99 are per-publish latency quantiles: wall
+	// time from handing the event to the coordinator until the full
+	// gathered delivery set is back.
+	DeliveryP50, DeliveryP99 time.Duration
+	// ScatterWidth is the average number of shards a publish reached;
+	// ShardsSkipped counts shard publishes the scatter index avoided.
+	ScatterWidth  float64
+	ShardsSkipped uint64
+}
+
+// FleetResult bundles one fleet-scaling sweep.
+type FleetResult struct {
+	Config FleetConfig
+	Points []FleetPoint
+}
+
+// RunFleet measures publish throughput and delivery latency across fleet
+// sizes: the same subscriptions and events, partitioned over 1, 2, 4, ...
+// in-process shards behind one coordinator. Deliveries are asserted
+// identical across sizes — a scaling number from a fleet that drops or
+// duplicates deliveries would be meaningless.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	gen, err := workload.New(cfg.Workload, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]*subscription.Subscription, cfg.Subs)
+	for i := range subs {
+		s, err := gen.Subscription(uint64(i+1), fmt.Sprintf("client-%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = s
+	}
+	events := gen.Events(1, cfg.Events)
+
+	result := &FleetResult{Config: cfg}
+	var baseline float64
+	var baseDeliveries uint64
+	for _, n := range cfg.ShardCounts {
+		pt, err := measureFleet(cfg, n, subs, events)
+		if err != nil {
+			return nil, err
+		}
+		if len(result.Points) == 0 {
+			baseline = pt.EventsPerSec
+			baseDeliveries = pt.Deliveries
+		} else if pt.Deliveries != baseDeliveries {
+			return nil, fmt.Errorf("experiment: fleet of %d delivered %d events, baseline delivered %d",
+				n, pt.Deliveries, baseDeliveries)
+		}
+		if baseline > 0 {
+			pt.Speedup = pt.EventsPerSec / baseline
+		}
+		result.Points = append(result.Points, pt)
+	}
+	return result, nil
+}
+
+// measureFleet builds one fleet, loads the subscriptions, warms the
+// matchers, and times the measurement publish loop.
+func measureFleet(cfg FleetConfig, shards int, subs []*subscription.Subscription, events []*event.Message) (FleetPoint, error) {
+	c := fleet.NewCoordinator()
+	defer func() { _ = c.Close() }()
+	for i := 0; i < shards; i++ {
+		sh, err := fleet.NewLocalShard(fmt.Sprintf("shard%d", i), broker.Config{
+			DisableCovering: cfg.DisableCovering,
+		})
+		if err != nil {
+			return FleetPoint{}, err
+		}
+		if err := c.AddShard(sh); err != nil {
+			return FleetPoint{}, err
+		}
+	}
+	for _, s := range subs {
+		// Each size gets its own clone: shards prune and rewrite trees
+		// in place, so runs must not share subscription storage.
+		cl, err := subscription.New(s.ID, s.Subscriber, s.Root.Clone())
+		if err != nil {
+			return FleetPoint{}, err
+		}
+		if err := c.Subscribe(cl); err != nil {
+			return FleetPoint{}, err
+		}
+	}
+	for _, m := range events[:min(100, len(events))] {
+		if _, err := c.Publish(m); err != nil {
+			return FleetPoint{}, err
+		}
+	}
+	preStats := c.Stats()
+
+	var deliveries uint64
+	var lat metrics.Histogram
+	start := time.Now()
+	for _, m := range events {
+		t0 := time.Now()
+		dels, err := c.Publish(m)
+		if err != nil {
+			return FleetPoint{}, err
+		}
+		lat.Observe(time.Since(t0))
+		deliveries += uint64(len(dels))
+	}
+	elapsed := time.Since(start)
+
+	st := c.Stats()
+	pubs := st.Publishes - preStats.Publishes
+	snap := lat.Snapshot()
+	pt := FleetPoint{
+		Shards:        shards,
+		EventsPerSec:  float64(len(events)) / elapsed.Seconds(),
+		Deliveries:    deliveries,
+		DeliveryP50:   snap.Quantile(0.5),
+		DeliveryP99:   snap.Quantile(0.99),
+		ShardsSkipped: st.ShardsSkipped - preStats.ShardsSkipped,
+	}
+	if pubs > 0 {
+		pt.ScatterWidth = float64(st.ShardPublishes-preStats.ShardPublishes) / float64(pubs)
+	}
+	return pt, nil
+}
+
+// FleetSummary renders the sweep as an aligned table — the fleet-scaling
+// figure (EXPERIMENTS.md) in text form.
+func FleetSummary(r *FleetResult) string {
+	var b strings.Builder
+	covering := "on"
+	if r.Config.DisableCovering {
+		covering = "off"
+	}
+	fmt.Fprintf(&b, "fleet scaling — workload %s, %d subs, %d events, covering %s\n",
+		r.Config.Workload, r.Config.Subs, r.Config.Events, covering)
+	fmt.Fprintf(&b, "%8s %12s %8s %12s %12s %8s %8s\n",
+		"shards", "events/s", "speedup", "p50", "p99", "width", "skipped")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %12.0f %7.2fx %12s %12s %8.2f %8d\n",
+			p.Shards, p.EventsPerSec, p.Speedup, p.DeliveryP50, p.DeliveryP99,
+			p.ScatterWidth, p.ShardsSkipped)
+	}
+	return b.String()
+}

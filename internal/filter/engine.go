@@ -47,15 +47,16 @@ import (
 	"dimprune/internal/subscription"
 )
 
-// minParallelSubs gates the worker fan-out: below this many registered
-// subscriptions the counting phase is too small for goroutine handoff to
-// pay, so matches stay on the calling goroutine.
-const minParallelSubs = 256
-
-// minParallelPreds gates the fan-out on the other axis: an event that
-// fulfills almost no predicates credits almost no counters regardless of
-// table size.
-const minParallelPreds = 4
+// matchWorkUnit is the counting work — counter credits, i.e. predicate
+// associations to walk — that justifies one worker goroutine. A goroutine
+// handoff plus its share of the join costs on the order of a microsecond
+// while a single credit is a few nanoseconds, so a worker has to absorb
+// thousands of credits to pay for itself. The fan-out scales with the
+// event's actual work estimate (see matchWork) rather than with static
+// table size, so a workers=8 engine degrades to serial on light events
+// instead of paying an 8-way join for microseconds of counting — which is
+// what used to keep the parallel layout behind serial on sparse workloads.
+const matchWorkUnit = 4096
 
 // Engine filters events against a dynamic set of Boolean subscriptions.
 // Mutations require exclusive access; match calls may run concurrently
@@ -63,6 +64,7 @@ const minParallelPreds = 4
 type Engine struct {
 	shards  int // subscription buckets (dense index mod shards)
 	workers int // max goroutines per match call, <= shards
+	procs   int // GOMAXPROCS at construction: fan-out beyond it only adds handoff
 
 	registry registry
 	attrs    map[string]*attrIndex
@@ -125,8 +127,8 @@ func New() *Engine { return NewSharded(1, 1) }
 // shards == 0 picks a layout from the resolved worker count — the serial
 // single-shard engine when workers resolve to 1 (so a serial deployment
 // never pays the sharding tax), twice the workers otherwise (bounded
-// fan-out imbalance without oversharding small tables; the
-// minParallelSubs gate already keeps small populations serial). Negative
+// fan-out imbalance without oversharding small tables; the per-event work
+// gate already keeps light matches serial). Negative
 // values are treated as 1; shards are capped at 64 (the occupancy mask
 // width).
 func NewSharded(shards, workers int) *Engine {
@@ -155,6 +157,7 @@ func NewSharded(shards, workers int) *Engine {
 	return &Engine{
 		shards:   shards,
 		workers:  workers,
+		procs:    runtime.GOMAXPROCS(0),
 		registry: newRegistry(shards),
 		attrs:    make(map[string]*attrIndex),
 		negScan:  make(map[predID]int),
@@ -369,7 +372,7 @@ func (e *Engine) MatchVisit(m *event.Message, fn func(*subscription.Subscription
 	// Phase 2: count and evaluate gated subscriptions, per shard. Workers
 	// own disjoint shards; results merge on the calling goroutine.
 	if len(sc.fullList) > 0 {
-		if nw := e.matchWorkers(len(sc.fullList)); nw <= 1 {
+		if nw := e.matchWorkers(e.matchWork(sc)); nw <= 1 {
 			for s := 0; s < e.shards; s++ {
 				e.matchShard(sc, s)
 			}
@@ -398,13 +401,40 @@ func (e *Engine) MatchVisit(m *event.Message, fn func(*subscription.Subscription
 	e.scratch.Put(sc)
 }
 
-// matchWorkers decides the fan-out for one call: 1 unless the engine is
-// configured for parallelism and the event generates enough counting work.
-func (e *Engine) matchWorkers(fulfilled int) int {
-	if e.workers <= 1 || len(e.dense) < minParallelSubs || fulfilled < minParallelPreds {
+// matchWork estimates the counting-phase cost of this epoch's fulfilled
+// set: each predicate's association count (registry refs) is exactly the
+// number of counter credits it will generate in phase 2, so the sum over
+// the fulfilled list is the total credits about to be applied. One array
+// load per fulfilled predicate — negligible next to the phase it sizes.
+func (e *Engine) matchWork(sc *matchScratch) int {
+	if e.workers <= 1 {
+		return 0 // serial engine: the estimate is never consulted
+	}
+	work := 0
+	for _, id := range sc.fullList {
+		work += e.registry.byID[id].refs
+	}
+	return work
+}
+
+// matchWorkers decides the fan-out for one call: one worker per
+// matchWorkUnit of estimated counting work, capped at the configured
+// worker count and at the processor count (goroutines beyond GOMAXPROCS
+// cannot run in parallel — they only add handoff, which is why a
+// workers=8 layout used to lose to serial on small machines). Light
+// events run serial regardless of configuration.
+func (e *Engine) matchWorkers(work int) int {
+	nw := work / matchWorkUnit
+	if nw <= 1 {
 		return 1
 	}
-	return e.workers
+	if nw > e.workers {
+		nw = e.workers
+	}
+	if nw > e.procs {
+		nw = e.procs
+	}
+	return nw
 }
 
 // matchShard runs the counting phase for one shard: credit subscriptions

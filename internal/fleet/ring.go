@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the number of virtual points each shard contributes to
+// the hash ring. More points smooth the partition sizes; 64 keeps the
+// spread within a few percent for small fleets while membership changes
+// stay cheap.
+const ringReplicas = 64
+
+// ring is a consistent-hash placement: subscription IDs map to the first
+// virtual point clockwise from their hash, so adding or removing one shard
+// moves only the IDs in the arcs it gains or loses (~1/N of the space),
+// which is what keeps rebalance traffic proportional to the change.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node.
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// mix64 is a full-avalanche 64-bit finalizer (murmur3's fmix64). FNV-1a
+// alone clusters sequential IDs — over 8-byte inputs differing only in the
+// low bytes, its high bits barely move, which would park the whole ID
+// space on one arc of the ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// add inserts the shard's virtual points. Adding a present shard is a
+// no-op.
+func (r *ring) add(shard string) {
+	for _, p := range r.points {
+		if p.shard == shard {
+			return
+		}
+	}
+	var buf [8]byte
+	for i := 0; i < ringReplicas; i++ {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(shard))
+		binary.BigEndian.PutUint64(buf[:], uint64(i))
+		_, _ = h.Write(buf[:])
+		r.points = append(r.points, ringPoint{hash: mix64(h.Sum64()), shard: shard})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical hashes (vanishingly rare) order by name so every
+		// coordinator agrees on the winner.
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// remove deletes the shard's virtual points.
+func (r *ring) remove(shard string) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// lookup places a subscription ID: the owning shard is the first virtual
+// point at or clockwise past the ID's hash. Empty ring returns "".
+func (r *ring) lookup(id uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	key := mix64(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0 // wrap: past the highest point, the first point owns it
+	}
+	return r.points[i].shard
+}

@@ -1,0 +1,204 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"dimprune/internal/broker"
+	"dimprune/internal/transport"
+	"dimprune/internal/wire"
+)
+
+// ClientServer fronts a fleet coordinator with the client wire protocol:
+// sessions introduce themselves with a hello, subscribe and publish like
+// against a single broker, and receive matching events back as publish
+// frames. Subscribers cannot tell a fleet from one big exact broker —
+// which is precisely the differential oracle's claim.
+type ClientServer struct {
+	coord *Coordinator
+	logf  func(string, ...any)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[string]transport.Conn // subscriber name -> session
+	owned    map[string][]uint64       // session -> its subscription IDs
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewClientServer fronts the coordinator.
+func NewClientServer(c *Coordinator) *ClientServer {
+	return &ClientServer{
+		coord:    c,
+		logf:     func(string, ...any) {},
+		sessions: make(map[string]transport.Conn),
+		owned:    make(map[string][]uint64),
+	}
+}
+
+// SetLogf installs a diagnostics logger. Call before Listen.
+func (s *ClientServer) SetLogf(logf func(string, ...any)) {
+	if logf == nil {
+		return
+	}
+	s.mu.Lock()
+	s.logf = logf
+	s.mu.Unlock()
+}
+
+// Listen starts accepting client sessions on addr, returning the bound
+// address.
+func (s *ClientServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("fleet: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", transport.ErrClosed
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				_ = nc.Close()
+				return
+			}
+			s.wg.Add(1)
+			s.mu.Unlock()
+			go func() {
+				defer s.wg.Done()
+				s.serve(transport.NewTCPConn(nc))
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// serve runs one client session: hello first, then subscribes and
+// publishes against the coordinator.
+func (s *ClientServer) serve(conn transport.Conn) {
+	defer func() { _ = conn.Close() }()
+	f, err := conn.Recv()
+	if err != nil || f.Type != wire.FrameHello {
+		return // rogue connection: drop without registering anything
+	}
+	name := f.Subscriber
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.sessions[name] = conn
+	s.mu.Unlock()
+	defer s.detach(name, conn)
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.FrameSubscribe:
+			if f.Sub.Subscriber != name {
+				s.logf("fleet clients: session %q subscribing as %q, dropped", name, f.Sub.Subscriber)
+				return
+			}
+			if err := s.coord.Subscribe(f.Sub); err != nil {
+				s.logf("fleet clients: subscribe %d: %v", f.Sub.ID, err)
+				continue
+			}
+			s.mu.Lock()
+			s.owned[name] = append(s.owned[name], f.Sub.ID)
+			s.mu.Unlock()
+		case wire.FrameUnsubscribe:
+			if err := s.coord.Unsubscribe(f.SubID); err != nil {
+				s.logf("fleet clients: unsubscribe %d: %v", f.SubID, err)
+			}
+		case wire.FramePublish:
+			dels, err := s.coord.Publish(f.Msg)
+			if err != nil {
+				s.logf("fleet clients: publish %d: %v", f.Msg.ID, err)
+				continue
+			}
+			s.deliver(dels)
+		}
+	}
+}
+
+// deliver sends each event once per matched subscriber session (client
+// handles demultiplex by re-matching, so one frame per subscriber is the
+// exact feed).
+func (s *ClientServer) deliver(dels []broker.Delivery) {
+	if len(dels) == 0 {
+		return
+	}
+	sent := make(map[string]struct{}, len(dels))
+	for _, d := range dels {
+		if _, dup := sent[d.Subscriber]; dup {
+			continue
+		}
+		sent[d.Subscriber] = struct{}{}
+		s.mu.Lock()
+		conn := s.sessions[d.Subscriber]
+		s.mu.Unlock()
+		if conn == nil {
+			continue // subscriber without an attached session
+		}
+		if err := conn.Send(wire.PublishFrame(d.Msg)); err != nil {
+			s.logf("fleet clients: deliver to %q: %v", d.Subscriber, err)
+		}
+	}
+}
+
+// detach retracts a closing session's subscriptions from the fleet.
+func (s *ClientServer) detach(name string, conn transport.Conn) {
+	s.mu.Lock()
+	if s.sessions[name] != conn {
+		s.mu.Unlock()
+		return // superseded by a newer session under the same name
+	}
+	delete(s.sessions, name)
+	ids := s.owned[name]
+	delete(s.owned, name)
+	s.mu.Unlock()
+	for _, id := range ids {
+		_ = s.coord.Unsubscribe(id)
+	}
+}
+
+// Shutdown closes the listener and every session, then waits for the
+// session goroutines.
+func (s *ClientServer) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]transport.Conn, 0, len(s.sessions))
+	for _, c := range s.sessions {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}

@@ -47,14 +47,41 @@ type Client struct {
 	mu          sync.RWMutex
 	handles     map[uint64]*Handle
 	durables    map[string]*DurableHandle
-	usedLegacy  bool // deprecated Subscribe was called
-	usedHandles bool // SubscribeNode/SubscribeExpr was called
+	durableIDs  map[uint64]struct{} // IDs held by attached durables
+	usedLegacy  bool                // deprecated Subscribe was called
+	usedHandles bool                // SubscribeNode/SubscribeExpr was called
 	idBase      uint64
 	idSeq       atomic.Uint64
 }
 
 // idSeqBits is the per-session subscription counter width below idBase.
 const idSeqBits = 24
+
+// ErrSubIDsExhausted reports a session whose entire 2^24 auto-ID namespace
+// is held by live subscriptions.
+var ErrSubIDsExhausted = errors.New("transport: session subscription-ID namespace exhausted")
+
+// nextSubIDLocked allocates the next free auto-assigned subscription ID.
+// The counter wraps at 2^24, so a session outliving 2^24 subscribe calls
+// revisits old values; an ID still held by a live handle or durable is
+// skipped rather than reused — reuse would overwrite the live handle here
+// and silently replace its subscription broker-side. Callers hold c.mu
+// (write) and register the ID before releasing it, which is what makes
+// the allocation a reservation.
+func (c *Client) nextSubIDLocked() (uint64, error) {
+	const space = 1 << idSeqBits
+	for tries := 0; tries < space; tries++ {
+		id := c.idBase | (c.idSeq.Add(1) & (space - 1))
+		if _, live := c.handles[id]; live {
+			continue
+		}
+		if _, live := c.durableIDs[id]; live {
+			continue
+		}
+		return id, nil
+	}
+	return 0, ErrSubIDsExhausted
+}
 
 // NewClient starts a client session over conn, introducing itself with a
 // hello frame. Servers reached through ListenClients use the hello to name
@@ -70,6 +97,7 @@ func NewClient(subscriber string, conn Conn) *Client {
 		done:          make(chan struct{}),
 		handles:       make(map[uint64]*Handle),
 		durables:      make(map[string]*DurableHandle),
+		durableIDs:    make(map[uint64]struct{}),
 		idBase:        binary.BigEndian.Uint64(seed[:]) &^ (1<<idSeqBits - 1),
 	}
 	// A hello failure surfaces on the first real operation; the read loop
@@ -221,24 +249,31 @@ func (c *Client) SubscribeNode(root *subscription.Node, opts ...SubOption) (*Han
 	if !o.policy.Valid() {
 		return nil, fmt.Errorf("transport: invalid backpressure policy %d", o.policy)
 	}
-	id := c.idBase | (c.idSeq.Add(1) & (1<<idSeqBits - 1))
+	// Allocate and register under one lock hold: the allocation is only a
+	// reservation while the ID enters c.handles before the lock drops. The
+	// handle must be discoverable before the subscribe frame leaves anyway —
+	// the first matching event can arrive as soon as the server processes
+	// the frame.
+	c.mu.Lock()
+	id, err := c.nextSubIDLocked()
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
 	s, err := subscription.New(id, c.subscriber, root)
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	h := &Handle{id: id, c: c, root: s.Root, cb: o.callback}
 	h.q = delivery.New[*event.Message](o.buffer, o.policy)
+	c.usedHandles = true
+	c.handles[id] = h
+	c.mu.Unlock()
 	if h.cb != nil {
 		h.drainDone = make(chan struct{})
 		go h.drainLoop()
 	}
-	// The handle must be discoverable before the subscribe frame leaves:
-	// the first matching event can arrive as soon as the server processes
-	// the frame.
-	c.mu.Lock()
-	c.usedHandles = true
-	c.handles[id] = h
-	c.mu.Unlock()
 	if err := c.conn.Send(wire.SubscribeFrame(s)); err != nil {
 		c.mu.Lock()
 		delete(c.handles, id)
@@ -343,6 +378,7 @@ func (c *Client) retireHandles(discard bool) {
 		ds = append(ds, d)
 	}
 	c.durables = make(map[string]*DurableHandle)
+	c.durableIDs = make(map[uint64]struct{})
 	c.mu.Unlock()
 	for _, h := range hs {
 		h.retire(discard)

@@ -116,30 +116,38 @@ func (c *Client) DurableSubscribeNode(name string, root *subscription.Node, opts
 	if o.manualAck && o.callback == nil {
 		return nil, fmt.Errorf("transport: ManualAck applies to DurableCallback mode (channel consumers always ack explicitly)")
 	}
-	id := c.idBase | (c.idSeq.Add(1) & (1<<idSeqBits - 1))
+	// Allocate and register under one lock hold — durable IDs share the
+	// session namespace with ephemeral handles, so the allocation reserves
+	// the ID in c.durableIDs before the lock drops. Discoverable before the
+	// frame leaves: replay can start as soon as the server processes it.
+	c.mu.Lock()
+	if _, dup := c.durables[name]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: durable %q already attached in this session", name)
+	}
+	id, err := c.nextSubIDLocked()
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
 	s, err := subscription.New(id, c.subscriber, root)
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	d := &DurableHandle{name: name, id: id, c: c, cb: o.callback, manualAck: o.manualAck}
 	d.q = delivery.New[DurableEvent](o.buffer, delivery.Block)
+	c.durables[name] = d
+	c.durableIDs[id] = struct{}{}
+	c.mu.Unlock()
 	if d.cb != nil {
 		d.drainDone = make(chan struct{})
 		go d.drainLoop()
 	}
-	// Discoverable before the frame leaves: replay can start as soon as
-	// the server processes it.
-	c.mu.Lock()
-	if _, dup := c.durables[name]; dup {
-		c.mu.Unlock()
-		d.retire(true)
-		return nil, fmt.Errorf("transport: durable %q already attached in this session", name)
-	}
-	c.durables[name] = d
-	c.mu.Unlock()
 	if err := c.conn.Send(wire.DurableSubscribeFrame(name, s)); err != nil {
 		c.mu.Lock()
 		delete(c.durables, name)
+		delete(c.durableIDs, id)
 		c.mu.Unlock()
 		d.retire(true)
 		return nil, err
@@ -205,6 +213,7 @@ func (d *DurableHandle) Unsubscribe() error {
 		d.c.mu.Lock()
 		if d.c.durables[d.name] == d {
 			delete(d.c.durables, d.name)
+			delete(d.c.durableIDs, d.id)
 		}
 		d.c.mu.Unlock()
 		d.retireErr = d.c.conn.Send(wire.UnsubscribeFrame(d.id))

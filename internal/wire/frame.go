@@ -42,6 +42,11 @@ const (
 	// FrameAck advances a durable cursor: every record of the named
 	// durable up to and including Seq is delivered and reclaimable.
 	FrameAck
+	// FrameMatchSet answers one publish on a fleet shard link: the event ID
+	// it answers plus the IDs of the shard's subscriptions that matched. An
+	// empty set is a valid answer — the coordinator correlates replies by
+	// link FIFO order and needs one per publish either way.
+	FrameMatchSet
 )
 
 // String names the frame type.
@@ -65,6 +70,8 @@ func (t FrameType) String() string {
 		return "durable-publish"
 	case FrameAck:
 		return "ack"
+	case FrameMatchSet:
+		return "match-set"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -91,7 +98,8 @@ type Frame struct {
 	Peer       *PeerHello                 // FramePeerHello
 	Reason     string                     // FramePeerReject
 	Name       string                     // FrameDurableSubscribe, FrameDurablePublish, FrameAck
-	Seq        uint64                     // FrameDurablePublish, FrameAck
+	Seq        uint64                     // FrameDurablePublish, FrameAck, FrameMatchSet (event ID)
+	Matches    []uint64                   // FrameMatchSet
 }
 
 // SubscribeFrame builds a subscription-forwarding frame.
@@ -137,6 +145,12 @@ func DurablePublishFrame(name string, seq uint64, m *event.Message) Frame {
 // AckFrame builds a durable cursor-advance frame.
 func AckFrame(name string, seq uint64) Frame {
 	return Frame{Type: FrameAck, Name: name, Seq: seq}
+}
+
+// MatchSetFrame builds a fleet shard's answer to one publish: the event ID
+// and the shard-local subscription IDs that matched it.
+func MatchSetFrame(eventID uint64, matches []uint64) Frame {
+	return Frame{Type: FrameMatchSet, Seq: eventID, Matches: matches}
 }
 
 // AppendFrame appends the encoding of f to dst.
@@ -201,6 +215,13 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		}
 		dst = appendString(dst, f.Name)
 		return binary.AppendUvarint(dst, f.Seq), nil
+	case FrameMatchSet:
+		dst = binary.AppendUvarint(dst, f.Seq)
+		dst = binary.AppendUvarint(dst, uint64(len(f.Matches)))
+		for _, id := range f.Matches {
+			dst = binary.AppendUvarint(dst, id)
+		}
+		return dst, nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode frame type %d", f.Type)
 	}
@@ -330,6 +351,36 @@ func DecodeFrame(data []byte) (Frame, int, error) {
 			return Frame{}, 0, ErrTruncated
 		}
 		return AckFrame(name, seq), 1 + n + sn, nil
+	case FrameMatchSet:
+		eventID, n := binary.Uvarint(data[1:])
+		if n <= 0 {
+			return Frame{}, 0, ErrTruncated
+		}
+		off := 1 + n
+		count, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return Frame{}, 0, ErrTruncated
+		}
+		off += n
+		// Each match costs at least one byte, so a count beyond the
+		// remaining payload is certainly truncated; the check also keeps a
+		// hostile count from buying a large allocation.
+		if count > uint64(len(data)-off) {
+			return Frame{}, 0, ErrTruncated
+		}
+		var matches []uint64
+		if count > 0 {
+			matches = make([]uint64, 0, count)
+		}
+		for i := uint64(0); i < count; i++ {
+			id, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return Frame{}, 0, ErrTruncated
+			}
+			off += n
+			matches = append(matches, id)
+		}
+		return MatchSetFrame(eventID, matches), off, nil
 	default:
 		return Frame{}, 0, fmt.Errorf("wire: unknown frame type %d", data[0])
 	}
@@ -387,6 +438,12 @@ func FrameSize(f Frame) int {
 			return 0
 		}
 		return 1 + stringSize(f.Name) + uvarintLen(f.Seq)
+	case FrameMatchSet:
+		n := 1 + uvarintLen(f.Seq) + uvarintLen(uint64(len(f.Matches)))
+		for _, id := range f.Matches {
+			n += uvarintLen(id)
+		}
+		return n
 	default:
 		return 0
 	}

@@ -32,6 +32,9 @@ var goldenFrames = []struct {
 	{"durable-subscribe", "070561756469740705616c696365020301020305707269636504000128030863617465676f727901000305626f6f6b7303057469746c6507010301410304626964730a00"},
 	{"durable-publish", "080561756469742ab960040462696473010d057072696365020000000000002d40067369676e65640401057469746c65030444756e65"},
 	{"ack", "090561756469742a"},
+	// The fleet plane's match-set reply (PR 10) is pinned from its first
+	// release: event ID, then a uvarint-counted list of matched sub IDs.
+	{"match-set", "0ab9600207ac02"},
 }
 
 // goldenStreamUnsubscribe is WriteFrame's length-prefixed stream encoding of
@@ -62,6 +65,7 @@ func goldenFixtureFrames(t testing.TB) []Frame {
 		DurableSubscribeFrame("audit", s),
 		DurablePublishFrame("audit", 42, m),
 		AckFrame("audit", 42),
+		MatchSetFrame(12345, []uint64{7, 300}),
 	}
 }
 
